@@ -1,0 +1,43 @@
+//! Ablation benches for the design choices DESIGN.md calls out: voting
+//! threshold, significance level, locality radius, and dependency
+//! selection strategy.
+
+use auric_bench::bench_opts;
+use auric_eval::run_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion, name: &'static str) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| black_box(run_experiment(name, &opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_ablation_vote(c: &mut Criterion) {
+    bench_ablation(c, "ablation-vote");
+}
+
+fn bench_ablation_alpha(c: &mut Criterion) {
+    bench_ablation(c, "ablation-alpha");
+}
+
+fn bench_ablation_hops(c: &mut Criterion) {
+    bench_ablation(c, "ablation-hops");
+}
+
+fn bench_ablation_dependency(c: &mut Criterion) {
+    bench_ablation(c, "ablation-dependency");
+}
+
+criterion_group!(
+    ablations,
+    bench_ablation_vote,
+    bench_ablation_alpha,
+    bench_ablation_hops,
+    bench_ablation_dependency
+);
+criterion_main!(ablations);

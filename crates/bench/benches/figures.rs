@@ -1,0 +1,74 @@
+//! One bench per paper *figure*: each measures the end-to-end
+//! regeneration of that figure's data series at bench scale.
+
+use auric_bench::bench_opts;
+use auric_eval::run_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("fig2_distinct_values", |b| {
+        b.iter(|| black_box(run_experiment("fig2", &opts).unwrap()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("fig3_distinct_per_market", |b| {
+        b.iter(|| black_box(run_experiment("fig3", &opts).unwrap()))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("fig4_skewness", |b| {
+        b.iter(|| black_box(run_experiment("fig4", &opts).unwrap()))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    // Same machinery as Table 4 (per-parameter breakdown); measured on a
+    // 4-parameter slice for the same reason as `bench_table4`.
+    use auric_eval::experiments::global_learners::run_global_learners_filtered;
+    use auric_model::ParamId;
+    let opts = bench_opts();
+    let params = [ParamId(0), ParamId(12), ParamId(30), ParamId(50)];
+    let mut group = c.benchmark_group("fig10_per_param_accuracy");
+    group.sample_size(10);
+    group.bench_function("fig10_4param_slice", |b| {
+        b.iter(|| black_box(run_global_learners_filtered(&opts, Some(&params))))
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("fig11_local_top_variability");
+    group.sample_size(10);
+    group.bench_function("fig11", |b| {
+        b.iter(|| black_box(run_experiment("fig11", &opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("fig12_mismatch_labels");
+    group.sample_size(10);
+    group.bench_function("fig12", |b| {
+        b.iter(|| black_box(run_experiment("fig12", &opts).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(figures);

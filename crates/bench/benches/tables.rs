@@ -1,0 +1,58 @@
+//! One bench per paper *table*, plus the §4.3.2 global-vs-local headline.
+
+use auric_bench::bench_opts;
+use auric_eval::run_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("table3_dataset_summary", |b| {
+        b.iter(|| black_box(run_experiment("table3", &opts).unwrap()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    // The full 65-parameter Table 4 is a multi-minute release workload
+    // (see `auric-eval table4`); the bench measures the same machinery on
+    // a representative 4-parameter slice so criterion can iterate.
+    use auric_eval::experiments::global_learners::run_global_learners_filtered;
+    use auric_model::ParamId;
+    let opts = bench_opts();
+    let params = [ParamId(1), ParamId(9), ParamId(20), ParamId(45)];
+    let mut group = c.benchmark_group("table4_five_global_learners");
+    group.sample_size(10);
+    group.bench_function("table4_4param_slice", |b| {
+        b.iter(|| black_box(run_global_learners_filtered(&opts, Some(&params))))
+    });
+    group.finish();
+}
+
+fn bench_global_vs_local(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("sec4_3_2_global_vs_local");
+    group.sample_size(10);
+    group.bench_function("global_vs_local", |b| {
+        b.iter(|| black_box(run_experiment("global-vs-local", &opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("table5_smartlaunch_campaign");
+    group.sample_size(10);
+    group.bench_function("table5", |b| {
+        b.iter(|| black_box(run_experiment("table5", &opts).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table3,
+    bench_table4,
+    bench_global_vs_local,
+    bench_table5
+);
+criterion_main!(tables);

@@ -1,0 +1,548 @@
+//! The collaborative-filtering recommender: chi-square dependency
+//! selection + exact-match voting, in global and local (geographic
+//! proximity) flavors (§3.2–3.3).
+
+use crate::dependency::{select_dependent, PredictorAttr, Side};
+use crate::scope::Scope;
+use crate::voting::{VoteKey, VoteTables};
+use auric_model::{AttrVec, CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind, ValueIdx};
+use auric_stats::freq::FreqTable;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the recommender. Paper values: `alpha = 0.01`,
+/// `support = 0.75`, `hops = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfConfig {
+    /// Chi-square significance level for dependency selection.
+    pub alpha: f64,
+    /// Minimum vote-support ratio.
+    pub support: f64,
+    /// X2 neighborhood radius of the local learner (in hops).
+    pub hops: usize,
+    /// Use the paper's literal marginal chi-square selection instead of
+    /// the conditional forward selection (see `dependency` module docs).
+    /// Kept for the dependency-selection ablation.
+    pub marginal_selection: bool,
+}
+
+impl Default for CfConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.01,
+            support: 0.75,
+            hops: 1,
+            marginal_selection: false,
+        }
+    }
+}
+
+/// How a recommendation was produced — the fallback chain position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Basis {
+    /// ≥ `support` agreement within the X2 neighborhood's matching
+    /// carriers (local learner only).
+    LocalVote,
+    /// ≥ `support` agreement within the scope-wide matching group.
+    GlobalVote,
+    /// The matching group's plurality value — the "maximum support"
+    /// answer when no value clears the confidence threshold.
+    GroupMajority,
+    /// Empty group; scope-wide plurality value.
+    GlobalMajority,
+    /// No data at all; the rule-book/catalog default (§6: "we currently
+    /// stick with the default configuration settings").
+    Default,
+}
+
+/// A recommendation with its evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recommendation {
+    pub value: ValueIdx,
+    pub basis: Basis,
+    /// Votes for the winning value (0 for majority/default bases).
+    pub support: usize,
+    /// Total voters consulted (0 for majority/default bases).
+    pub voters: usize,
+}
+
+/// Per-parameter fitted state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamCf {
+    pub param: ParamId,
+    /// Dependent attributes in key order (strongest marginal association
+    /// first).
+    pub dependent: Vec<PredictorAttr>,
+    /// Scope-wide vote tables keyed on the dependent attributes.
+    pub tables: VoteTables,
+    /// Backoff tables: `prefix_tables[l]` groups on the first `l`
+    /// dependent attributes (so `prefix_tables[0]` has a single group).
+    /// When a full-key group is empty (a rare attribute combination after
+    /// leave-one-out), the recommender walks toward shorter prefixes —
+    /// "maximum support among the most similar carriers" rather than a
+    /// scope-wide guess.
+    prefix_tables: Vec<VoteTables>,
+    /// Catalog default (final fallback).
+    pub default: ValueIdx,
+}
+
+impl ParamCf {
+    /// The vote key of a carrier (singular parameters).
+    pub fn key_for_carrier(&self, attrs: &AttrVec) -> VoteKey {
+        self.dependent
+            .iter()
+            .map(|pa| {
+                debug_assert_eq!(pa.side, Side::Src, "singular key reads only the carrier");
+                attrs.get(pa.attr)
+            })
+            .collect()
+    }
+
+    /// The vote key of a directed pair (pair-wise parameters).
+    pub fn key_for_pair(&self, src: &AttrVec, dst: &AttrVec) -> VoteKey {
+        self.dependent
+            .iter()
+            .map(|pa| match pa.side {
+                Side::Src => src.get(pa.attr),
+                Side::Dst => dst.get(pa.attr),
+            })
+            .collect()
+    }
+}
+
+/// A fitted Auric model over one learning scope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CfModel {
+    pub config: CfConfig,
+    params: Vec<ParamCf>,
+}
+
+impl CfModel {
+    /// Fits dependency sets and vote tables for every catalog parameter
+    /// over `scope`. Parameters are processed in parallel.
+    pub fn fit(snapshot: &NetworkSnapshot, scope: &Scope, config: CfConfig) -> Self {
+        let n_params = snapshot.catalog.len();
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(n_params.max(1));
+        let mut params: Vec<Option<ParamCf>> = (0..n_params).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let chunks = params.chunks_mut(n_params.div_ceil(n_threads));
+            for (t, chunk) in chunks.enumerate() {
+                let base = t * n_params.div_ceil(n_threads);
+                s.spawn(move || {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let param = ParamId((base + off) as u16);
+                        *slot = Some(fit_param(snapshot, scope, param, &config));
+                    }
+                });
+            }
+        });
+        Self {
+            config,
+            params: params.into_iter().map(Option::unwrap).collect(),
+        }
+    }
+
+    /// The fitted state of one parameter.
+    pub fn param(&self, p: ParamId) -> &ParamCf {
+        &self.params[p.index()]
+    }
+
+    /// All fitted parameter states.
+    pub fn params(&self) -> &[ParamCf] {
+        &self.params
+    }
+
+    /// Global recommendation for a vote key. `exclude` is the probe slot's
+    /// own current value during leave-one-out evaluation, `None` for new
+    /// carriers.
+    pub fn recommend_global(
+        &self,
+        param: ParamId,
+        key: &[u16],
+        exclude: Option<ValueIdx>,
+    ) -> Recommendation {
+        let pc = self.param(param);
+        if let Some((value, support, voters)) = pc.tables.vote(key, exclude, self.config.support) {
+            return Recommendation {
+                value,
+                basis: Basis::GlobalVote,
+                support,
+                voters,
+            };
+        }
+        if let Some((value, support, voters)) = pc.tables.group_majority(key, exclude) {
+            return Recommendation {
+                value,
+                basis: Basis::GroupMajority,
+                support,
+                voters,
+            };
+        }
+        // Hierarchical backoff: the full-key group is empty (rare
+        // combination after leave-one-out); retry on progressively
+        // shorter prefixes of the dependency key. The excluded value may
+        // be absent from an ancestor group, so only exclude it where
+        // present.
+        for l in (1..key.len()).rev() {
+            let prefix = &key[..l];
+            let tables = &pc.prefix_tables[l];
+            let ex = exclude.filter(|&v| tables.group(prefix).is_some_and(|g| g.count(v) > 0));
+            if let Some((value, support, voters)) = tables.group_majority(prefix, ex) {
+                return Recommendation {
+                    value,
+                    basis: Basis::GroupMajority,
+                    support,
+                    voters,
+                };
+            }
+        }
+        let overall_exclude = exclude.filter(|&v| pc.tables.overall().count(v) > 0);
+        if let Some(value) = pc.tables.overall_majority(overall_exclude) {
+            return Recommendation {
+                value,
+                basis: Basis::GlobalMajority,
+                support: 0,
+                voters: 0,
+            };
+        }
+        Recommendation {
+            value: pc.default,
+            basis: Basis::Default,
+            support: 0,
+            voters: 0,
+        }
+    }
+
+    /// Local recommendation for a singular parameter on an existing
+    /// carrier: vote among the `hops`-hop X2 neighbors whose dependent
+    /// attributes match, falling back to the global chain. With `loo`,
+    /// the carrier's own current value is excluded from the fallback vote
+    /// (it never participates in the neighborhood vote — a carrier is not
+    /// its own neighbor).
+    pub fn recommend_local_singular(
+        &self,
+        snapshot: &NetworkSnapshot,
+        param: ParamId,
+        carrier: CarrierId,
+        loo: bool,
+    ) -> Recommendation {
+        debug_assert_eq!(snapshot.catalog.def(param).kind, ParamKind::Singular);
+        let pc = self.param(param);
+        let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
+        let mut table = FreqTable::new();
+        for n in snapshot.x2.k_hop_neighbors(carrier, self.config.hops) {
+            let neighbor = snapshot.carrier(n);
+            if pc.key_for_carrier(&neighbor.attrs) == key {
+                table.add(snapshot.config.value(param, n));
+            }
+        }
+        if let Some((value, support, total)) =
+            table.majority_with_support_excluding(None, self.config.support)
+        {
+            return Recommendation {
+                value,
+                basis: Basis::LocalVote,
+                support,
+                voters: total,
+            };
+        }
+        let exclude = loo.then(|| snapshot.config.value(param, carrier));
+        self.recommend_global(param, &key, exclude)
+    }
+
+    /// Local recommendation for a pair-wise parameter on an existing
+    /// directed pair: vote among matching pairs sourced at the carrier
+    /// itself (its other relations) and at its `hops`-hop neighbors.
+    pub fn recommend_local_pair(
+        &self,
+        snapshot: &NetworkSnapshot,
+        param: ParamId,
+        pair: PairIdx,
+        loo: bool,
+    ) -> Recommendation {
+        debug_assert_eq!(snapshot.catalog.def(param).kind, ParamKind::Pairwise);
+        let pc = self.param(param);
+        let (j, k) = snapshot.x2.pair(pair);
+        let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
+        let mut table = FreqTable::new();
+        let mut sources = vec![j];
+        sources.extend(snapshot.x2.k_hop_neighbors(j, self.config.hops));
+        for src in sources {
+            for q in snapshot.x2.pairs_from(src) {
+                if q == pair {
+                    continue; // never vote for ourselves
+                }
+                let (a, b) = snapshot.x2.pair(q);
+                let qkey = pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
+                if qkey == key {
+                    table.add(snapshot.config.pair_value(param, q));
+                }
+            }
+        }
+        if let Some((value, support, total)) =
+            table.majority_with_support_excluding(None, self.config.support)
+        {
+            return Recommendation {
+                value,
+                basis: Basis::LocalVote,
+                support,
+                voters: total,
+            };
+        }
+        let exclude = loo.then(|| snapshot.config.pair_value(param, pair));
+        self.recommend_global(param, &key, exclude)
+    }
+}
+
+/// Fits one parameter: dependency selection, then vote-table construction.
+fn fit_param(
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    config: &CfConfig,
+) -> ParamCf {
+    let dependent = if config.marginal_selection {
+        crate::dependency::select_dependent_marginal(snapshot, scope, param, config.alpha)
+    } else {
+        select_dependent(snapshot, scope, param, config.alpha)
+    };
+    let def = snapshot.catalog.def(param);
+    let n_prefixes = dependent.len(); // prefixes of length 0..dependent.len()-1 plus full
+    let mut pc = ParamCf {
+        param,
+        dependent,
+        tables: VoteTables::new(),
+        prefix_tables: (0..n_prefixes).map(|_| VoteTables::new()).collect(),
+        default: def.default,
+    };
+    let record = |pc: &mut ParamCf, key: crate::voting::VoteKey, value: ValueIdx| {
+        for l in 0..pc.prefix_tables.len() {
+            pc.prefix_tables[l].add(key[..l].to_vec(), value);
+        }
+        pc.tables.add(key, value);
+    };
+    match def.kind {
+        ParamKind::Singular => {
+            for &c in &scope.carriers {
+                let key = pc.key_for_carrier(&snapshot.carrier(c).attrs);
+                let v = snapshot.config.value(param, c);
+                record(&mut pc, key, v);
+            }
+        }
+        ParamKind::Pairwise => {
+            for &q in &scope.pairs {
+                let (j, k) = snapshot.x2.pair(q);
+                let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
+                let v = snapshot.config.pair_value(param, q);
+                record(&mut pc, key, v);
+            }
+        }
+    }
+    pc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    fn fitted() -> (auric_netgen::GeneratedNetwork, CfModel) {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let scope = Scope::whole(&net.snapshot);
+        let model = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
+        (net, model)
+    }
+
+    #[test]
+    fn fit_covers_every_parameter() {
+        let (net, model) = fitted();
+        assert_eq!(model.params().len(), net.snapshot.catalog.len());
+        for pc in model.params() {
+            assert!(pc.tables.total() > 0, "{} has no observations", pc.param);
+        }
+    }
+
+    #[test]
+    fn clean_network_global_loo_is_nearly_perfect() {
+        // Without tuning noise, every value is a function of attributes,
+        // so exact-match voting with LoO must recover almost everything
+        // (losses only where a group is a singleton).
+        let (net, model) = fitted();
+        let snap = &net.snapshot;
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for p in snap.catalog.singular_ids() {
+            let pc = model.param(p);
+            for c in &snap.carriers {
+                let key = pc.key_for_carrier(&c.attrs);
+                let current = snap.config.value(p, c.id);
+                let rec = model.recommend_global(p, &key, Some(current));
+                total += 1;
+                hit += usize::from(rec.value == current);
+            }
+        }
+        let acc = hit as f64 / total as f64;
+        assert!(acc > 0.93, "clean-network LoO accuracy {acc}");
+    }
+
+    #[test]
+    fn local_learner_recovers_pockets() {
+        // Plant aggressive pockets; the local learner must beat the global
+        // one on pocketed slots.
+        let knobs = TuningKnobs {
+            pocket_prob: 1.0,
+            max_pockets: 6,
+            params_per_pocket: (20, 40),
+            pocket_radius_km: (3.0, 8.0),
+            hidden_pocket_frac: 0.5,
+            ..TuningKnobs::none()
+        };
+        let net = generate(
+            &NetScale {
+                n_markets: 2,
+                enbs_per_market: 14,
+                seed: 11,
+            },
+            &knobs,
+        );
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        let mut local_hit = 0usize;
+        let mut global_hit = 0usize;
+        let mut pocket_slots = 0usize;
+        for p in snap.catalog.singular_ids() {
+            let pc = model.param(p);
+            for c in &snap.carriers {
+                if !matches!(
+                    snap.config.provenance(p, c.id),
+                    auric_model::Provenance::Pocket { .. }
+                ) {
+                    continue;
+                }
+                pocket_slots += 1;
+                let current = snap.config.value(p, c.id);
+                let local = model.recommend_local_singular(snap, p, c.id, true);
+                let global =
+                    model.recommend_global(p, &pc.key_for_carrier(&c.attrs), Some(current));
+                local_hit += usize::from(local.value == current);
+                global_hit += usize::from(global.value == current);
+            }
+        }
+        assert!(
+            pocket_slots > 50,
+            "need pocketed slots to compare ({pocket_slots})"
+        );
+        assert!(
+            local_hit > global_hit,
+            "local {local_hit} vs global {global_hit} on {pocket_slots} pocket slots"
+        );
+    }
+
+    #[test]
+    fn pairwise_recommendations_work() {
+        let (net, model) = fitted();
+        let snap = &net.snapshot;
+        let p = snap.catalog.pairwise_ids().next().unwrap();
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in 0..snap.x2.n_pairs().min(500) as u32 {
+            let current = snap.config.pair_value(p, q);
+            let rec = model.recommend_local_pair(snap, p, q, true);
+            total += 1;
+            hit += usize::from(rec.value == current);
+        }
+        assert!(total > 0);
+        assert!(
+            hit as f64 / total as f64 > 0.8,
+            "pairwise local accuracy {}/{total}",
+            hit
+        );
+    }
+
+    #[test]
+    fn fallback_chain_reaches_default_on_unseen_keys() {
+        let (net, model) = fitted();
+        let snap = &net.snapshot;
+        let p = snap.catalog.singular_ids().next().unwrap();
+        let pc = model.param(p);
+        // A key that cannot exist (levels past every cardinality).
+        let bogus: Vec<u16> = pc.dependent.iter().map(|_| u16::MAX).collect();
+        let rec = model.recommend_global(p, &bogus, None);
+        assert!(
+            matches!(rec.basis, Basis::GlobalMajority | Basis::Default),
+            "unseen key must not produce a group vote: {rec:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_resolves_rare_combinations_from_ancestor_groups() {
+        // Construct a parameter state by hand: key = (attr0, attr1), a
+        // big group at (0, 0) and a singleton at (0, 9). Excluding the
+        // singleton's own value empties its group; backoff must answer
+        // from the (0,) prefix instead of the scope-wide table.
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        // Find a parameter with >= 2 dependent attributes and probe a
+        // synthetic key whose full combination was never observed but
+        // whose first-attribute prefix was.
+        for pc in model.params() {
+            if pc.dependent.len() < 2 {
+                continue;
+            }
+            // Take an existing key and mutate its last component to an
+            // unseen level.
+            let some_key = match snap.catalog.def(pc.param).kind {
+                auric_model::ParamKind::Singular => {
+                    pc.key_for_carrier(&snap.carrier(CarrierId(0)).attrs)
+                }
+                _ => continue,
+            };
+            let mut probe = some_key.clone();
+            *probe.last_mut().unwrap() = u16::MAX; // impossible level
+            let rec = model.recommend_global(pc.param, &probe, None);
+            assert!(
+                matches!(rec.basis, Basis::GroupMajority),
+                "unseen last component should back off to an ancestor group, got {rec:?}"
+            );
+            assert!(rec.voters > 0, "backoff answers carry evidence");
+            return;
+        }
+        panic!("no suitable multi-attribute parameter found");
+    }
+
+    #[test]
+    fn serde_round_trips_the_fitted_model() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: CfModel = serde_json::from_str(&json).expect("deserialize");
+        // Same recommendations after the round trip.
+        for p in snap.catalog.singular_ids().take(5) {
+            for i in (0..snap.n_carriers()).step_by(17) {
+                let c = CarrierId::from_index(i);
+                let a = model.recommend_local_singular(snap, p, c, true);
+                let b = back.recommend_local_singular(snap, p, c, true);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_despite_parallelism() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let scope = Scope::whole(&net.snapshot);
+        let a = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
+        let b = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
+        for (x, y) in a.params().iter().zip(b.params()) {
+            assert_eq!(x.dependent, y.dependent);
+            assert_eq!(x.tables, y.tables);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Bridges network snapshots to the classic baseline learners: one
+//! categorical [`Dataset`] per (parameter, scope), matching §4.1's setup —
+//! singular parameters use the carrier's attributes as predictors,
+//! pair-wise parameters the concatenated attributes of both endpoints.
+
+use crate::scope::Scope;
+use auric_learners::Dataset;
+use auric_model::{NetworkSnapshot, ParamId, ParamKind};
+
+/// Builds the training dataset for `param` over `scope`.
+///
+/// Rows carry explicit schema cardinalities so folds agree on attribute
+/// spaces even when a rare level is absent from a split.
+pub fn dataset_for_param(snapshot: &NetworkSnapshot, scope: &Scope, param: ParamId) -> Dataset {
+    let schema_cards: Vec<usize> = snapshot
+        .schema
+        .attr_ids()
+        .map(|a| snapshot.schema.cardinality(a))
+        .collect();
+    match snapshot.catalog.def(param).kind {
+        ParamKind::Singular => {
+            let rows: Vec<Vec<u16>> = scope
+                .carriers
+                .iter()
+                .map(|&c| snapshot.carrier(c).attrs.as_slice().to_vec())
+                .collect();
+            let values: Vec<u16> = scope
+                .carriers
+                .iter()
+                .map(|&c| snapshot.config.value(param, c))
+                .collect();
+            Dataset::new(rows, values, Some(schema_cards))
+        }
+        ParamKind::Pairwise => {
+            let mut cards = schema_cards.clone();
+            cards.extend(&schema_cards);
+            let rows: Vec<Vec<u16>> = scope
+                .pairs
+                .iter()
+                .map(|&q| {
+                    let (j, k) = snapshot.x2.pair(q);
+                    let mut row = snapshot.carrier(j).attrs.as_slice().to_vec();
+                    row.extend_from_slice(snapshot.carrier(k).attrs.as_slice());
+                    row
+                })
+                .collect();
+            let values: Vec<u16> = scope
+                .pairs
+                .iter()
+                .map(|&q| snapshot.config.pair_value(param, q))
+                .collect();
+            Dataset::new(rows, values, Some(cards))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    #[test]
+    fn singular_dataset_shape() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let p = snap.catalog.singular_ids().next().unwrap();
+        let d = dataset_for_param(snap, &scope, p);
+        assert_eq!(d.n_rows(), snap.n_carriers());
+        assert_eq!(d.n_cols(), snap.schema.n_attrs());
+        // Labels round-trip to the stored values.
+        for (i, &c) in scope.carriers.iter().enumerate() {
+            assert_eq!(d.raw_label(i), snap.config.value(p, c));
+        }
+    }
+
+    #[test]
+    fn pairwise_dataset_concatenates_endpoints() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let p = snap.catalog.pairwise_ids().next().unwrap();
+        let d = dataset_for_param(snap, &scope, p);
+        assert_eq!(d.n_rows(), snap.x2.n_pairs());
+        assert_eq!(d.n_cols(), 2 * snap.schema.n_attrs());
+        let (j, k) = snap.x2.pair(scope.pairs[0]);
+        let row = d.row(0);
+        assert_eq!(
+            &row[..snap.schema.n_attrs()],
+            snap.carrier(j).attrs.as_slice()
+        );
+        assert_eq!(
+            &row[snap.schema.n_attrs()..],
+            snap.carrier(k).attrs.as_slice()
+        );
+    }
+
+    #[test]
+    fn market_scope_restricts_rows() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let m = snap.markets[0].id;
+        let scope = Scope::market(snap, m);
+        let p = snap.catalog.singular_ids().next().unwrap();
+        let d = dataset_for_param(snap, &scope, p);
+        assert_eq!(d.n_rows(), scope.n_carriers());
+    }
+}

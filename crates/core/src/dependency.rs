@@ -1,0 +1,366 @@
+//! Dependency learning: chi-square tests of independence between carrier
+//! attributes and configuration parameters (§3.2, Eq. 3–4, Fig. 9).
+//!
+//! For each parameter, candidate attributes are tested against the
+//! parameter's value distribution over the learning scope; those whose
+//! statistic exceeds the critical value at the chosen significance level
+//! (`p = 0.01` in the paper) are *dependent*. This is the step that
+//! "eliminates the irrelevant attributes", which §3.2 credits for
+//! collaborative filtering beating distance-based learners.
+//!
+//! **Redundancy control.** Carrier attributes are heavily correlated
+//! (tracking areas nest inside markets, bandwidth tracks the frequency
+//! band, hardware tracks the vendor, ...), so at operational sample sizes
+//! a marginal chi-square test flags nearly *every* attribute — and an
+//! exact-match key over two dozen attributes fragments the vote groups
+//! into singletons. We therefore select greedily: attributes are ranked by
+//! marginal statistic, and each is admitted only if it is still
+//! significant *conditional on* the attributes already selected
+//! (a stratified Cochran–Mantel–Haenszel-style sum of per-stratum
+//! chi-square statistics). A redundant correlate carries no conditional
+//! information and is dropped; a genuinely complementary attribute
+//! survives. The marginal-only variant is kept as
+//! [`select_dependent_marginal`] for the ablation benches.
+
+use crate::scope::Scope;
+use auric_model::{AttrId, AttrValue, NetworkSnapshot, ParamId, ParamKind};
+use auric_stats::chi2::chi2_critical;
+use auric_stats::contingency::ContingencyTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which endpoint of a directed pair an attribute is read from. Singular
+/// parameters only use [`Side::Src`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    Src,
+    Dst,
+}
+
+/// One predictor attribute: an attribute read from one side of the pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PredictorAttr {
+    pub side: Side,
+    pub attr: AttrId,
+}
+
+impl PredictorAttr {
+    /// Shorthand for a source-side attribute.
+    pub fn src(attr: AttrId) -> Self {
+        Self {
+            side: Side::Src,
+            attr,
+        }
+    }
+
+    /// Shorthand for a neighbor-side attribute.
+    pub fn dst(attr: AttrId) -> Self {
+        Self {
+            side: Side::Dst,
+            attr,
+        }
+    }
+}
+
+/// The per-sample view the tests run over: one dense value column plus a
+/// level accessor per candidate attribute.
+struct Samples {
+    /// Dense value column index per sample.
+    values: Vec<usize>,
+    n_value_cols: usize,
+    /// `levels[c][i]` = sample `i`'s level of candidate `c`.
+    levels: Vec<Vec<AttrValue>>,
+    candidates: Vec<PredictorAttr>,
+    cards: Vec<usize>,
+}
+
+/// Materializes the samples of `param` over `scope`.
+fn collect_samples(snapshot: &NetworkSnapshot, scope: &Scope, param: ParamId) -> Samples {
+    let kind = snapshot.catalog.def(param).kind;
+    let raw_values: Vec<u16> = match kind {
+        ParamKind::Singular => scope
+            .carriers
+            .iter()
+            .map(|&c| snapshot.config.value(param, c))
+            .collect(),
+        ParamKind::Pairwise => scope
+            .pairs
+            .iter()
+            .map(|&p| snapshot.config.pair_value(param, p))
+            .collect(),
+    };
+    let mut value_col: HashMap<u16, usize> = HashMap::new();
+    let mut values = Vec::with_capacity(raw_values.len());
+    for v in raw_values {
+        let next = value_col.len();
+        values.push(*value_col.entry(v).or_insert(next));
+    }
+
+    let candidates: Vec<PredictorAttr> = match kind {
+        ParamKind::Singular => snapshot.schema.attr_ids().map(PredictorAttr::src).collect(),
+        ParamKind::Pairwise => snapshot
+            .schema
+            .attr_ids()
+            .map(PredictorAttr::src)
+            .chain(snapshot.schema.attr_ids().map(PredictorAttr::dst))
+            .collect(),
+    };
+    let cards = candidates
+        .iter()
+        .map(|pa| snapshot.schema.cardinality(pa.attr))
+        .collect();
+    let levels = candidates
+        .iter()
+        .map(|pa| match kind {
+            ParamKind::Singular => scope
+                .carriers
+                .iter()
+                .map(|&c| snapshot.carrier(c).attrs.get(pa.attr))
+                .collect(),
+            ParamKind::Pairwise => scope
+                .pairs
+                .iter()
+                .map(|&p| {
+                    let (j, k) = snapshot.x2.pair(p);
+                    match pa.side {
+                        Side::Src => snapshot.carrier(j).attrs.get(pa.attr),
+                        Side::Dst => snapshot.carrier(k).attrs.get(pa.attr),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Samples {
+        values,
+        n_value_cols: value_col.len(),
+        levels,
+        candidates,
+        cards,
+    }
+}
+
+/// Marginal chi-square statistic of candidate `c` (Eq. 3 over the full
+/// contingency table). Returns `(statistic, critical, dependent)`.
+fn marginal_test(samples: &Samples, c: usize, alpha: f64) -> (f64, bool) {
+    let mut table = ContingencyTable::new(samples.cards[c], samples.n_value_cols);
+    for (i, &vcol) in samples.values.iter().enumerate() {
+        table.add(samples.levels[c][i] as usize, vcol, 1);
+    }
+    let test = table.independence_test(alpha);
+    (test.statistic, test.dependent)
+}
+
+/// Conditional test of candidate `c` given the selected attributes:
+/// samples are stratified by the selected key; per-stratum chi-square
+/// statistics and effective degrees of freedom are summed, and the total
+/// is compared to the critical value at `alpha`.
+fn conditional_test(samples: &Samples, c: usize, selected: &[usize], alpha: f64) -> bool {
+    let mut strata: HashMap<Vec<AttrValue>, ContingencyTable> = HashMap::new();
+    for (i, &vcol) in samples.values.iter().enumerate() {
+        let key: Vec<AttrValue> = selected.iter().map(|&s| samples.levels[s][i]).collect();
+        strata
+            .entry(key)
+            .or_insert_with(|| ContingencyTable::new(samples.cards[c], samples.n_value_cols))
+            .add(samples.levels[c][i] as usize, vcol, 1);
+    }
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    for table in strata.values() {
+        let d = table.effective_df();
+        if d == 0 {
+            continue;
+        }
+        // Cochran-style small-sample guard: a sparse stratum's chi-square
+        // is anti-conservative (expected counts well under 5), and at
+        // per-market sample sizes that admits spurious correlates which
+        // fragment the vote groups. Require a sane observations-per-cell
+        // budget before a stratum contributes evidence.
+        if table.total() < 5 * d as u64 {
+            continue;
+        }
+        stat += table.chi2_statistic();
+        df += d;
+    }
+    df > 0 && stat > chi2_critical(df, alpha)
+}
+
+/// Selects the dependent attributes for `param` over `scope` at
+/// significance `alpha`, with greedy conditional redundancy control (see
+/// module docs). The result is ordered by decreasing marginal statistic —
+/// the key order of the vote tables.
+///
+/// Singular parameters test the carrier's own attributes; pair-wise
+/// parameters test both endpoints' (§4.1).
+pub fn select_dependent(
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    alpha: f64,
+) -> Vec<PredictorAttr> {
+    let samples = collect_samples(snapshot, scope, param);
+    if samples.values.is_empty() {
+        return Vec::new();
+    }
+    // Rank the marginally significant candidates.
+    let mut ranked: Vec<(usize, f64)> = (0..samples.candidates.len())
+        .filter_map(|c| {
+            let (stat, dependent) = marginal_test(&samples, c, alpha);
+            dependent.then_some((c, stat))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // Greedy conditional admission.
+    let mut selected: Vec<usize> = Vec::new();
+    for &(c, _) in &ranked {
+        if selected.is_empty() || conditional_test(&samples, c, &selected, alpha) {
+            selected.push(c);
+        }
+    }
+    selected.iter().map(|&c| samples.candidates[c]).collect()
+}
+
+/// The paper's literal marginal selection (no redundancy control), kept
+/// for the ablation benches.
+pub fn select_dependent_marginal(
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    alpha: f64,
+) -> Vec<PredictorAttr> {
+    let samples = collect_samples(snapshot, scope, param);
+    (0..samples.candidates.len())
+        .filter(|&c| marginal_test(&samples, c, alpha).1)
+        .map(|c| samples.candidates[c])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::{generate, rules::Side as GenSide, NetScale, TuningKnobs};
+
+    #[test]
+    fn recovers_planted_singular_dependencies() {
+        // On a clean network the selected set must (mostly) contain the
+        // planted relevant attributes — or correlates that carry the same
+        // information, which we verify downstream via voting accuracy.
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let mut missed = 0usize;
+        let mut planted = 0usize;
+        for p in snap.catalog.singular_ids() {
+            let rule = &net.truth.rules[p.index()];
+            let distinct = auric_stats::freq::distinct_count(snap.config.values_of(p));
+            if distinct < 2 {
+                continue;
+            }
+            let marginal = select_dependent_marginal(snap, &scope, p, 0.01);
+            for ra in &rule.relevant {
+                assert_eq!(ra.side, GenSide::Src);
+                planted += 1;
+                if !marginal
+                    .iter()
+                    .any(|d| d.attr == ra.attr && d.side == Side::Src)
+                {
+                    missed += 1;
+                }
+            }
+        }
+        assert!(planted > 0);
+        assert!(
+            (missed as f64) < 0.35 * planted as f64,
+            "missed {missed} of {planted} planted dependencies"
+        );
+    }
+
+    #[test]
+    fn conditional_selection_is_much_sparser_than_marginal() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let mut marginal_total = 0usize;
+        let mut conditional_total = 0usize;
+        for p in snap.catalog.param_ids() {
+            marginal_total += select_dependent_marginal(snap, &scope, p, 0.01).len();
+            conditional_total += select_dependent(snap, &scope, p, 0.01).len();
+        }
+        assert!(
+            conditional_total * 2 < marginal_total,
+            "conditional {conditional_total} vs marginal {marginal_total}"
+        );
+    }
+
+    #[test]
+    fn pairwise_dependencies_include_neighbor_side() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let mut any_dst_planted = false;
+        let mut any_dst_found = false;
+        for p in snap.catalog.pairwise_ids() {
+            let rule = &net.truth.rules[p.index()];
+            if !rule.relevant.iter().any(|r| r.side == GenSide::Dst) {
+                continue;
+            }
+            any_dst_planted = true;
+            let dependent = select_dependent(snap, &scope, p, 0.01);
+            if dependent.iter().any(|d| d.side == Side::Dst) {
+                any_dst_found = true;
+                break;
+            }
+        }
+        assert!(any_dst_planted);
+        assert!(
+            any_dst_found,
+            "no neighbor-side dependence discovered at all"
+        );
+    }
+
+    #[test]
+    fn constant_parameter_has_no_dependencies() {
+        let mut net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &mut net.snapshot;
+        let p = snap.catalog.singular_ids().next().unwrap();
+        for i in 0..snap.n_carriers() {
+            snap.config.set_value(
+                p,
+                auric_model::CarrierId::from_index(i),
+                1,
+                auric_model::Provenance::Rule,
+            );
+        }
+        let scope = Scope::whole(snap);
+        assert!(select_dependent(snap, &scope, p, 0.01).is_empty());
+        assert!(select_dependent_marginal(snap, &scope, p, 0.01).is_empty());
+    }
+
+    #[test]
+    fn stricter_alpha_selects_fewer_marginal_attributes() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        for p in snap.catalog.singular_ids().take(10) {
+            let loose = select_dependent_marginal(snap, &scope, p, 0.05).len();
+            let strict = select_dependent_marginal(snap, &scope, p, 0.0001).len();
+            assert!(strict <= loose, "{p}: strict {strict} > loose {loose}");
+        }
+    }
+
+    #[test]
+    fn selection_order_is_by_marginal_strength() {
+        // The first selected attribute must be the marginally strongest
+        // (it is admitted unconditionally).
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        for p in snap.catalog.singular_ids().take(5) {
+            let sel = select_dependent(snap, &scope, p, 0.01);
+            let marg = select_dependent_marginal(snap, &scope, p, 0.01);
+            if let Some(first) = sel.first() {
+                assert!(marg.contains(first));
+            }
+        }
+    }
+}

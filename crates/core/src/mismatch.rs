@@ -1,0 +1,230 @@
+//! Mismatch analysis (§4.3.3, Fig. 12): when Auric's recommendation
+//! disagrees with the network's current value, why?
+//!
+//! The paper's engineers labeled 54,915 sampled mismatches into three
+//! buckets: *update learner* (5% — a missing attribute like terrain, or an
+//! in-progress trial deliberately below majority), *good recommendation*
+//! (28% — the network was left in a sub-optimal state by an old trial and
+//! Auric's value is the better one; these were pushed as real changes),
+//! and *inconclusive* (67% — needs a field trial to decide).
+//!
+//! Our generator records the causal provenance of every value, so the same
+//! labeling is mechanical: a mismatched slot whose value came from a stale
+//! trial is by construction a good recommendation, one caused by a hidden
+//! attribute or live trial needs a learner/attribute update, and anything
+//! else (noise, pocket boundaries, plain rule values) is inconclusive —
+//! the engineers can't tell without a trial.
+
+use crate::cf::CfModel;
+use crate::scope::Scope;
+use auric_model::{NetworkSnapshot, ParamKind, Provenance};
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 12 label taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MismatchLabel {
+    /// The learner/attribute set needs updating (terrain-driven pockets,
+    /// in-progress certification trials).
+    UpdateLearner,
+    /// Auric's value is the better configuration; push it.
+    GoodRecommendation,
+    /// Needs a trial to decide.
+    Inconclusive,
+}
+
+impl MismatchLabel {
+    /// Display label matching the paper's pie chart.
+    pub fn label(self) -> &'static str {
+        match self {
+            MismatchLabel::UpdateLearner => "update learner",
+            MismatchLabel::GoodRecommendation => "good recommendation",
+            MismatchLabel::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+/// Maps a mismatched slot's provenance to its label.
+pub fn label_for(prov: Provenance) -> MismatchLabel {
+    match prov {
+        Provenance::StaleTrial => MismatchLabel::GoodRecommendation,
+        Provenance::TrialInProgress => MismatchLabel::UpdateLearner,
+        Provenance::Pocket {
+            hidden_attribute: true,
+        } => MismatchLabel::UpdateLearner,
+        Provenance::Pocket {
+            hidden_attribute: false,
+        }
+        | Provenance::Rule
+        | Provenance::Noise => MismatchLabel::Inconclusive,
+    }
+}
+
+/// Aggregated mismatch labeling over a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MismatchReport {
+    pub evaluated: usize,
+    pub mismatches: usize,
+    pub update_learner: usize,
+    pub good_recommendation: usize,
+    pub inconclusive: usize,
+}
+
+impl MismatchReport {
+    /// Fraction of mismatches with a given label.
+    pub fn share(&self, label: MismatchLabel) -> f64 {
+        if self.mismatches == 0 {
+            return 0.0;
+        }
+        let n = match label {
+            MismatchLabel::UpdateLearner => self.update_learner,
+            MismatchLabel::GoodRecommendation => self.good_recommendation,
+            MismatchLabel::Inconclusive => self.inconclusive,
+        };
+        n as f64 / self.mismatches as f64
+    }
+
+    /// Overall mismatch rate.
+    pub fn mismatch_rate(&self) -> f64 {
+        if self.evaluated == 0 {
+            return 0.0;
+        }
+        self.mismatches as f64 / self.evaluated as f64
+    }
+}
+
+/// Runs the local learner over `scope` (leave-one-out) and labels every
+/// mismatch by its provenance.
+pub fn analyze_mismatches(
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    model: &CfModel,
+) -> MismatchReport {
+    let mut report = MismatchReport::default();
+    let mut record = |label: MismatchLabel| match label {
+        MismatchLabel::UpdateLearner => report.update_learner += 1,
+        MismatchLabel::GoodRecommendation => report.good_recommendation += 1,
+        MismatchLabel::Inconclusive => report.inconclusive += 1,
+    };
+    for def in snapshot.catalog.defs() {
+        match def.kind {
+            ParamKind::Singular => {
+                for &c in &scope.carriers {
+                    report.evaluated += 1;
+                    let current = snapshot.config.value(def.id, c);
+                    let rec = model.recommend_local_singular(snapshot, def.id, c, true);
+                    if rec.value != current {
+                        report.mismatches += 1;
+                        record(label_for(snapshot.config.provenance(def.id, c)));
+                    }
+                }
+            }
+            ParamKind::Pairwise => {
+                for &q in &scope.pairs {
+                    report.evaluated += 1;
+                    let current = snapshot.config.pair_value(def.id, q);
+                    let rec = model.recommend_local_pair(snapshot, def.id, q, true);
+                    if rec.value != current {
+                        report.mismatches += 1;
+                        record(label_for(snapshot.config.pair_provenance(def.id, q)));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cf::CfConfig;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    #[test]
+    fn label_mapping_matches_paper_semantics() {
+        assert_eq!(
+            label_for(Provenance::StaleTrial),
+            MismatchLabel::GoodRecommendation
+        );
+        assert_eq!(
+            label_for(Provenance::TrialInProgress),
+            MismatchLabel::UpdateLearner
+        );
+        assert_eq!(
+            label_for(Provenance::Pocket {
+                hidden_attribute: true
+            }),
+            MismatchLabel::UpdateLearner
+        );
+        assert_eq!(
+            label_for(Provenance::Pocket {
+                hidden_attribute: false
+            }),
+            MismatchLabel::Inconclusive
+        );
+        assert_eq!(label_for(Provenance::Noise), MismatchLabel::Inconclusive);
+        assert_eq!(label_for(Provenance::Rule), MismatchLabel::Inconclusive);
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        let report = analyze_mismatches(snap, &scope, &model);
+        assert_eq!(
+            report.mismatches,
+            report.update_learner + report.good_recommendation + report.inconclusive
+        );
+        assert!(report.evaluated >= report.mismatches);
+        assert!(
+            report.mismatch_rate() < 0.3,
+            "rate {}",
+            report.mismatch_rate()
+        );
+    }
+
+    #[test]
+    fn stale_trials_surface_as_good_recommendations() {
+        // The stale rate must clear the tiny-scale baseline error floor
+        // (small vote groups produce a few % of fallback errors even on
+        // clean slots), so this test plants a heavy trial history.
+        let knobs = TuningKnobs {
+            stale_trial_prob: 1.0,
+            stale_trial_frac: 0.08,
+            ..TuningKnobs::none()
+        };
+        let net = generate(&NetScale::tiny(), &knobs);
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        let report = analyze_mismatches(snap, &scope, &model);
+        assert!(report.mismatches > 0);
+        assert!(
+            report.share(MismatchLabel::GoodRecommendation) > 0.5,
+            "stale-only network should be dominated by good recommendations: {report:?}"
+        );
+    }
+
+    #[test]
+    fn clean_network_has_few_mismatches() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        let report = analyze_mismatches(snap, &scope, &model);
+        assert!(
+            report.mismatch_rate() < 0.08,
+            "rate {}",
+            report.mismatch_rate()
+        );
+    }
+
+    #[test]
+    fn share_handles_zero_mismatches() {
+        let r = MismatchReport::default();
+        assert_eq!(r.share(MismatchLabel::Inconclusive), 0.0);
+        assert_eq!(r.mismatch_rate(), 0.0);
+    }
+}

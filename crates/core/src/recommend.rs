@@ -1,0 +1,282 @@
+//! Cold-start recommendation for genuinely new carriers (§3, Fig. 5).
+//!
+//! A new carrier is not yet carrying traffic, so all Auric can see is its
+//! static attributes (and the X2 neighbor relations planned for it). This
+//! module turns a fitted [`CfModel`] plus that information into a full
+//! configuration recommendation with human-readable explanations — the
+//! interpretability the paper's §5 "lessons learned" calls essential for
+//! adoption.
+
+use crate::cf::{Basis, CfModel, Recommendation};
+use auric_model::{AttrVec, CarrierId, NetworkSnapshot, ParamId};
+use auric_stats::freq::FreqTable;
+use serde::{Deserialize, Serialize};
+
+/// A carrier about to be launched: attributes plus planned X2 neighbors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewCarrier {
+    pub attrs: AttrVec,
+    /// Existing carriers the new one will have X2 relations with.
+    pub neighbors: Vec<CarrierId>,
+}
+
+/// One parameter's recommendation, with explanation material.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigRecommendation {
+    pub param: ParamId,
+    /// The vendor-style parameter name.
+    pub name: String,
+    /// Recommended grid index.
+    pub value: auric_model::ValueIdx,
+    /// Recommended concrete value on the parameter's grid.
+    pub concrete: f64,
+    pub basis: Basis,
+    /// Votes for the winner / total voters (0/0 for fallback bases).
+    pub support: usize,
+    pub voters: usize,
+    /// `(attribute name, level name)` pairs of the dependent attributes —
+    /// "carriers matching on these attributes voted for this value".
+    pub matched_on: Vec<(String, String)>,
+}
+
+/// Recommends every **singular** parameter for a new carrier. Local
+/// voting over the planned neighbors runs first; the global chain backs
+/// it up.
+pub fn recommend_singular(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    new_carrier: &NewCarrier,
+) -> Vec<ConfigRecommendation> {
+    snapshot
+        .catalog
+        .singular_ids()
+        .map(|p| {
+            let pc = model.param(p);
+            let key = pc.key_for_carrier(&new_carrier.attrs);
+            // Local vote over the planned neighbors with matching keys.
+            let mut table = FreqTable::new();
+            for &n in &new_carrier.neighbors {
+                let nb = snapshot.carrier(n);
+                if pc.key_for_carrier(&nb.attrs) == key {
+                    table.add(snapshot.config.value(p, n));
+                }
+            }
+            let rec = if let Some((value, support, voters)) =
+                table.majority_with_support_excluding(None, model.config.support)
+            {
+                Recommendation {
+                    value,
+                    basis: Basis::LocalVote,
+                    support,
+                    voters,
+                }
+            } else {
+                model.recommend_global(p, &key, None)
+            };
+            explain(snapshot, model, p, &new_carrier.attrs, None, rec)
+        })
+        .collect()
+}
+
+/// Recommends every **pair-wise** parameter for the relation between a new
+/// carrier and one planned neighbor.
+pub fn recommend_pairwise(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    new_carrier: &NewCarrier,
+    neighbor: CarrierId,
+) -> Vec<ConfigRecommendation> {
+    let dst = &snapshot.carrier(neighbor).attrs;
+    snapshot
+        .catalog
+        .pairwise_ids()
+        .map(|p| {
+            let pc = model.param(p);
+            let key = pc.key_for_pair(&new_carrier.attrs, dst);
+            // Local vote over pairs sourced at the planned neighbors.
+            let mut table = FreqTable::new();
+            for &n in &new_carrier.neighbors {
+                for q in snapshot.x2.pairs_from(n) {
+                    let (a, b) = snapshot.x2.pair(q);
+                    let qkey =
+                        pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
+                    if qkey == key {
+                        table.add(snapshot.config.pair_value(p, q));
+                    }
+                }
+            }
+            let rec = if let Some((value, support, voters)) =
+                table.majority_with_support_excluding(None, model.config.support)
+            {
+                Recommendation {
+                    value,
+                    basis: Basis::LocalVote,
+                    support,
+                    voters,
+                }
+            } else {
+                model.recommend_global(p, &key, None)
+            };
+            explain(snapshot, model, p, &new_carrier.attrs, Some(dst), rec)
+        })
+        .collect()
+}
+
+/// Assembles the explanation record for one recommendation.
+fn explain(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    param: ParamId,
+    src: &AttrVec,
+    dst: Option<&AttrVec>,
+    rec: Recommendation,
+) -> ConfigRecommendation {
+    let def = snapshot.catalog.def(param);
+    let pc = model.param(param);
+    let matched_on = pc
+        .dependent
+        .iter()
+        .map(|pa| {
+            let (attrs, prefix) = match pa.side {
+                crate::dependency::Side::Src => (src, ""),
+                crate::dependency::Side::Dst => (
+                    dst.expect("pair-wise explanation needs neighbor attrs"),
+                    "neighbor ",
+                ),
+            };
+            (
+                format!("{prefix}{}", snapshot.schema.def(pa.attr).name),
+                snapshot
+                    .schema
+                    .level_name(pa.attr, attrs.get(pa.attr))
+                    .to_string(),
+            )
+        })
+        .collect();
+    ConfigRecommendation {
+        param,
+        name: def.name.clone(),
+        value: rec.value,
+        concrete: def.range.value(rec.value),
+        basis: rec.basis,
+        support: rec.support,
+        voters: rec.voters,
+        matched_on,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cf::CfConfig;
+    use crate::scope::Scope;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    fn setup() -> (auric_model::NetworkSnapshot, CfModel) {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let scope = Scope::whole(&net.snapshot);
+        let model = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
+        (net.snapshot, model)
+    }
+
+    /// A "new" carrier cloned from an existing one: attributes and
+    /// neighbor relations copied, so the right answer is known.
+    fn clone_of(snapshot: &auric_model::NetworkSnapshot, c: CarrierId) -> NewCarrier {
+        NewCarrier {
+            attrs: snapshot.carrier(c).attrs.clone(),
+            neighbors: snapshot.x2.neighbors(c).to_vec(),
+        }
+    }
+
+    #[test]
+    fn singular_recommendations_cover_all_39_parameters() {
+        let (snap, model) = setup();
+        let nc = clone_of(&snap, CarrierId(0));
+        let recs = recommend_singular(&snap, &model, &nc);
+        assert_eq!(recs.len(), 39);
+        for r in &recs {
+            // Concrete value lies on the grid.
+            let def = snap.catalog.def(r.param);
+            assert_eq!(def.range.index_of(r.concrete), Some(r.value));
+            assert_eq!(r.name, def.name);
+        }
+    }
+
+    #[test]
+    fn clone_recommendations_match_the_original() {
+        // Recommending for an exact clone of an existing carrier should
+        // reproduce that carrier's configuration almost everywhere on a
+        // clean network.
+        let (snap, model) = setup();
+        let c = CarrierId(3);
+        let nc = clone_of(&snap, c);
+        let recs = recommend_singular(&snap, &model, &nc);
+        let mut hits = 0usize;
+        for r in &recs {
+            if r.value == snap.config.value(r.param, c) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 36, "only {hits}/39 matched the clone's original");
+    }
+
+    #[test]
+    fn pairwise_recommendations_cover_all_26_parameters() {
+        let (snap, model) = setup();
+        let c = CarrierId(1);
+        let nc = clone_of(&snap, c);
+        let neighbor = snap.x2.neighbors(c)[0];
+        let recs = recommend_pairwise(&snap, &model, &nc, neighbor);
+        assert_eq!(recs.len(), 26);
+        // Neighbor-side dependent attributes are labeled as such.
+        let any_neighbor_attr = recs
+            .iter()
+            .flat_map(|r| &r.matched_on)
+            .any(|(name, _)| name.starts_with("neighbor "));
+        assert!(
+            any_neighbor_attr,
+            "no pair-wise explanation mentions the neighbor"
+        );
+    }
+
+    #[test]
+    fn unobserved_attribute_combinations_still_get_recommendations() {
+        // §6 "bootstrapping configuration for the unobserved": a carrier
+        // whose attribute combination was never seen cannot be matched
+        // exactly; the fallback chain must still produce a value for
+        // every parameter (backoff plurality, scope majority, or the
+        // default — never a panic, never a gap).
+        let (snap, model) = setup();
+        let mut attrs = snap.carrier(CarrierId(0)).attrs.clone();
+        // Scramble several attributes to a combination that cannot occur
+        // (e.g. an NB-IoT FirstNet hybrid on the high band).
+        attrs.set(auric_model::AttrId(0), 4); // 2300MHz
+        attrs.set(auric_model::AttrId(1), 2); // NB-IoT
+        attrs.set(auric_model::AttrId(7), 3); // 5mi cell on high band
+        let nc = NewCarrier {
+            attrs,
+            neighbors: vec![],
+        };
+        let recs = recommend_singular(&snap, &model, &nc);
+        assert_eq!(recs.len(), 39);
+        for r in &recs {
+            let def = snap.catalog.def(r.param);
+            assert!(
+                (r.value as usize) < def.range.n_values(),
+                "{} off grid",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_new_carrier_falls_back_to_global() {
+        let (snap, model) = setup();
+        let nc = NewCarrier {
+            attrs: snap.carrier(CarrierId(0)).attrs.clone(),
+            neighbors: vec![],
+        };
+        let recs = recommend_singular(&snap, &model, &nc);
+        assert!(recs.iter().all(|r| r.basis != Basis::LocalVote));
+    }
+}

@@ -1,0 +1,186 @@
+//! The voting recommender: exact-match groups over dependent attributes,
+//! with a support threshold (§3.2: "amongst the similar carriers, we take
+//! a voting approach ... We use a threshold of 75%").
+
+use auric_model::{AttrValue, ValueIdx};
+use auric_stats::freq::FreqTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A group key: the target's levels on the dependent attributes, in the
+/// dependency list's order.
+pub type VoteKey = Vec<AttrValue>;
+
+/// Per-parameter vote tables: one frequency table per dependent-attribute
+/// combination, plus the scope-wide distribution for fallback and
+/// diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteTables {
+    /// Serialized as `(key, table)` pairs (JSON map keys must be strings).
+    #[serde(with = "groups_serde")]
+    groups: HashMap<VoteKey, FreqTable>,
+    overall: FreqTable,
+}
+
+/// Vec-of-pairs (de)serialization for the group map.
+mod groups_serde {
+    use super::VoteKey;
+    use auric_stats::freq::FreqTable;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<VoteKey, FreqTable>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&VoteKey, &FreqTable)> = map.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        pairs.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<HashMap<VoteKey, FreqTable>, D::Error> {
+        let pairs: Vec<(VoteKey, FreqTable)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl VoteTables {
+    /// An empty table set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value` under `key`.
+    pub fn add(&mut self, key: VoteKey, value: ValueIdx) {
+        self.groups.entry(key).or_default().add(value);
+        self.overall.add(value);
+    }
+
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.overall.total()
+    }
+
+    /// The group table for `key`, if any carrier matched it.
+    pub fn group(&self, key: &[AttrValue]) -> Option<&FreqTable> {
+        self.groups.get(key)
+    }
+
+    /// The scope-wide value distribution.
+    pub fn overall(&self) -> &FreqTable {
+        &self.overall
+    }
+
+    /// Votes within `key`'s group at `threshold` support, leave-one-out
+    /// excluding one observation of `exclude` (the probe carrier's own
+    /// current value during evaluation; `None` for genuinely new
+    /// carriers). Returns `(value, support, voters)`.
+    pub fn vote(
+        &self,
+        key: &[AttrValue],
+        exclude: Option<ValueIdx>,
+        threshold: f64,
+    ) -> Option<(ValueIdx, usize, usize)> {
+        self.groups
+            .get(key)?
+            .majority_with_support_excluding(exclude, threshold)
+    }
+
+    /// The group's plurality value (no threshold), leave-one-out — the
+    /// "maximum support" answer when no value clears the confidence
+    /// threshold.
+    pub fn group_majority(
+        &self,
+        key: &[AttrValue],
+        exclude: Option<ValueIdx>,
+    ) -> Option<(ValueIdx, usize, usize)> {
+        self.groups
+            .get(key)?
+            .majority_with_support_excluding(exclude, 0.0)
+    }
+
+    /// Scope-wide majority (no threshold), leave-one-out — the last-resort
+    /// data-driven fallback before the rule-book default.
+    pub fn overall_majority(&self, exclude: Option<ValueIdx>) -> Option<ValueIdx> {
+        self.overall
+            .majority_with_support_excluding(exclude, 0.0)
+            .map(|(v, _, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> VoteTables {
+        let mut t = VoteTables::new();
+        for _ in 0..8 {
+            t.add(vec![0, 1], 10);
+        }
+        t.add(vec![0, 1], 20);
+        for _ in 0..3 {
+            t.add(vec![2, 2], 30);
+        }
+        t
+    }
+
+    #[test]
+    fn groups_are_keyed_exactly() {
+        let t = tables();
+        assert_eq!(t.n_groups(), 2);
+        assert_eq!(t.total(), 12);
+        assert!(t.group(&[0, 1]).is_some());
+        assert!(t.group(&[1, 0]).is_none(), "key order matters");
+    }
+
+    #[test]
+    fn vote_applies_threshold() {
+        let t = tables();
+        // 8/9 ≈ 89% support for 10.
+        assert_eq!(t.vote(&[0, 1], None, 0.75), Some((10, 8, 9)));
+        assert_eq!(t.vote(&[0, 1], None, 0.95), None);
+        // Unknown key: no group to vote in.
+        assert_eq!(t.vote(&[9, 9], None, 0.5), None);
+    }
+
+    #[test]
+    fn leave_one_out_changes_the_outcome_at_the_margin() {
+        let mut t = VoteTables::new();
+        for _ in 0..3 {
+            t.add(vec![1], 5);
+        }
+        t.add(vec![1], 7);
+        // Probing the carrier that holds the 7: remaining 3×5 → 100%.
+        assert_eq!(t.vote(&[1], Some(7), 0.75), Some((5, 3, 3)));
+        // Probing a 5-holder: 2×5 + 1×7 → 2/3 < 75%.
+        assert_eq!(t.vote(&[1], Some(5), 0.75), None);
+    }
+
+    #[test]
+    fn overall_majority_fallback() {
+        let t = tables();
+        assert_eq!(t.overall_majority(None), Some(10));
+        // Excluding doesn't flip a clear majority.
+        assert_eq!(t.overall_majority(Some(10)), Some(10));
+    }
+
+    #[test]
+    fn empty_key_group_is_the_whole_scope() {
+        // With no dependent attributes, every observation lands in the
+        // empty-key group — voting degenerates to a scope-wide majority
+        // with threshold, which is the intended rule-book-like behavior.
+        let mut t = VoteTables::new();
+        for _ in 0..9 {
+            t.add(vec![], 4);
+        }
+        t.add(vec![], 6);
+        assert_eq!(t.vote(&[], None, 0.75), Some((4, 9, 10)));
+    }
+}

@@ -1,0 +1,101 @@
+use auric_core::dependency::select_dependent;
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+
+#[test]
+#[ignore]
+fn debug_dependency_recall() {
+    let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let model = CfModel::fit(snap, &scope, CfConfig::default());
+    for p in snap.catalog.pairwise_ids() {
+        let rule = &net.truth.rules[p.index()];
+        let dep = select_dependent(snap, &scope, p, 0.01);
+        let planted: Vec<String> = rule
+            .relevant
+            .iter()
+            .map(|r| format!("{:?}/{}", r.side, r.attr.0))
+            .collect();
+        let found: Vec<String> = dep
+            .iter()
+            .map(|d| format!("{:?}/{}", d.side, d.attr.0))
+            .collect();
+        let missed: Vec<&String> = planted
+            .iter()
+            .filter(|pl| {
+                let (s, a) = pl.split_once('/').unwrap();
+                !dep.iter()
+                    .any(|d| format!("{:?}", d.side) == s && d.attr.0.to_string() == a)
+            })
+            .collect();
+        let acc = auric_core::accuracy::evaluate_param(snap, &scope, &model, p, true);
+        println!(
+            "{} palette={} planted={:?} found#={} missed={:?} acc={:.3}",
+            snap.catalog.def(p).name,
+            rule.palette.len(),
+            planted,
+            found.len(),
+            missed,
+            acc.accuracy()
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn debug_mismatch_breakdown() {
+    use auric_model::ParamKind;
+    let net = generate(
+        &NetScale {
+            n_markets: 8,
+            enbs_per_market: 30,
+            seed: 7,
+        },
+        &TuningKnobs::default(),
+    );
+    let snap = &net.snapshot;
+    let mut counts = std::collections::HashMap::new();
+    let mut slot_counts = std::collections::HashMap::new();
+    for m in &snap.markets {
+        let scope = Scope::market(snap, m.id);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        for def in snap.catalog.defs() {
+            match def.kind {
+                ParamKind::Singular => {
+                    for &c in &scope.carriers {
+                        let prov = snap.config.provenance(def.id, c);
+                        *slot_counts.entry(format!("{prov:?}")).or_insert(0usize) += 1;
+                        let rec = model.recommend_local_singular(snap, def.id, c, true);
+                        if rec.value != snap.config.value(def.id, c) {
+                            *counts
+                                .entry((format!("{prov:?}"), format!("{:?}", rec.basis)))
+                                .or_insert(0usize) += 1;
+                        }
+                    }
+                }
+                ParamKind::Pairwise => {
+                    for &q in &scope.pairs {
+                        let prov = snap.config.pair_provenance(def.id, q);
+                        *slot_counts.entry(format!("{prov:?}")).or_insert(0usize) += 1;
+                        let rec = model.recommend_local_pair(snap, def.id, q, true);
+                        if rec.value != snap.config.pair_value(def.id, q) {
+                            *counts
+                                .entry((format!("{prov:?}"), format!("{:?}", rec.basis)))
+                                .or_insert(0usize) += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut v: Vec<_> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1));
+    for ((prov, basis), n) in v.iter().take(15) {
+        println!("{n:>8}  {prov:<40} via {basis}");
+    }
+    println!("--- slots by provenance:");
+    for (p, n) in &slot_counts {
+        println!("{n:>8}  {p}");
+    }
+}

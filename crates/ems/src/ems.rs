@@ -1,0 +1,214 @@
+//! The element management system and the carrier lifecycle (§5).
+//!
+//! Two operational facts drive the design, both straight from the paper:
+//!
+//! 1. Changing many parameters requires the carrier to be **locked**
+//!    (off-air); locking a live carrier is "equivalent to a reboot" and
+//!    risks service disruption, so SmartLaunch pushes configuration
+//!    *before* unlocking and refuses to touch carriers that went live
+//!    early.
+//! 2. The EMS limits how many parameter executions run concurrently;
+//!    "configuration change implementation for some of the carriers
+//!    resulted in timeouts because of the very large number of
+//!    parameters" — so oversized batches can time out.
+
+use crate::mo::ConfigFile;
+use auric_model::CarrierId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Lifecycle state of a carrier as the EMS sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CarrierState {
+    /// Physically integrated, software-configured, off-air. Config
+    /// changes are safe.
+    Locked,
+    /// On-air and carrying traffic. Config pushes are refused — changing
+    /// lock-required parameters live risks a disruption.
+    Unlocked,
+}
+
+/// EMS behavior knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmsSettings {
+    /// Maximum parameter executions one push can run without timing out
+    /// (the §5 restriction on concurrent executions).
+    pub max_executions_per_push: usize,
+}
+
+impl Default for EmsSettings {
+    fn default() -> Self {
+        Self {
+            max_executions_per_push: 40,
+        }
+    }
+}
+
+/// Why a push failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushError {
+    /// The carrier is already live (off-band unlock): refusing to change
+    /// it rather than risk a disruption.
+    CarrierUnlocked,
+    /// The batch exceeded the EMS execution limit and timed out.
+    ExecutionTimeout { attempted: usize, limit: usize },
+    /// The carrier is not in the EMS inventory at all.
+    UnknownCarrier,
+}
+
+/// A successful push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushOutcome {
+    pub carrier: CarrierId,
+    pub parameters_changed: usize,
+}
+
+/// The element management system: tracks lifecycle state and accepts
+/// config files.
+#[derive(Debug, Clone, Default)]
+pub struct Ems {
+    settings: EmsSettings,
+    states: HashMap<CarrierId, CarrierState>,
+    /// Audit log of accepted payload sizes (bytes), for diagnostics.
+    accepted_bytes: u64,
+    accepted_pushes: usize,
+}
+
+impl Ems {
+    /// An EMS with the given settings and an empty inventory.
+    pub fn new(settings: EmsSettings) -> Self {
+        Self {
+            settings,
+            states: HashMap::new(),
+            accepted_bytes: 0,
+            accepted_pushes: 0,
+        }
+    }
+
+    /// Registers a carrier in `Locked` state (integration complete).
+    pub fn register_locked(&mut self, c: CarrierId) {
+        self.states.insert(c, CarrierState::Locked);
+    }
+
+    /// Current state of a carrier, if registered.
+    pub fn state(&self, c: CarrierId) -> Option<CarrierState> {
+        self.states.get(&c).copied()
+    }
+
+    /// Unlocks a carrier (puts it on-air). Also models §5's *off-band*
+    /// unlocks when invoked outside the SmartLaunch flow.
+    pub fn unlock(&mut self, c: CarrierId) {
+        self.states.insert(c, CarrierState::Unlocked);
+    }
+
+    /// Pushes a rendered config file. Enforces the lock requirement and
+    /// the execution limit.
+    pub fn push(&mut self, file: &ConfigFile) -> Result<PushOutcome, PushError> {
+        match self.states.get(&file.carrier) {
+            None => Err(PushError::UnknownCarrier),
+            Some(CarrierState::Unlocked) => Err(PushError::CarrierUnlocked),
+            Some(CarrierState::Locked) => {
+                if file.n_changes > self.settings.max_executions_per_push {
+                    return Err(PushError::ExecutionTimeout {
+                        attempted: file.n_changes,
+                        limit: self.settings.max_executions_per_push,
+                    });
+                }
+                self.accepted_bytes += file.payload.len() as u64;
+                self.accepted_pushes += 1;
+                Ok(PushOutcome {
+                    carrier: file.carrier,
+                    parameters_changed: file.n_changes,
+                })
+            }
+        }
+    }
+
+    /// Total accepted pushes (audit).
+    pub fn accepted_pushes(&self) -> usize {
+        self.accepted_pushes
+    }
+
+    /// Total accepted payload bytes (audit).
+    pub fn accepted_bytes(&self) -> u64 {
+        self.accepted_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mo::{ConfigChange, InstanceDb, VendorTemplate};
+    use auric_model::Vendor;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    fn file(n_changes: usize) -> (auric_model::NetworkSnapshot, ConfigFile) {
+        let snap = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
+        let db = InstanceDb::build(&snap);
+        let changes: Vec<ConfigChange> = snap
+            .catalog
+            .singular_ids()
+            .take(n_changes)
+            .map(|p| ConfigChange { param: p, value: 1 })
+            .collect();
+        let f = VendorTemplate {
+            vendor: Vendor::VendorA,
+        }
+        .render(&snap, &db, CarrierId(0), &changes);
+        (snap, f)
+    }
+
+    #[test]
+    fn locked_carrier_accepts_pushes() {
+        let (_, f) = file(3);
+        let mut ems = Ems::new(EmsSettings::default());
+        ems.register_locked(CarrierId(0));
+        let out = ems.push(&f).unwrap();
+        assert_eq!(out.parameters_changed, 3);
+        assert_eq!(ems.accepted_pushes(), 1);
+        assert!(ems.accepted_bytes() > 0);
+    }
+
+    #[test]
+    fn unlocked_carrier_refuses_pushes() {
+        let (_, f) = file(2);
+        let mut ems = Ems::new(EmsSettings::default());
+        ems.register_locked(CarrierId(0));
+        ems.unlock(CarrierId(0));
+        assert_eq!(ems.push(&f), Err(PushError::CarrierUnlocked));
+        assert_eq!(ems.accepted_pushes(), 0);
+    }
+
+    #[test]
+    fn oversized_batches_time_out() {
+        let (_, f) = file(10);
+        let mut ems = Ems::new(EmsSettings {
+            max_executions_per_push: 5,
+        });
+        ems.register_locked(CarrierId(0));
+        assert_eq!(
+            ems.push(&f),
+            Err(PushError::ExecutionTimeout {
+                attempted: 10,
+                limit: 5
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_carriers_are_rejected() {
+        let (_, f) = file(1);
+        let mut ems = Ems::new(EmsSettings::default());
+        assert_eq!(ems.push(&f), Err(PushError::UnknownCarrier));
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut ems = Ems::new(EmsSettings::default());
+        assert_eq!(ems.state(CarrierId(7)), None);
+        ems.register_locked(CarrierId(7));
+        assert_eq!(ems.state(CarrierId(7)), Some(CarrierState::Locked));
+        ems.unlock(CarrierId(7));
+        assert_eq!(ems.state(CarrierId(7)), Some(CarrierState::Unlocked));
+    }
+}

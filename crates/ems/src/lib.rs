@@ -1,0 +1,29 @@
+//! Deployment substrate (§5): everything between a recommendation and a
+//! configured base station.
+//!
+//! The paper's production integration ("SmartLaunch") wraps Auric in the
+//! machinery real carrier changes go through:
+//!
+//! - [`mo`] — vendor configuration schemas: hierarchical *managed objects*
+//!   ("similar to interfaces in routers"), vendor-specific templates, and
+//!   config-file generation with instance IDs filled from a database;
+//! - [`ems`] — the element management system and carrier lifecycle:
+//!   lock/unlock semantics (changing lock-required parameters on a live
+//!   carrier would disrupt traffic), batch execution limits and the
+//!   timeouts they cause;
+//! - [`smartlaunch`] — the launch pipeline: pre-checks → Auric
+//!   recommendation → diff against the vendor's initial configuration →
+//!   push mismatches while still locked → unlock → post-check monitoring,
+//!   with the two §5 fall-out causes injected (premature off-band unlocks,
+//!   EMS execution timeouts). Its campaign report reproduces Table 5.
+
+pub mod ems;
+pub mod mo;
+pub mod smartlaunch;
+
+pub use ems::{CarrierState, Ems, EmsSettings, PushError, PushOutcome};
+pub use mo::{ConfigChange, ConfigFile, InstanceDb, VendorTemplate};
+pub use smartlaunch::{
+    sample_campaign, sample_campaign_with_post_checks, CampaignReport, FalloutCause,
+    LaunchOutcome, LaunchPlan, LaunchPolicy, SmartLaunch, VendorConfigSource,
+};

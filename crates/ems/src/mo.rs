@@ -1,0 +1,257 @@
+//! Managed objects and vendor configuration templates (§5).
+//!
+//! "Cellular equipment vendors provide a configuration schema where the
+//! configuration parameters are organized in the form of a hierarchical
+//! structure called managed objects"; the controller "maintains a
+//! vendor-specific template and automates the task of generating the
+//! configuration file by filling in the instance IDs from a database."
+//!
+//! Each vendor renders the same logical change differently: VendorA uses
+//! an MO-path assignment dialect, VendorB an XML-ish bulk format, VendorC
+//! a flat CLI. The EMS consumes the rendered [`ConfigFile`] opaquely.
+
+use auric_model::{CarrierId, NetworkSnapshot, ParamFunction, ParamId, ValueIdx, Vendor};
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One parameter change to implement on one carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigChange {
+    pub param: ParamId,
+    pub value: ValueIdx,
+}
+
+/// The instance-ID database: maps a carrier to the vendor's cell instance
+/// identifier (filled into the template).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceDb {
+    ids: HashMap<CarrierId, String>,
+}
+
+impl InstanceDb {
+    /// Builds the database for a snapshot: a deterministic vendor-style
+    /// cell id per carrier (`<eNodeB>-<face>-<band>`).
+    pub fn build(snapshot: &NetworkSnapshot) -> Self {
+        let ids = snapshot
+            .carriers
+            .iter()
+            .map(|c| {
+                (
+                    c.id,
+                    format!("ENB{:05}-F{}-{}", c.enodeb.0, c.face, c.band.label()),
+                )
+            })
+            .collect();
+        Self { ids }
+    }
+
+    /// The instance id of a carrier.
+    ///
+    /// # Panics
+    /// Panics if the carrier is unknown — pushing config for a carrier
+    /// missing from inventory is an integration bug.
+    pub fn instance(&self, c: CarrierId) -> &str {
+        self.ids
+            .get(&c)
+            .unwrap_or_else(|| panic!("{c} missing from the instance database"))
+    }
+}
+
+/// The managed-object class a parameter lives under, per function. Shared
+/// across vendors logically; each vendor names the hierarchy differently.
+pub fn mo_class(function: ParamFunction) -> &'static str {
+    match function {
+        ParamFunction::RadioConnection => "RadioConnection",
+        ParamFunction::PowerControl => "PowerControl",
+        ParamFunction::LinkAdaptation => "LinkAdaptation",
+        ParamFunction::Scheduling => "Scheduler",
+        ParamFunction::CapacityManagement => "CapacityMgmt",
+        ParamFunction::LayerManagement => "LayerMgmt",
+        ParamFunction::Mobility => "MobilityCtrl",
+        ParamFunction::Handover => "ReportConfig",
+        ParamFunction::Interference => "InterferenceCtrl",
+        ParamFunction::LoadBalancing => "LoadBalancing",
+    }
+}
+
+/// A rendered vendor configuration file, ready for the EMS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigFile {
+    pub carrier: CarrierId,
+    pub vendor: Vendor,
+    /// Number of parameter assignments in the payload.
+    pub n_changes: usize,
+    pub payload: Bytes,
+}
+
+impl ConfigFile {
+    /// The payload as UTF-8 (templates only emit ASCII).
+    pub fn as_text(&self) -> &str {
+        std::str::from_utf8(&self.payload).expect("templates emit ASCII")
+    }
+}
+
+/// Vendor-specific template renderer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VendorTemplate {
+    pub vendor: Vendor,
+}
+
+impl VendorTemplate {
+    /// Renders the config file implementing `changes` on `carrier`.
+    pub fn render(
+        &self,
+        snapshot: &NetworkSnapshot,
+        db: &InstanceDb,
+        carrier: CarrierId,
+        changes: &[ConfigChange],
+    ) -> ConfigFile {
+        let instance = db.instance(carrier);
+        let mut buf = BytesMut::with_capacity(64 * (changes.len() + 2));
+        match self.vendor {
+            Vendor::VendorA => {
+                for ch in changes {
+                    let def = snapshot.catalog.def(ch.param);
+                    // MO-path assignment dialect.
+                    buf.put_slice(
+                        format!(
+                            "SET ENodeBFunction=1,EUtranCellFDD={},{}=1 {} {}\n",
+                            instance,
+                            mo_class(def.function),
+                            def.name,
+                            def.range.value(ch.value),
+                        )
+                        .as_bytes(),
+                    );
+                }
+            }
+            Vendor::VendorB => {
+                buf.put_slice(format!("<cmData><managedElement id=\"{instance}\">\n").as_bytes());
+                for ch in changes {
+                    let def = snapshot.catalog.def(ch.param);
+                    buf.put_slice(
+                        format!(
+                            "  <managedObject class=\"{}\"><p name=\"{}\">{}</p></managedObject>\n",
+                            mo_class(def.function),
+                            def.name,
+                            def.range.value(ch.value),
+                        )
+                        .as_bytes(),
+                    );
+                }
+                buf.put_slice(b"</managedElement></cmData>\n");
+            }
+            Vendor::VendorC => {
+                for ch in changes {
+                    let def = snapshot.catalog.def(ch.param);
+                    buf.put_slice(
+                        format!(
+                            "set cell {} {} {} {}\n",
+                            instance,
+                            mo_class(def.function).to_lowercase(),
+                            def.name,
+                            def.range.value(ch.value),
+                        )
+                        .as_bytes(),
+                    );
+                }
+            }
+        }
+        ConfigFile {
+            carrier,
+            vendor: self.vendor,
+            n_changes: changes.len(),
+            payload: buf.freeze(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    fn snapshot() -> NetworkSnapshot {
+        generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot
+    }
+
+    #[test]
+    fn instance_db_covers_every_carrier() {
+        let snap = snapshot();
+        let db = InstanceDb::build(&snap);
+        for c in &snap.carriers {
+            let id = db.instance(c.id);
+            assert!(id.starts_with("ENB"), "{id}");
+            assert!(id.contains(&format!("F{}", c.face)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the instance database")]
+    fn unknown_carrier_panics() {
+        InstanceDb::default().instance(CarrierId(0));
+    }
+
+    #[test]
+    fn vendor_dialects_differ_but_carry_the_same_changes() {
+        let snap = snapshot();
+        let db = InstanceDb::build(&snap);
+        let p = snap.catalog.by_name("pMax").unwrap();
+        let changes = [ConfigChange {
+            param: p,
+            value: 10,
+        }];
+        let c = CarrierId(0);
+        let a = VendorTemplate {
+            vendor: Vendor::VendorA,
+        }
+        .render(&snap, &db, c, &changes);
+        let b = VendorTemplate {
+            vendor: Vendor::VendorB,
+        }
+        .render(&snap, &db, c, &changes);
+        let cc = VendorTemplate {
+            vendor: Vendor::VendorC,
+        }
+        .render(&snap, &db, c, &changes);
+        for f in [&a, &b, &cc] {
+            assert_eq!(f.n_changes, 1);
+            assert!(f.as_text().contains("pMax"), "{}", f.as_text());
+            assert!(f.as_text().contains("6"), "pMax grid value 10 → 6.0 dBm");
+        }
+        assert!(a.as_text().starts_with("SET ENodeBFunction"));
+        assert!(b.as_text().starts_with("<cmData>"));
+        assert!(cc.as_text().starts_with("set cell"));
+        assert_ne!(a.payload, b.payload);
+    }
+
+    #[test]
+    fn handover_params_land_under_report_config() {
+        let snap = snapshot();
+        let db = InstanceDb::build(&snap);
+        let p = snap.catalog.by_name("hysA3Offset").unwrap();
+        let f = VendorTemplate {
+            vendor: Vendor::VendorA,
+        }
+        .render(
+            &snap,
+            &db,
+            CarrierId(1),
+            &[ConfigChange { param: p, value: 4 }],
+        );
+        assert!(f.as_text().contains("ReportConfig"));
+    }
+
+    #[test]
+    fn empty_change_sets_render_empty_bodies() {
+        let snap = snapshot();
+        let db = InstanceDb::build(&snap);
+        let f = VendorTemplate {
+            vendor: Vendor::VendorA,
+        }
+        .render(&snap, &db, CarrierId(0), &[]);
+        assert_eq!(f.n_changes, 0);
+        assert!(f.payload.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Ablations of Auric's design choices (ours, not in the paper): the
+//! voting-support threshold, the chi-square significance level, the
+//! locality radius, and the dependency-selection strategy.
+
+use crate::experiments::{fit_per_market, network};
+use crate::render::{pct, TextTable};
+use crate::{ExpOutput, RunOptions};
+use auric_core::{evaluate_cf, CfConfig, CfModel, Scope};
+use auric_model::NetworkSnapshot;
+use auric_netgen::NetScale;
+use serde_json::json;
+
+/// Pooled micro-accuracy over per-market models — the same methodology
+/// the headline experiments use, so ablation numbers are comparable.
+fn per_market_accuracy(snapshot: &NetworkSnapshot, config: CfConfig, local: bool) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (scope, model) in fit_per_market(snapshot, config) {
+        let report = evaluate_cf(snapshot, &scope, &model, local);
+        let t = report.total_values();
+        correct += (report.micro_accuracy() * t as f64).round() as usize;
+        total += t;
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+/// Sweep of the voting-support threshold (paper fixes 75%). The model is
+/// fitted once — the threshold only affects recommendation time.
+pub fn vote_threshold(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::small());
+    let snap = &net.snapshot;
+    let mut table = TextTable::new(vec!["support", "local acc", "global acc"]);
+    let mut rows = Vec::new();
+    for &support in &[0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0] {
+        let config = CfConfig {
+            support,
+            ..CfConfig::default()
+        };
+        let local = per_market_accuracy(snap, config, true);
+        let global = per_market_accuracy(snap, config, false);
+        table.row(vec![format!("{support:.2}"), pct(local), pct(global)]);
+        rows.push(json!({"support": support, "local": local, "global": global}));
+    }
+    ExpOutput {
+        id: "ablation-vote".into(),
+        title: "Ablation — voting-support threshold".into(),
+        text: format!(
+            "Ablation — voting-support threshold (paper uses 0.75)\n\n{}",
+            table.render()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// Sweep of the chi-square significance level (paper fixes p = 0.01);
+/// each level refits the dependency model.
+pub fn alpha_sweep(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::small());
+    let snap = &net.snapshot;
+    let mut table = TextTable::new(vec!["alpha", "local acc", "mean dependent attrs"]);
+    let mut rows = Vec::new();
+    for &alpha in &[0.1, 0.05, 0.01, 0.001] {
+        let config = CfConfig {
+            alpha,
+            ..CfConfig::default()
+        };
+        let local = per_market_accuracy(snap, config, true);
+        // Dependent-set size measured on the first market's fit.
+        let scope = Scope::market(snap, snap.markets[0].id);
+        let model = CfModel::fit(snap, &scope, config);
+        let mean_deps = model
+            .params()
+            .iter()
+            .map(|p| p.dependent.len())
+            .sum::<usize>() as f64
+            / model.params().len() as f64;
+        table.row(vec![
+            format!("{alpha}"),
+            pct(local),
+            format!("{mean_deps:.2}"),
+        ]);
+        rows.push(json!({"alpha": alpha, "local": local, "mean_dependent": mean_deps}));
+    }
+    ExpOutput {
+        id: "ablation-alpha".into(),
+        title: "Ablation — chi-square significance level".into(),
+        text: format!(
+            "Ablation — chi-square significance level (paper uses p = 0.01)\n\n{}",
+            table.render()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// Sweep of the locality radius: 0 hops (pure global) through 3 hops.
+pub fn hops_sweep(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::small());
+    let snap = &net.snapshot;
+    let mut table = TextTable::new(vec!["hops", "accuracy"]);
+    let mut rows = Vec::new();
+    for hops in 0..=3usize {
+        let config = CfConfig {
+            hops,
+            ..CfConfig::default()
+        };
+        // hops = 0 means the neighborhood is empty: pure global voting.
+        let acc = per_market_accuracy(snap, config, hops > 0);
+        table.row(vec![hops.to_string(), pct(acc)]);
+        rows.push(json!({"hops": hops, "accuracy": acc}));
+    }
+    ExpOutput {
+        id: "ablation-hops".into(),
+        title: "Ablation — locality radius".into(),
+        text: format!(
+            "Ablation — X2 locality radius (paper uses 1-hop)\n\n{}",
+            table.render()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// Conditional forward selection (ours) vs the paper's literal marginal
+/// chi-square selection.
+pub fn dependency_selection(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::small());
+    let snap = &net.snapshot;
+    let mut table = TextTable::new(vec!["selection", "local acc", "mean dependent attrs"]);
+    let mut rows = Vec::new();
+    for (name, marginal) in [
+        ("conditional (ours)", false),
+        ("marginal (paper literal)", true),
+    ] {
+        let config = CfConfig {
+            marginal_selection: marginal,
+            ..CfConfig::default()
+        };
+        let acc = per_market_accuracy(snap, config, true);
+        let scope = Scope::market(snap, snap.markets[0].id);
+        let model = CfModel::fit(snap, &scope, config);
+        let mean_deps = model
+            .params()
+            .iter()
+            .map(|p| p.dependent.len())
+            .sum::<usize>() as f64
+            / model.params().len() as f64;
+        table.row(vec![name.to_string(), pct(acc), format!("{mean_deps:.2}")]);
+        rows.push(json!({"selection": name, "accuracy": acc, "mean_dependent": mean_deps}));
+    }
+    ExpOutput {
+        id: "ablation-dependency".into(),
+        title: "Ablation — dependency selection strategy".into(),
+        text: format!(
+            "Ablation — dependency selection: conditional forward selection vs\n\
+             the paper's literal marginal chi-square (see DESIGN.md)\n\n{}",
+            table.render()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::TuningKnobs;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions {
+            scale: Some(NetScale::tiny()),
+            knobs: TuningKnobs::default(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn vote_sweep_produces_all_rows() {
+        let out = vote_threshold(&tiny_opts());
+        assert_eq!(out.json["rows"].as_array().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn alpha_sweep_monotone_dependent_counts() {
+        let out = alpha_sweep(&tiny_opts());
+        let rows = out.json["rows"].as_array().unwrap();
+        // Mean dependent-attribute count shrinks (weakly) as alpha tightens.
+        let deps: Vec<f64> = rows
+            .iter()
+            .map(|r| r["mean_dependent"].as_f64().unwrap())
+            .collect();
+        assert!(deps.windows(2).all(|w| w[1] <= w[0] + 0.75), "{deps:?}");
+    }
+
+    #[test]
+    fn hops_zero_equals_global() {
+        let out = hops_sweep(&tiny_opts());
+        let rows = out.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in rows {
+            let a = r["accuracy"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn conditional_beats_marginal() {
+        let out = dependency_selection(&tiny_opts());
+        let rows = out.json["rows"].as_array().unwrap();
+        let cond = rows[0]["accuracy"].as_f64().unwrap();
+        let marg = rows[1]["accuracy"].as_f64().unwrap();
+        assert!(
+            cond >= marg,
+            "conditional {cond} should not lose to marginal {marg}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Table 3 — the four-market dataset summary (one market per timezone).
+
+use crate::experiments::network;
+use crate::render::TextTable;
+use crate::{ExpOutput, RunOptions};
+use auric_model::Timezone;
+use auric_netgen::NetScale;
+use serde_json::json;
+
+/// Regenerates Table 3: per-market carriers, eNodeBs, and parameter-value
+/// counts for four markets covering the four US timezones.
+pub fn table3(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::small());
+    let snap = &net.snapshot;
+
+    // One market per timezone, first match in market order — mirroring the
+    // paper's "four markets with each one covering a different timezone".
+    let mut picks = Vec::new();
+    for tz in Timezone::ALL {
+        if let Some(m) = snap.markets.iter().find(|m| m.timezone == tz) {
+            picks.push(m.id);
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "Market",
+        "Timezone",
+        "Carriers",
+        "eNodeBs",
+        "Parameters",
+        "Pairwise values",
+    ]);
+    let mut rows_json = Vec::new();
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for (i, &m) in picks.iter().enumerate() {
+        let stats = snap.market_stats(m);
+        let market = snap.market(m);
+        table.row(vec![
+            format!("Market {}", i + 1),
+            market.timezone.label().to_string(),
+            stats.carriers.to_string(),
+            stats.enodebs.to_string(),
+            stats.parameter_values.to_string(),
+            stats.pairwise_values.to_string(),
+        ]);
+        rows_json.push(json!({
+            "market": market.name,
+            "timezone": market.timezone.label(),
+            "carriers": stats.carriers,
+            "enodebs": stats.enodebs,
+            "parameter_values": stats.parameter_values,
+            "pairwise_values": stats.pairwise_values,
+        }));
+        totals.0 += stats.carriers;
+        totals.1 += stats.enodebs;
+        totals.2 += stats.parameter_values;
+        totals.3 += stats.pairwise_values;
+    }
+    table.row(vec![
+        "All four".to_string(),
+        String::new(),
+        totals.0.to_string(),
+        totals.1.to_string(),
+        totals.2.to_string(),
+        totals.3.to_string(),
+    ]);
+
+    let text = format!(
+        "Table 3 — dataset for comparing global learners (one market per timezone)\n\
+         (paper: 116,012 carriers / 7,634 eNodeBs / 4.5M parameter values ≈ 39 per carrier)\n\n{}",
+        table.render()
+    );
+    ExpOutput {
+        id: "table3".into(),
+        title: "Table 3 — four-market dataset summary".into(),
+        text,
+        json: json!({
+            "rows": rows_json,
+            "total_carriers": totals.0,
+            "total_enodebs": totals.1,
+            "total_parameter_values": totals.2,
+            "params_per_carrier": totals.2 as f64 / totals.0.max(1) as f64,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_four_markets_and_paper_ratio() {
+        let out = table3(&RunOptions::default());
+        assert!(out.text.contains("Mountain"));
+        assert!(out.text.contains("Pacific"));
+        let ratio = out.json["params_per_carrier"].as_f64().unwrap();
+        // The paper's "Parameters" column is ≈ 38–39 per carrier; ours is
+        // exactly 39 (all singular predictees present).
+        assert!((ratio - 39.0).abs() < 1.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text rendering: aligned tables and horizontal bar series, so an
+//! experiment's stdout reads like the paper's tables and figures.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a labeled horizontal bar chart (one row per item), scaled to
+/// `width` characters at `max` — the text stand-in for the paper's bar
+/// figures.
+pub fn bar_series(items: &[(String, f64)], max: f64, width: usize) -> String {
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let frac = if max > 0.0 {
+            (v / max).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let bars = (frac * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {:>10.3}  |{}{}|\n",
+            v,
+            "#".repeat(bars),
+            " ".repeat(width - bars),
+        ));
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals, like the paper's
+/// accuracy tables.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["a-much-longer-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines
+            .iter()
+            .all(|l| l.len() == lines[0].len() || l.trim_end().len() <= lines[0].len()));
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].contains("12345"));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_series(
+            &[
+                ("full".into(), 10.0),
+                ("half".into(), 5.0),
+                ("zero".into(), 0.0),
+            ],
+            10.0,
+            10,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("##########"));
+        assert!(lines[1].contains("#####"));
+        assert!(!lines[2].contains('#'));
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.9548), "95.48");
+        assert_eq!(pct(1.0), "100.00");
+    }
+}

@@ -1,0 +1,120 @@
+//! Mobility: handover attempts across X2 relations, governed by the
+//! `hysA3Offset` margin.
+//!
+//! The classic handover trade-off (§2.2's `hysA3Offset` is exactly this
+//! knob): a *small* hysteresis triggers handovers on momentary signal
+//! flickers — the session bounces between cells ("ping-pong") — while a
+//! *large* hysteresis drags the session on a weakening cell until the
+//! radio link fails. The healthy band in the middle is where engineers
+//! tune it.
+
+use crate::report::CarrierKpi;
+use crate::traffic::{ConfigView, TrafficModel};
+use auric_model::{CarrierId, NetworkSnapshot};
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Hysteresis below this (dB) risks ping-pong.
+const PING_PONG_BELOW_DB: f64 = 1.0;
+/// Hysteresis above this (dB) risks drag-and-drop.
+const DROP_ABOVE_DB: f64 = 6.0;
+
+/// Outcome probabilities for one handover attempt at margin `hys_db`.
+/// Returns `(p_ping_pong, p_drop)`; the remainder succeeds.
+pub(crate) fn outcome_probs(hys_db: f64) -> (f64, f64) {
+    if hys_db < PING_PONG_BELOW_DB {
+        // Sharper below the floor: at 0 dB nearly every attempt bounces.
+        ((1.0 - hys_db / PING_PONG_BELOW_DB).clamp(0.0, 1.0) * 0.8, 0.02)
+    } else if hys_db > DROP_ABOVE_DB {
+        let over = ((hys_db - DROP_ABOVE_DB) / 9.0).clamp(0.0, 1.0);
+        (0.0, 0.2 + 0.6 * over)
+    } else {
+        (0.02, 0.02)
+    }
+}
+
+/// Runs one handover round over the served sessions, updating per-carrier
+/// counters in place.
+pub(crate) fn run_handovers(
+    snapshot: &NetworkSnapshot,
+    view: &ConfigView,
+    model: &TrafficModel,
+    served_sessions: &[(CarrierId, usize)],
+    kpis: &mut [CarrierKpi],
+    rng: &mut ChaCha8Rng,
+) {
+    for &(carrier, _) in served_sessions {
+        if rng.random_range(0.0..1.0) >= model.mobility_prob {
+            continue;
+        }
+        let neighbors = snapshot.x2.neighbors(carrier);
+        if neighbors.is_empty() {
+            continue;
+        }
+        let target = neighbors[rng.random_range(0..neighbors.len())];
+        let Some(pair) = snapshot.x2.pair_idx(carrier, target) else {
+            continue;
+        };
+        let hys_value = snapshot.config.pair_value(view.hys_a3, pair);
+        let hys_db = snapshot.catalog.def(view.hys_a3).range.value(hys_value);
+        let (p_pp, p_drop) = outcome_probs(hys_db);
+
+        let k = &mut kpis[carrier.index()];
+        k.ho_attempts += 1;
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u < p_pp {
+            k.ho_pingpong += 1;
+        } else if u < p_pp + p_drop {
+            k.ho_drops += 1;
+        } else {
+            k.ho_success += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_model::Provenance;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    #[test]
+    fn outcome_probabilities_follow_the_trade_off() {
+        let (pp0, _) = outcome_probs(0.0);
+        let (pp_ok, drop_ok) = outcome_probs(2.5);
+        let (_, drop_hi) = outcome_probs(12.0);
+        assert!(pp0 > 0.5, "zero hysteresis ping-pongs");
+        assert!(pp_ok < 0.1 && drop_ok < 0.1, "the healthy band is healthy");
+        assert!(drop_hi > 0.3, "huge hysteresis drops");
+        // Probabilities are valid.
+        for h in [0.0, 0.5, 1.0, 3.0, 6.0, 9.0, 15.0] {
+            let (a, b) = outcome_probs(h);
+            assert!(a >= 0.0 && b >= 0.0 && a + b <= 1.0, "h={h}: {a} {b}");
+        }
+    }
+
+    #[test]
+    fn bad_hysteresis_shows_up_in_the_kpis() {
+        // Set hysA3Offset to 0 everywhere: ping-pong counts explode
+        // relative to the defaults.
+        let base = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
+        let mut zeroed = base.clone();
+        let hys = zeroed.catalog.by_name("hysA3Offset").unwrap();
+        for q in 0..zeroed.x2.n_pairs() as u32 {
+            zeroed.config.set_pair_value(hys, q, 0, Provenance::Noise);
+        }
+        let model = crate::TrafficModel::default();
+        let healthy = crate::simulate(&base, &model);
+        let sick = crate::simulate(&zeroed, &model);
+        let pp = |r: &crate::KpiReport| -> usize {
+            r.per_carrier().iter().map(|k| k.ho_pingpong).sum()
+        };
+        assert!(
+            pp(&sick) > 5 * pp(&healthy).max(1),
+            "zero hysteresis must ping-pong: sick {} vs healthy {}",
+            pp(&sick),
+            pp(&healthy)
+        );
+        assert!(sick.mean_health() < healthy.mean_health());
+    }
+}

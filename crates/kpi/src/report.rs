@@ -1,0 +1,228 @@
+//! Per-carrier KPIs and the health score that feeds performance-weighted
+//! voting (§6).
+
+use auric_core::perf::KpiSource;
+use auric_model::CarrierId;
+use serde::{Deserialize, Serialize};
+
+/// Raw per-carrier counters from one simulation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CarrierKpi {
+    pub carrier: CarrierId,
+    /// Session capacity (bandwidth-derived).
+    pub capacity: usize,
+    /// Admission attempts this carrier was eligible for.
+    pub attempts: usize,
+    /// Sessions served.
+    pub served: usize,
+    /// Attempts this carrier (and every other candidate) had to refuse.
+    pub blocked: usize,
+    pub ho_attempts: usize,
+    pub ho_success: usize,
+    pub ho_pingpong: usize,
+    pub ho_drops: usize,
+}
+
+impl CarrierKpi {
+    /// An empty counter set.
+    pub fn new(carrier: CarrierId, capacity: usize) -> Self {
+        Self {
+            carrier,
+            capacity,
+            attempts: 0,
+            served: 0,
+            blocked: 0,
+            ho_attempts: 0,
+            ho_success: 0,
+            ho_pingpong: 0,
+            ho_drops: 0,
+        }
+    }
+
+    /// Fraction of admission attempts that ended in service somewhere
+    /// (blocked attempts count against every eligible candidate).
+    pub fn accessibility(&self) -> f64 {
+        if self.attempts == 0 {
+            return 1.0;
+        }
+        1.0 - self.blocked as f64 / self.attempts as f64
+    }
+
+    /// Fraction of served sessions not lost to handover drops.
+    pub fn retainability(&self) -> f64 {
+        if self.served == 0 {
+            return 1.0;
+        }
+        1.0 - (self.ho_drops as f64 / self.served as f64).min(1.0)
+    }
+
+    /// Fraction of handover attempts that completed cleanly.
+    pub fn mobility_quality(&self) -> f64 {
+        if self.ho_attempts == 0 {
+            return 1.0;
+        }
+        self.ho_success as f64 / self.ho_attempts as f64
+    }
+
+    /// Load relative to capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.served as f64 / self.capacity as f64
+    }
+
+    /// Aggregate health in `[0, 1]`: the §4.3.3 monitoring verdict in one
+    /// number. Weights mirror operational priorities — users who cannot
+    /// attach hurt most, then dropped sessions, then sloppy mobility —
+    /// with a congestion penalty near saturation.
+    pub fn health(&self) -> f64 {
+        let mut h = 0.4 * self.accessibility()
+            + 0.3 * self.retainability()
+            + 0.3 * self.mobility_quality();
+        if self.utilization() > 0.95 {
+            h -= 0.1;
+        }
+        h.clamp(0.0, 1.0)
+    }
+}
+
+/// One simulation round's KPIs, indexed by carrier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KpiReport {
+    per_carrier: Vec<CarrierKpi>,
+}
+
+impl KpiReport {
+    /// Wraps per-carrier counters (indexed by carrier id).
+    pub fn new(per_carrier: Vec<CarrierKpi>) -> Self {
+        Self { per_carrier }
+    }
+
+    /// Per-carrier counters in carrier-id order.
+    pub fn per_carrier(&self) -> &[CarrierKpi] {
+        &self.per_carrier
+    }
+
+    /// The KPI record of one carrier.
+    pub fn kpi(&self, c: CarrierId) -> &CarrierKpi {
+        &self.per_carrier[c.index()]
+    }
+
+    /// Mean health over all carriers.
+    pub fn mean_health(&self) -> f64 {
+        if self.per_carrier.is_empty() {
+            return 1.0;
+        }
+        self.per_carrier.iter().map(CarrierKpi::health).sum::<f64>() / self.per_carrier.len() as f64
+    }
+
+    /// The carriers below a health threshold — the §4.3.3 watch list.
+    pub fn unhealthy(&self, threshold: f64) -> Vec<CarrierId> {
+        self.per_carrier
+            .iter()
+            .filter(|k| k.health() < threshold)
+            .map(|k| k.carrier)
+            .collect()
+    }
+}
+
+/// A KPI report is directly usable as the §6 vote-weight source: healthy
+/// carriers speak with full weight, degraded ones are discounted (floored
+/// so history is muffled, not erased).
+impl KpiSource for KpiReport {
+    fn weight(&self, c: CarrierId) -> f64 {
+        self.per_carrier
+            .get(c.index())
+            .map(|k| k.health().max(0.05))
+            .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kpi(carrier: u32) -> CarrierKpi {
+        CarrierKpi::new(CarrierId(carrier), 100)
+    }
+
+    #[test]
+    fn pristine_carrier_is_fully_healthy() {
+        let mut k = kpi(0);
+        k.attempts = 50;
+        k.served = 50;
+        k.ho_attempts = 10;
+        k.ho_success = 10;
+        assert_eq!(k.health(), 1.0);
+        assert_eq!(k.accessibility(), 1.0);
+        assert_eq!(k.retainability(), 1.0);
+        assert_eq!(k.mobility_quality(), 1.0);
+    }
+
+    #[test]
+    fn idle_carrier_defaults_to_healthy() {
+        // No attempts, no handovers: nothing observed, nothing wrong.
+        assert_eq!(kpi(0).health(), 1.0);
+    }
+
+    #[test]
+    fn blocking_hurts_accessibility() {
+        let mut k = kpi(0);
+        k.attempts = 100;
+        k.served = 60;
+        k.blocked = 40;
+        assert!((k.accessibility() - 0.6).abs() < 1e-12);
+        assert!(k.health() < 0.9);
+    }
+
+    #[test]
+    fn drops_hurt_retainability_and_pingpong_hurts_mobility() {
+        let mut k = kpi(0);
+        k.attempts = 100;
+        k.served = 100;
+        k.ho_attempts = 40;
+        k.ho_drops = 20;
+        k.ho_pingpong = 10;
+        k.ho_success = 10;
+        assert!((k.retainability() - 0.8).abs() < 1e-12);
+        assert!((k.mobility_quality() - 0.25).abs() < 1e-12);
+        assert!(k.health() < 0.85);
+    }
+
+    #[test]
+    fn saturation_penalty_applies() {
+        let mut k = kpi(0);
+        k.attempts = 100;
+        k.served = 98; // 98% of capacity 100
+        assert!(k.utilization() > 0.95);
+        assert!(k.health() < 1.0);
+    }
+
+    #[test]
+    fn report_surfaces_unhealthy_carriers() {
+        let mut bad = kpi(1);
+        bad.attempts = 10;
+        bad.blocked = 10;
+        let report = KpiReport::new(vec![kpi(0), bad]);
+        assert_eq!(report.unhealthy(0.9), vec![CarrierId(1)]);
+        assert!(report.mean_health() < 1.0);
+        assert_eq!(report.kpi(CarrierId(0)).health(), 1.0);
+    }
+
+    #[test]
+    fn kpi_source_floors_weights() {
+        let mut dead = kpi(0);
+        dead.attempts = 10;
+        dead.blocked = 10;
+        dead.served = 0;
+        dead.ho_attempts = 5;
+        dead.ho_drops = 5;
+        let report = KpiReport::new(vec![dead]);
+        let w = report.weight(CarrierId(0));
+        assert!(w >= 0.05, "weight floor");
+        assert!(w < 0.7, "a dead carrier barely votes, got {w}");
+        // Unknown carriers default to full weight.
+        assert_eq!(report.weight(CarrierId(99)), 1.0);
+    }
+}

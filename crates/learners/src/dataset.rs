@@ -1,0 +1,210 @@
+//! Categorical training data: rows of attribute levels with raw-value
+//! labels remapped to dense classes.
+
+/// A labeled categorical dataset.
+///
+/// Rows are attribute-level vectors (one `u16` level per column — the
+/// carrier's `AttrVec`, or both endpoints' concatenated for
+/// pair-wise parameters). Labels arrive as raw parameter values and are
+/// remapped to dense class indices internally; [`Dataset::class_value`]
+/// maps back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    rows: Vec<Vec<u16>>,
+    cards: Vec<usize>,
+    labels: Vec<u16>,
+    class_values: Vec<u16>,
+}
+
+impl Dataset {
+    /// Builds a dataset from categorical rows and raw-value labels.
+    /// Column cardinalities may be given explicitly (so train/test splits
+    /// agree on level spaces) or inferred as `max level + 1`.
+    ///
+    /// # Panics
+    /// Panics on empty data, ragged rows, or levels exceeding an explicit
+    /// cardinality.
+    pub fn new(rows: Vec<Vec<u16>>, raw_values: Vec<u16>, cards: Option<Vec<usize>>) -> Self {
+        assert!(!rows.is_empty(), "dataset needs at least one row");
+        assert_eq!(rows.len(), raw_values.len(), "rows/labels length mismatch");
+        let n_cols = rows[0].len();
+        let cards = match cards {
+            Some(c) => {
+                assert_eq!(c.len(), n_cols, "cardinality vector length mismatch");
+                for row in &rows {
+                    assert_eq!(row.len(), n_cols, "ragged rows");
+                    for (j, (&v, &card)) in row.iter().zip(&c).enumerate() {
+                        assert!(
+                            (v as usize) < card,
+                            "level {v} exceeds cardinality of column {j}"
+                        );
+                    }
+                }
+                c
+            }
+            None => {
+                let mut c = vec![1usize; n_cols];
+                for row in &rows {
+                    assert_eq!(row.len(), n_cols, "ragged rows");
+                    for (card, &v) in c.iter_mut().zip(row) {
+                        *card = (*card).max(v as usize + 1);
+                    }
+                }
+                c
+            }
+        };
+        // Dense class mapping in sorted raw-value order (deterministic).
+        let mut class_values: Vec<u16> = raw_values.clone();
+        class_values.sort_unstable();
+        class_values.dedup();
+        let labels = raw_values
+            .iter()
+            .map(|v| class_values.binary_search(v).unwrap() as u16)
+            .collect();
+        Self {
+            rows,
+            cards,
+            labels,
+            class_values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of categorical columns.
+    pub fn n_cols(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Number of distinct classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_values.len()
+    }
+
+    /// Column cardinalities.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> &[u16] {
+        &self.rows[i]
+    }
+
+    /// Dense class label of row `i`.
+    pub fn label(&self, i: usize) -> u16 {
+        self.labels[i]
+    }
+
+    /// The raw value of dense class `c`.
+    pub fn class_value(&self, c: u16) -> u16 {
+        self.class_values[c as usize]
+    }
+
+    /// The raw label of row `i`.
+    pub fn raw_label(&self, i: usize) -> u16 {
+        self.class_value(self.labels[i])
+    }
+
+    /// Class histogram over a row-index subset.
+    pub fn class_counts(&self, indices: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &i in indices {
+            counts[self.labels[i] as usize] += 1;
+        }
+        counts
+    }
+
+    /// The majority class over `indices` (smallest class wins ties);
+    /// falls back to class 0 for an empty subset.
+    pub fn majority_class(&self, indices: &[usize]) -> u16 {
+        let counts = self.class_counts(indices);
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c as u16)
+            .unwrap_or(0)
+    }
+
+    /// A new dataset over a row subset, preserving the class mapping and
+    /// cardinalities (so models trained on folds agree on spaces).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
+        let labels: Vec<u16> = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            rows,
+            cards: self.cards.clone(),
+            labels,
+            class_values: self.class_values.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            vec![vec![0, 1], vec![1, 0], vec![0, 0], vec![1, 1]],
+            vec![40, 10, 40, 99],
+            None,
+        )
+    }
+
+    #[test]
+    fn class_mapping_is_sorted_and_dense() {
+        let d = sample();
+        assert_eq!(d.n_classes(), 3);
+        assert_eq!(d.class_value(0), 10);
+        assert_eq!(d.class_value(1), 40);
+        assert_eq!(d.class_value(2), 99);
+        assert_eq!(d.label(0), 1);
+        assert_eq!(d.raw_label(3), 99);
+    }
+
+    #[test]
+    fn inferred_cardinalities() {
+        let d = sample();
+        assert_eq!(d.cards(), &[2, 2]);
+        assert_eq!(d.n_cols(), 2);
+        assert_eq!(d.n_rows(), 4);
+    }
+
+    #[test]
+    fn explicit_cardinalities_are_respected() {
+        let d = Dataset::new(vec![vec![0], vec![1]], vec![5, 5], Some(vec![7]));
+        assert_eq!(d.cards(), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cardinality")]
+    fn explicit_cardinalities_are_checked() {
+        Dataset::new(vec![vec![3]], vec![1], Some(vec![2]));
+    }
+
+    #[test]
+    fn class_counts_and_majority() {
+        let d = sample();
+        assert_eq!(d.class_counts(&[0, 1, 2, 3]), vec![1, 2, 1]);
+        assert_eq!(d.majority_class(&[0, 1, 2, 3]), 1);
+        // Tie between class 0 (one row) and class 2 (one row) → smaller.
+        assert_eq!(d.majority_class(&[1, 3]), 0);
+        assert_eq!(d.majority_class(&[]), 0);
+    }
+
+    #[test]
+    fn subset_preserves_spaces() {
+        let d = sample();
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.n_classes(), 3, "class space survives subsetting");
+        assert_eq!(s.cards(), d.cards());
+        assert_eq!(s.raw_label(0), 99);
+        assert_eq!(s.row(1), d.row(0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Random-forest classifier: 100 bootstrap-sampled Gini trees with √A
+//! feature subsets per split, majority-vote aggregation (§4.2 "100 trees
+//! in the forest, Gini score for decision to split, tree is expanded until
+//! all leaves are pure").
+
+use crate::dataset::Dataset;
+use crate::tree::{build_tree_on, BuildParams, TreeModel};
+use crate::{Classifier, Model};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees (paper: 100).
+    pub n_trees: usize,
+    /// Seed for bootstrap sampling and per-split feature subsets.
+    pub seed: u64,
+}
+
+impl RandomForest {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            n_trees: 100,
+            seed: 1,
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        assert!(self.n_trees > 0, "forest needs at least one tree");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = data.n_rows();
+        let feature_subset = (data.n_cols() as f64).sqrt().ceil() as usize;
+        let trees: Vec<TreeModel> = (0..self.n_trees)
+            .map(|_| {
+                let sample: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                build_tree_on(
+                    data,
+                    &sample,
+                    &BuildParams {
+                        max_depth: None,
+                        feature_subset: Some(feature_subset),
+                        seed: rng.random_range(0..u64::MAX),
+                    },
+                )
+            })
+            .collect();
+        Box::new(ForestModel {
+            trees,
+            n_classes: data.n_classes(),
+            class_values: (0..data.n_classes() as u16)
+                .map(|c| data.class_value(c))
+                .collect(),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+/// A fitted forest.
+pub struct ForestModel {
+    trees: Vec<TreeModel>,
+    n_classes: usize,
+    class_values: Vec<u16>,
+}
+
+impl Model for ForestModel {
+    fn predict(&self, row: &[u16]) -> u16 {
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict_class(row) as usize] += 1;
+        }
+        let winner = votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        self.class_values[winner]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_clean_signal() {
+        let data = Dataset::new(
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![1, 0],
+                vec![1, 1],
+                vec![0, 0],
+                vec![1, 1],
+            ],
+            vec![10, 10, 20, 20, 10, 20],
+            None,
+        );
+        let model = RandomForest {
+            n_trees: 25,
+            seed: 1,
+        }
+        .fit(&data);
+        assert_eq!(model.predict(&[0, 1]), 10);
+        assert_eq!(model.predict(&[1, 0]), 20);
+    }
+
+    #[test]
+    fn averages_away_label_noise_better_than_one_tree() {
+        // Clean dependence on col 0 plus one contradicting (noisy) row
+        // duplicated so a single pure-leaf tree can latch onto it via the
+        // second (irrelevant) column.
+        let mut rows = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..40u16 {
+            rows.push(vec![i % 2, i % 5]);
+            values.push(if i % 2 == 0 { 10 } else { 20 });
+        }
+        // Noise: one (0, 3)-shaped row labeled 20.
+        rows.push(vec![0, 3]);
+        values.push(20);
+        let data = Dataset::new(rows, values, None);
+        let forest = RandomForest {
+            n_trees: 50,
+            seed: 3,
+        }
+        .fit(&data);
+        // The forest must still predict the clean signal at (0, 3).
+        assert_eq!(forest.predict(&[0, 3]), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = Dataset::new(
+            vec![
+                vec![0, 2],
+                vec![1, 0],
+                vec![2, 1],
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 0],
+            ],
+            vec![1, 2, 3, 1, 2, 3],
+            None,
+        );
+        let a = RandomForest {
+            n_trees: 10,
+            seed: 9,
+        }
+        .fit(&data);
+        let b = RandomForest {
+            n_trees: 10,
+            seed: 9,
+        }
+        .fit(&data);
+        for row in [[0u16, 0], [1, 1], [2, 2], [0, 2]] {
+            assert_eq!(a.predict(&row), b.predict(&row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_empty_forest() {
+        let data = Dataset::new(vec![vec![0]], vec![1], None);
+        RandomForest {
+            n_trees: 0,
+            seed: 0,
+        }
+        .fit(&data);
+    }
+}

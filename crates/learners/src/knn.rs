@@ -1,0 +1,145 @@
+//! k-nearest-neighbors classifier (§4.2: k = 5, equal weights, Euclidean
+//! distance).
+//!
+//! Distances are computed on the categorical rows via Hamming distance,
+//! which ranks identically to Euclidean distance over the one-hot
+//! expansion (squared Euclidean = 2 × Hamming; see
+//! `auric_stats::distance`). This is the learner the paper expects to
+//! suffer most from irrelevant attributes — every column weighs equally
+//! in the distance, relevant or not.
+
+use crate::dataset::Dataset;
+use crate::{Classifier, Model};
+
+/// k-NN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// Neighbor count (paper: 5).
+    pub k: usize,
+}
+
+impl KnnClassifier {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        assert!(self.k > 0, "k must be positive");
+        Box::new(KnnModel {
+            data: data.clone(),
+            k: self.k,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "k-nearest-neighbors"
+    }
+}
+
+/// A fitted (memorized) k-NN model.
+pub struct KnnModel {
+    data: Dataset,
+    k: usize,
+}
+
+impl Model for KnnModel {
+    fn predict(&self, row: &[u16]) -> u16 {
+        let n = self.data.n_rows();
+        let k = self.k.min(n);
+        // Selection of the k smallest (distance, index) pairs; ties break
+        // on training order, matching a stable sort over the full set.
+        let mut best: Vec<(usize, usize)> = Vec::with_capacity(k + 1);
+        for i in 0..n {
+            let train_row = self.data.row(i);
+            let d = train_row.iter().zip(row).filter(|(a, b)| a != b).count();
+            if best.len() < k || (d, i) < *best.last().unwrap() {
+                let pos = best.partition_point(|&p| p < (d, i));
+                best.insert(pos, (d, i));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        let mut votes = vec![0usize; self.data.n_classes()];
+        for &(_, i) in &best {
+            votes[self.data.label(i) as usize] += 1;
+        }
+        let winner = votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c as u16)
+            .unwrap_or(0);
+        self.data.class_value(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes() {
+        let data = Dataset::new(
+            vec![vec![0, 0], vec![1, 1], vec![2, 2]],
+            vec![10, 20, 30],
+            None,
+        );
+        let model = KnnClassifier { k: 1 }.fit(&data);
+        assert_eq!(model.predict(&[0, 0]), 10);
+        assert_eq!(model.predict(&[1, 1]), 20);
+        assert_eq!(model.predict(&[2, 2]), 30);
+    }
+
+    #[test]
+    fn majority_among_k() {
+        // Query equidistant from two 10-rows and one 20-row at k=3.
+        let data = Dataset::new(
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![5, 5]],
+            vec![10, 10, 20, 30],
+            None,
+        );
+        let model = KnnClassifier { k: 3 }.fit(&data);
+        assert_eq!(model.predict(&[0, 0]), 10);
+    }
+
+    #[test]
+    fn irrelevant_columns_mislead_knn() {
+        // Label depends only on col 0, but 4 irrelevant columns dominate
+        // the distance: a query matching the relevant column of one class
+        // but the irrelevant columns of the other gets pulled over. This
+        // is the failure mode §3.2 calls out.
+        let data = Dataset::new(
+            vec![
+                vec![0, 1, 1, 1, 1],
+                vec![0, 2, 2, 2, 2],
+                vec![1, 3, 3, 3, 3],
+                vec![1, 3, 3, 3, 4],
+                vec![1, 3, 3, 4, 4],
+            ],
+            vec![10, 10, 20, 20, 20],
+            None,
+        );
+        let model = KnnClassifier { k: 3 }.fit(&data);
+        // Relevant column says class 10, irrelevant ones say class 20.
+        assert_eq!(model.predict(&[0, 3, 3, 3, 3]), 20);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_degrades_to_global_majority() {
+        let data = Dataset::new(vec![vec![0], vec![1], vec![2]], vec![7, 7, 9], None);
+        let model = KnnClassifier { k: 50 }.fit(&data);
+        assert_eq!(model.predict(&[9]), 7);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let data = Dataset::new(vec![vec![0], vec![1]], vec![10, 20], None);
+        let model = KnnClassifier { k: 2 }.fit(&data);
+        // 1 vote each → smaller class value wins via vote tie-break.
+        assert_eq!(model.predict(&[2]), 10);
+    }
+}

@@ -1,0 +1,430 @@
+//! Decision-tree classifier: Gini splits, expanded until leaves are pure
+//! (§4.2 "Gini score to determine how to split and the tree is expanded
+//! until all leaves are pure").
+//!
+//! Splits are binary on `(column == level)` — exactly what an axis-aligned
+//! split on a one-hot encoded column does, so this matches the paper's
+//! scikit-learn setup without materializing the one-hot expansion.
+//!
+//! The tree also exposes its decision path ([`TreeModel::decision_path`])
+//! because explainability is the reason the paper's engineers liked this
+//! learner (Fig. 8).
+
+use crate::dataset::Dataset;
+use crate::{Classifier, Model};
+use auric_stats::impurity::gini;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum depth; `None` = expand until pure (the paper's setting).
+    pub max_depth: Option<usize>,
+}
+
+impl DecisionTree {
+    /// The paper's configuration: unlimited depth, Gini, pure leaves.
+    pub fn paper() -> Self {
+        Self { max_depth: None }
+    }
+
+    /// Fits and returns the concrete [`TreeModel`] (rather than a boxed
+    /// [`Model`]), giving access to [`TreeModel::decision_path`] for
+    /// Fig. 8 style explanations.
+    pub fn fit_tree(&self, data: &Dataset) -> TreeModel {
+        build_tree(
+            data,
+            &BuildParams {
+                max_depth: self.max_depth,
+                feature_subset: None,
+                seed: 0,
+            },
+        )
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        Box::new(build_tree(
+            data,
+            &BuildParams {
+                max_depth: self.max_depth,
+                feature_subset: None,
+                seed: 0,
+            },
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+/// Internal build parameters (the forest reuses the builder with feature
+/// subsampling).
+#[derive(Debug, Clone)]
+pub(crate) struct BuildParams {
+    pub max_depth: Option<usize>,
+    /// Number of candidate columns per split (`None` = all).
+    pub feature_subset: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+/// One node of a fitted tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        class: u16,
+    },
+    Split {
+        col: usize,
+        level: u16,
+        /// Child when `row[col] == level`.
+        eq: usize,
+        /// Child when `row[col] != level`.
+        ne: usize,
+    },
+}
+
+/// One step of a decision path (for explanations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    /// Column the node tested.
+    pub col: usize,
+    /// Level it compared against.
+    pub level: u16,
+    /// Whether the row matched (`row[col] == level`).
+    pub matched: bool,
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct TreeModel {
+    nodes: Vec<Node>,
+    class_values: Vec<u16>,
+}
+
+impl TreeModel {
+    /// Predicts the dense class index (the forest aggregates these).
+    pub(crate) fn predict_class(&self, row: &[u16]) -> u16 {
+        let mut at = 0usize;
+        loop {
+            match self.nodes[at] {
+                Node::Leaf { class } => return class,
+                Node::Split { col, level, eq, ne } => {
+                    at = if row[col] == level { eq } else { ne };
+                }
+            }
+        }
+    }
+
+    /// The sequence of tests the tree applied to `row` — a Fig. 8 style
+    /// explanation of the recommendation.
+    pub fn decision_path(&self, row: &[u16]) -> Vec<PathStep> {
+        let mut at = 0usize;
+        let mut path = Vec::new();
+        loop {
+            match self.nodes[at] {
+                Node::Leaf { .. } => return path,
+                Node::Split { col, level, eq, ne } => {
+                    let matched = row[col] == level;
+                    path.push(PathStep {
+                        col,
+                        level,
+                        matched,
+                    });
+                    at = if matched { eq } else { ne };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics; pure-leaf trees on noisy data grow
+    /// large, which is part of the paper's story).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        fn depth_at(nodes: &[Node], at: usize) -> usize {
+            match nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { eq, ne, .. } => 1 + depth_at(nodes, eq).max(depth_at(nodes, ne)),
+            }
+        }
+        depth_at(&self.nodes, 0)
+    }
+}
+
+impl Model for TreeModel {
+    fn predict(&self, row: &[u16]) -> u16 {
+        self.class_values[self.predict_class(row) as usize]
+    }
+}
+
+/// Builds a tree over all rows of `data`.
+pub(crate) fn build_tree(data: &Dataset, params: &BuildParams) -> TreeModel {
+    let indices: Vec<usize> = (0..data.n_rows()).collect();
+    build_tree_on(data, &indices, params)
+}
+
+/// Builds a tree over a row subset (the forest passes bootstrap samples).
+pub(crate) fn build_tree_on(data: &Dataset, indices: &[usize], params: &BuildParams) -> TreeModel {
+    let mut nodes = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    grow(data, indices, params, 0, &mut rng, &mut nodes);
+    let class_values = (0..data.n_classes() as u16)
+        .map(|c| data.class_value(c))
+        .collect();
+    TreeModel {
+        nodes,
+        class_values,
+    }
+}
+
+/// Recursively grows the node for `indices`, returning its index.
+fn grow(
+    data: &Dataset,
+    indices: &[usize],
+    params: &BuildParams,
+    depth: usize,
+    rng: &mut ChaCha8Rng,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let counts = data.class_counts(indices);
+    let node_gini = gini(&counts);
+    let majority = data.majority_class(indices);
+    let depth_capped = params.max_depth.is_some_and(|d| depth >= d);
+    if node_gini <= 0.0 || indices.is_empty() || depth_capped {
+        nodes.push(Node::Leaf { class: majority });
+        return nodes.len() - 1;
+    }
+
+    let candidate_cols = candidate_columns(data.n_cols(), params.feature_subset, rng);
+    let best = best_split(data, indices, &counts, &candidate_cols);
+    let Some((col, level, _gain)) = best else {
+        // No split separates anything (identical rows, mixed labels).
+        nodes.push(Node::Leaf { class: majority });
+        return nodes.len() - 1;
+    };
+
+    let (eq_rows, ne_rows): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| data.row(i)[col] == level);
+    // Reserve this node's slot before growing children.
+    let my = nodes.len();
+    nodes.push(Node::Leaf { class: majority }); // placeholder
+    let eq = grow(data, &eq_rows, params, depth + 1, rng, nodes);
+    let ne = grow(data, &ne_rows, params, depth + 1, rng, nodes);
+    nodes[my] = Node::Split { col, level, eq, ne };
+    my
+}
+
+/// Picks the candidate columns for one split.
+fn candidate_columns(n_cols: usize, subset: Option<usize>, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    match subset {
+        None => (0..n_cols).collect(),
+        Some(k) => {
+            // Partial Fisher–Yates draw of k distinct columns.
+            let mut cols: Vec<usize> = (0..n_cols).collect();
+            let k = k.min(n_cols);
+            for i in 0..k {
+                let j = rng.random_range(i..n_cols);
+                cols.swap(i, j);
+            }
+            cols.truncate(k);
+            cols
+        }
+    }
+}
+
+/// Finds the `(column, level)` split with the largest Gini decrease over
+/// `indices`; `None` when no split has positive gain.
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    parent_counts: &[usize],
+    cols: &[usize],
+) -> Option<(usize, u16, f64)> {
+    let n = indices.len();
+    let parent_gini = gini(parent_counts);
+    let n_classes = data.n_classes();
+    let mut best: Option<(usize, u16, f64)> = None;
+    for &col in cols {
+        let card = data.cards()[col];
+        // Joint (level, class) counts in one pass.
+        let mut level_class = vec![0usize; card * n_classes];
+        let mut level_totals = vec![0usize; card];
+        for &i in indices {
+            let l = data.row(i)[col] as usize;
+            level_class[l * n_classes + data.label(i) as usize] += 1;
+            level_totals[l] += 1;
+        }
+        for level in 0..card {
+            let nl = level_totals[level];
+            if nl == 0 || nl == n {
+                continue; // split separates nothing
+            }
+            let eq_counts = &level_class[level * n_classes..(level + 1) * n_classes];
+            let ne_counts: Vec<usize> = parent_counts
+                .iter()
+                .zip(eq_counts)
+                .map(|(&p, &e)| p - e)
+                .collect();
+            let split =
+                (nl as f64 * gini(eq_counts) + (n - nl) as f64 * gini(&ne_counts)) / n as f64;
+            let gain = parent_gini - split;
+            // Zero-gain splits are still taken (matching scikit-learn's
+            // expand-until-pure behavior — this is how XOR-style
+            // interactions get memorized); splits that separate nothing
+            // were filtered above, so recursion always shrinks the node.
+            let better = match best {
+                None => true,
+                // Deterministic tie-break: larger gain, then smaller
+                // column, then smaller level.
+                Some((bc, bl, bg)) => {
+                    gain > bg + 1e-12
+                        || ((gain - bg).abs() <= 1e-12 && (col, level as u16) < (bc, bl))
+                }
+            };
+            if better {
+                best = Some((col, level as u16, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Labels determined by column 0: level 0 → 10, level 1 → 20.
+    fn simple_data() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![1, 0],
+                vec![1, 1],
+                vec![0, 1],
+                vec![1, 0],
+            ],
+            vec![10, 10, 20, 20, 10, 20],
+            None,
+        )
+    }
+
+    #[test]
+    fn learns_a_single_split() {
+        let model = DecisionTree::paper().fit(&simple_data());
+        assert_eq!(model.predict(&[0, 1]), 10);
+        assert_eq!(model.predict(&[1, 0]), 20);
+    }
+
+    #[test]
+    fn memorizes_training_data_when_pure_splits_exist() {
+        // XOR over two binary columns — impossible for a single split,
+        // but a pure-leaf tree must still fit it exactly.
+        let data = Dataset::new(
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+            vec![1, 2, 2, 1],
+            None,
+        );
+        let model = build_tree(
+            &data,
+            &BuildParams {
+                max_depth: None,
+                feature_subset: None,
+                seed: 0,
+            },
+        );
+        for i in 0..data.n_rows() {
+            assert_eq!(model.predict(data.row(i)), data.raw_label(i), "row {i}");
+        }
+        assert!(model.depth() >= 2, "XOR needs two levels of splits");
+    }
+
+    #[test]
+    fn identical_rows_with_mixed_labels_become_majority_leaf() {
+        let data = Dataset::new(vec![vec![0], vec![0], vec![0]], vec![5, 5, 9], None);
+        let model = DecisionTree::paper().fit(&data);
+        assert_eq!(model.predict(&[0]), 5);
+    }
+
+    #[test]
+    fn max_depth_limits_the_tree() {
+        let data = Dataset::new(
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+            vec![1, 2, 2, 1],
+            None,
+        );
+        let stump = build_tree(
+            &data,
+            &BuildParams {
+                max_depth: Some(0),
+                feature_subset: None,
+                seed: 0,
+            },
+        );
+        assert_eq!(stump.depth(), 0);
+        assert_eq!(stump.n_nodes(), 1);
+    }
+
+    #[test]
+    fn decision_path_explains_predictions() {
+        let model = build_tree(
+            &simple_data(),
+            &BuildParams {
+                max_depth: None,
+                feature_subset: None,
+                seed: 0,
+            },
+        );
+        let path = model.decision_path(&[1, 0]);
+        assert!(!path.is_empty());
+        assert_eq!(path[0].col, 0, "first split is on the informative column");
+        // Path for a matching row takes the eq branch.
+        let level = path[0].level;
+        assert_eq!(path[0].matched, 1 == level);
+    }
+
+    #[test]
+    fn multiway_categories_are_handled() {
+        // Column with 4 levels mapping onto 3 classes.
+        let data = Dataset::new(
+            vec![vec![0], vec![1], vec![2], vec![3], vec![0], vec![2]],
+            vec![7, 8, 9, 9, 7, 9],
+            None,
+        );
+        let model = DecisionTree::paper().fit(&data);
+        assert_eq!(model.predict(&[0]), 7);
+        assert_eq!(model.predict(&[1]), 8);
+        assert_eq!(model.predict(&[2]), 9);
+        assert_eq!(model.predict(&[3]), 9);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let data = simple_data();
+        let a = build_tree(
+            &data,
+            &BuildParams {
+                max_depth: None,
+                feature_subset: None,
+                seed: 0,
+            },
+        );
+        let b = build_tree(
+            &data,
+            &BuildParams {
+                max_depth: None,
+                feature_subset: None,
+                seed: 0,
+            },
+        );
+        assert_eq!(a.nodes, b.nodes);
+    }
+}

@@ -1,0 +1,198 @@
+//! Physical network entities: markets, eNodeBs, and carriers (§2.1).
+//!
+//! An eNodeB divides its 360° coverage into 3 faces; each face hosts one or
+//! more carriers (radio channels). Carriers operate in a low/mid/high
+//! frequency band, and the service provider steers users to high bands
+//! first (carrier layer management). Markets group the carriers managed by
+//! one engineering team — the paper's network has 28 of them, each roughly
+//! a US state.
+
+use crate::attrs::AttrVec;
+use crate::ids::{CarrierId, EnodebId, MarketId};
+use serde::{Deserialize, Serialize};
+
+/// LTE frequency band class of a carrier (§2.1: LB/MB/HB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Band {
+    /// Low band (e.g. 700 MHz): broad reach, used as coverage layer.
+    Low,
+    /// Mid band (e.g. 1900 MHz).
+    Mid,
+    /// High band (e.g. 2300 MHz): capacity layer, users steered here first.
+    High,
+}
+
+impl Band {
+    /// All bands, low to high.
+    pub const ALL: [Band; 3] = [Band::Low, Band::Mid, Band::High];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Band::Low => "LB",
+            Band::Mid => "MB",
+            Band::High => "HB",
+        }
+    }
+}
+
+/// Land-use morphology of the area a carrier serves (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Morphology {
+    Urban,
+    Suburban,
+    Rural,
+}
+
+impl Morphology {
+    /// All morphologies.
+    pub const ALL: [Morphology; 3] = [Morphology::Urban, Morphology::Suburban, Morphology::Rural];
+
+    /// Display label matching the paper's examples.
+    pub fn label(self) -> &'static str {
+        match self {
+            Morphology::Urban => "urban",
+            Morphology::Suburban => "suburban",
+            Morphology::Rural => "rural",
+        }
+    }
+}
+
+/// Radio equipment vendor. Configuration naming is vendor-specific (§2.2),
+/// so Auric formulates the recommendation problem per vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    VendorA,
+    VendorB,
+    VendorC,
+}
+
+impl Vendor {
+    /// All vendors.
+    pub const ALL: [Vendor; 3] = [Vendor::VendorA, Vendor::VendorB, Vendor::VendorC];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Vendor::VendorA => "VendorA",
+            Vendor::VendorB => "VendorB",
+            Vendor::VendorC => "VendorC",
+        }
+    }
+}
+
+/// US timezone of a market (Table 3 picks one market per timezone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Timezone {
+    Eastern,
+    Central,
+    Mountain,
+    Pacific,
+}
+
+impl Timezone {
+    /// All timezones, east to west.
+    pub const ALL: [Timezone; 4] = [
+        Timezone::Eastern,
+        Timezone::Central,
+        Timezone::Mountain,
+        Timezone::Pacific,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Timezone::Eastern => "Eastern",
+            Timezone::Central => "Central",
+            Timezone::Mountain => "Mountain",
+            Timezone::Pacific => "Pacific",
+        }
+    }
+}
+
+/// A 2-D position in kilometres within a market's local coordinate frame.
+///
+/// The generator lays eNodeBs out on a plane per market; distances feed the
+/// X2 neighbor-relation construction (geographic proximity, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`, in km.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A market: the carriers managed by one engineering team.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Market {
+    pub id: MarketId,
+    /// Display name, e.g. `"Market 3"`.
+    pub name: String,
+    pub timezone: Timezone,
+    /// Carriers belonging to this market, in id order.
+    pub carriers: Vec<CarrierId>,
+    /// eNodeBs belonging to this market, in id order.
+    pub enodebs: Vec<EnodebId>,
+}
+
+/// An LTE base station with up to 3 faces of carriers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Enodeb {
+    pub id: EnodebId,
+    pub market: MarketId,
+    /// Position within the market plane (km).
+    pub position: Point,
+    pub morphology: Morphology,
+    pub vendor: Vendor,
+    /// Carriers hosted on this eNodeB across all faces, in id order.
+    pub carriers: Vec<CarrierId>,
+}
+
+/// A carrier: one radio channel on one face of an eNodeB. The unit both of
+/// configuration and of recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Carrier {
+    pub id: CarrierId,
+    pub enodeb: EnodebId,
+    pub market: MarketId,
+    /// Face index on the eNodeB (0..3).
+    pub face: u8,
+    pub band: Band,
+    /// Attribute values (the predictor row `X_{j,*}`).
+    pub attrs: AttrVec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point { x: -1.5, y: 2.0 };
+        let b = Point { x: 4.0, y: -0.5 };
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enums_cover_paper_examples() {
+        assert_eq!(Band::ALL.len(), 3);
+        assert_eq!(Morphology::ALL.len(), 3);
+        assert_eq!(Vendor::ALL.len(), 3);
+        assert_eq!(Timezone::ALL.len(), 4);
+        assert_eq!(Band::Low.label(), "LB");
+        assert_eq!(Morphology::Urban.label(), "urban");
+    }
+}

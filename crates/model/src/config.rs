@@ -1,0 +1,310 @@
+//! The configuration store: one value per (parameter, carrier) and per
+//! (parameter, carrier-pair), plus *provenance*.
+//!
+//! Provenance records **why** a ground-truth value is what it is. The real
+//! network's values come from rule-books, deliberate local tuning, trial
+//! roll-outs and occasional mistakes; the paper's engineers reverse-engineer
+//! these causes when labeling Auric's mismatches (§4.3.3 / Fig. 12). Our
+//! synthetic generator knows the causes exactly, so the evaluation can
+//! reproduce that labeling without a human in the loop.
+
+use crate::ids::{CarrierId, ParamId};
+use crate::params::{ParamCatalog, ParamKind, ValueIdx};
+pub use crate::x2::PairIdx;
+use serde::{Deserialize, Serialize};
+
+/// Why a ground-truth configuration value has the value it has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// The engineering rule for this carrier's attribute combination.
+    Rule,
+    /// A deliberate local tuning pocket: a geographic cluster of carriers
+    /// whose engineers tuned this parameter away from the rule value.
+    /// `hidden_attribute` marks pockets driven by a factor *not present in
+    /// the attribute schema* (terrain, signal propagation) — the cause the
+    /// paper's engineers label "update learner".
+    Pocket {
+        /// True when the pocket's cause is unobservable to the learner.
+        hidden_attribute: bool,
+    },
+    /// A sub-optimal leftover from an abandoned trial; the carrier should
+    /// have been reverted to the rule value. When Auric's recommendation
+    /// disagrees with this value, the recommendation is the *better*
+    /// configuration (the paper's 28% "good recommendation" label).
+    StaleTrial,
+    /// Part of an ongoing certification trial for a network-wide roll-out;
+    /// deliberately not in the majority yet ("update learner" cause (ii)).
+    TrialInProgress,
+    /// A one-off manual error or experiment with no systematic cause.
+    Noise,
+}
+
+/// Where a stored value lives: resolves a [`ParamId`] to the dense row of
+/// its kind-specific table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Singular(usize),
+    Pairwise(usize),
+}
+
+/// Configuration values (and provenance) for every parameter of a network
+/// snapshot.
+///
+/// Values are stored column-major per parameter: singular parameters hold
+/// one [`ValueIdx`] per carrier, pair-wise parameters one per directed X2
+/// pair. The struct is created filled with rule-book defaults and mutated
+/// by the generator (or by the EMS when pushing recommended changes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    n_carriers: usize,
+    n_pairs: usize,
+    /// `slots[p]` locates parameter `p`'s row.
+    slots: Vec<(ParamKind, usize)>,
+    singular_values: Vec<Vec<ValueIdx>>,
+    pairwise_values: Vec<Vec<ValueIdx>>,
+    singular_prov: Vec<Vec<Provenance>>,
+    pairwise_prov: Vec<Vec<Provenance>>,
+}
+
+impl Configuration {
+    /// Creates a configuration for `n_carriers` carriers and `n_pairs`
+    /// directed X2 pairs, with every value set to the catalog default and
+    /// provenance [`Provenance::Rule`].
+    pub fn with_defaults(catalog: &ParamCatalog, n_carriers: usize, n_pairs: usize) -> Self {
+        let mut slots = Vec::with_capacity(catalog.len());
+        let mut singular_values = Vec::new();
+        let mut pairwise_values = Vec::new();
+        let mut singular_prov = Vec::new();
+        let mut pairwise_prov = Vec::new();
+        for def in catalog.defs() {
+            match def.kind {
+                ParamKind::Singular => {
+                    slots.push((ParamKind::Singular, singular_values.len()));
+                    singular_values.push(vec![def.default; n_carriers]);
+                    singular_prov.push(vec![Provenance::Rule; n_carriers]);
+                }
+                ParamKind::Pairwise => {
+                    slots.push((ParamKind::Pairwise, pairwise_values.len()));
+                    pairwise_values.push(vec![def.default; n_pairs]);
+                    pairwise_prov.push(vec![Provenance::Rule; n_pairs]);
+                }
+            }
+        }
+        Self {
+            n_carriers,
+            n_pairs,
+            slots,
+            singular_values,
+            pairwise_values,
+            singular_prov,
+            pairwise_prov,
+        }
+    }
+
+    fn slot(&self, p: ParamId) -> Slot {
+        match self.slots[p.index()] {
+            (ParamKind::Singular, row) => Slot::Singular(row),
+            (ParamKind::Pairwise, row) => Slot::Pairwise(row),
+        }
+    }
+
+    /// Number of carriers this configuration covers.
+    pub fn n_carriers(&self) -> usize {
+        self.n_carriers
+    }
+
+    /// Number of directed pairs this configuration covers.
+    pub fn n_pairs(&self) -> usize {
+        self.n_pairs
+    }
+
+    /// Kind of parameter `p` as recorded at construction.
+    pub fn kind(&self, p: ParamId) -> ParamKind {
+        self.slots[p.index()].0
+    }
+
+    /// Total number of stored configuration parameter values — the paper's
+    /// "15M+ parameter values" quantity (§4.1): singular parameters
+    /// contribute one value per carrier, pair-wise one per directed pair.
+    pub fn total_values(&self) -> usize {
+        self.singular_values.len() * self.n_carriers + self.pairwise_values.len() * self.n_pairs
+    }
+
+    /// The value of singular parameter `p` on carrier `c`.
+    ///
+    /// # Panics
+    /// Panics if `p` is pair-wise.
+    pub fn value(&self, p: ParamId, c: CarrierId) -> ValueIdx {
+        match self.slot(p) {
+            Slot::Singular(row) => self.singular_values[row][c.index()],
+            Slot::Pairwise(_) => panic!("{p} is pair-wise; use pair_value"),
+        }
+    }
+
+    /// The value of pair-wise parameter `p` on directed pair `q`.
+    ///
+    /// # Panics
+    /// Panics if `p` is singular.
+    pub fn pair_value(&self, p: ParamId, q: PairIdx) -> ValueIdx {
+        match self.slot(p) {
+            Slot::Pairwise(row) => self.pairwise_values[row][q as usize],
+            Slot::Singular(_) => panic!("{p} is singular; use value"),
+        }
+    }
+
+    /// Provenance of singular parameter `p` on carrier `c`.
+    pub fn provenance(&self, p: ParamId, c: CarrierId) -> Provenance {
+        match self.slot(p) {
+            Slot::Singular(row) => self.singular_prov[row][c.index()],
+            Slot::Pairwise(_) => panic!("{p} is pair-wise; use pair_provenance"),
+        }
+    }
+
+    /// Provenance of pair-wise parameter `p` on pair `q`.
+    pub fn pair_provenance(&self, p: ParamId, q: PairIdx) -> Provenance {
+        match self.slot(p) {
+            Slot::Pairwise(row) => self.pairwise_prov[row][q as usize],
+            Slot::Singular(_) => panic!("{p} is singular; use provenance"),
+        }
+    }
+
+    /// Sets singular parameter `p` on carrier `c`.
+    pub fn set_value(&mut self, p: ParamId, c: CarrierId, v: ValueIdx, why: Provenance) {
+        match self.slot(p) {
+            Slot::Singular(row) => {
+                self.singular_values[row][c.index()] = v;
+                self.singular_prov[row][c.index()] = why;
+            }
+            Slot::Pairwise(_) => panic!("{p} is pair-wise; use set_pair_value"),
+        }
+    }
+
+    /// Sets pair-wise parameter `p` on pair `q`.
+    pub fn set_pair_value(&mut self, p: ParamId, q: PairIdx, v: ValueIdx, why: Provenance) {
+        match self.slot(p) {
+            Slot::Pairwise(row) => {
+                self.pairwise_values[row][q as usize] = v;
+                self.pairwise_prov[row][q as usize] = why;
+            }
+            Slot::Singular(_) => panic!("{p} is singular; use set_value"),
+        }
+    }
+
+    /// All values of singular parameter `p`, indexed by carrier.
+    pub fn values_of(&self, p: ParamId) -> &[ValueIdx] {
+        match self.slot(p) {
+            Slot::Singular(row) => &self.singular_values[row],
+            Slot::Pairwise(_) => panic!("{p} is pair-wise; use pair_values_of"),
+        }
+    }
+
+    /// All values of pair-wise parameter `p`, indexed by pair.
+    pub fn pair_values_of(&self, p: ParamId) -> &[ValueIdx] {
+        match self.slot(p) {
+            Slot::Pairwise(row) => &self.pairwise_values[row],
+            Slot::Singular(_) => panic!("{p} is singular; use values_of"),
+        }
+    }
+
+    /// Number of distinct values parameter `p` takes over a subset of its
+    /// value slots (a market, or the whole network) — the paper's
+    /// *variability* measure (Fig. 2/3).
+    pub fn distinct_values<I: IntoIterator<Item = usize>>(&self, p: ParamId, slots: I) -> usize {
+        let values: &[ValueIdx] = match self.slot(p) {
+            Slot::Singular(row) => &self.singular_values[row],
+            Slot::Pairwise(row) => &self.pairwise_values[row],
+        };
+        let mut seen = std::collections::HashSet::new();
+        for s in slots {
+            seen.insert(values[s]);
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ParamDef, ParamFunction, ValueRange};
+
+    fn tiny_catalog() -> ParamCatalog {
+        let range = ValueRange::new(0.0, 10.0, 1.0);
+        ParamCatalog::new(vec![
+            ParamDef {
+                id: ParamId(0),
+                name: "s0".into(),
+                kind: ParamKind::Singular,
+                function: ParamFunction::Mobility,
+                range,
+                default: 5,
+            },
+            ParamDef {
+                id: ParamId(1),
+                name: "p0".into(),
+                kind: ParamKind::Pairwise,
+                function: ParamFunction::Handover,
+                range,
+                default: 2,
+            },
+            ParamDef {
+                id: ParamId(2),
+                name: "s1".into(),
+                kind: ParamKind::Singular,
+                function: ParamFunction::PowerControl,
+                range,
+                default: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn defaults_fill_every_slot() {
+        let cfg = Configuration::with_defaults(&tiny_catalog(), 4, 6);
+        assert_eq!(cfg.value(ParamId(0), CarrierId(3)), 5);
+        assert_eq!(cfg.pair_value(ParamId(1), 5), 2);
+        assert_eq!(cfg.value(ParamId(2), CarrierId(0)), 0);
+        assert_eq!(cfg.provenance(ParamId(0), CarrierId(0)), Provenance::Rule);
+        assert_eq!(cfg.total_values(), 2 * 4 + 6);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut cfg = Configuration::with_defaults(&tiny_catalog(), 4, 6);
+        cfg.set_value(ParamId(0), CarrierId(1), 9, Provenance::StaleTrial);
+        cfg.set_pair_value(ParamId(1), 2, 7, Provenance::Noise);
+        assert_eq!(cfg.value(ParamId(0), CarrierId(1)), 9);
+        assert_eq!(
+            cfg.provenance(ParamId(0), CarrierId(1)),
+            Provenance::StaleTrial
+        );
+        assert_eq!(cfg.pair_value(ParamId(1), 2), 7);
+        assert_eq!(cfg.pair_provenance(ParamId(1), 2), Provenance::Noise);
+        // Untouched slots keep defaults.
+        assert_eq!(cfg.value(ParamId(0), CarrierId(0)), 5);
+    }
+
+    #[test]
+    fn distinct_value_counting() {
+        let mut cfg = Configuration::with_defaults(&tiny_catalog(), 5, 0);
+        cfg.set_value(ParamId(0), CarrierId(0), 1, Provenance::Rule);
+        cfg.set_value(ParamId(0), CarrierId(1), 1, Provenance::Rule);
+        cfg.set_value(ParamId(0), CarrierId(2), 3, Provenance::Rule);
+        assert_eq!(cfg.distinct_values(ParamId(0), 0..5), 3, "{{1, 3, 5}}");
+        assert_eq!(cfg.distinct_values(ParamId(0), 0..2), 1);
+        assert_eq!(cfg.distinct_values(ParamId(0), std::iter::empty()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is pair-wise")]
+    fn kind_mismatch_panics() {
+        let cfg = Configuration::with_defaults(&tiny_catalog(), 2, 2);
+        cfg.value(ParamId(1), CarrierId(0));
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let cfg = Configuration::with_defaults(&tiny_catalog(), 2, 2);
+        assert_eq!(cfg.kind(ParamId(0)), ParamKind::Singular);
+        assert_eq!(cfg.kind(ParamId(1)), ParamKind::Pairwise);
+    }
+}

@@ -1,0 +1,95 @@
+//! Newtype identifiers for the entities in the network model.
+//!
+//! All identifiers are dense indices into the owning collection inside a
+//! [`crate::NetworkSnapshot`]: `CarrierId(7)` is element 7 of
+//! `snapshot.carriers`. Using newtypes instead of bare `usize` keeps the
+//! many index spaces in this workspace (carriers, eNodeBs, parameters,
+//! attribute columns, X2 pairs) from being mixed up silently.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident($repr:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The dense index this id denotes.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit the id's representation.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self(<$repr>::try_from(idx).expect("id out of range"))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+dense_id! {
+    /// Index of a market (a group of carriers managed by one engineering
+    /// team; the paper divides the US network into 28 of them).
+    MarketId(u16)
+}
+
+dense_id! {
+    /// Index of an eNodeB (LTE base station).
+    EnodebId(u32)
+}
+
+dense_id! {
+    /// Index of a carrier (a radio channel on one face of an eNodeB).
+    CarrierId(u32)
+}
+
+dense_id! {
+    /// Index of a configuration parameter in the [`crate::ParamCatalog`].
+    ParamId(u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let c = CarrierId::from_index(12345);
+        assert_eq!(c.index(), 12345);
+        assert_eq!(c, CarrierId(12345));
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(MarketId(3).to_string(), "MarketId#3");
+        assert_eq!(CarrierId(0).to_string(), "CarrierId#0");
+    }
+
+    #[test]
+    #[should_panic(expected = "id out of range")]
+    fn rejects_overflow() {
+        let _ = MarketId::from_index(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ParamId(1) < ParamId(2));
+        let mut v = vec![EnodebId(5), EnodebId(1), EnodebId(3)];
+        v.sort();
+        assert_eq!(v, vec![EnodebId(1), EnodebId(3), EnodebId(5)]);
+    }
+}

@@ -1,0 +1,438 @@
+//! The configuration-parameter catalog (§2.2, §2.6, §4.1).
+//!
+//! The paper analyzes 3000+ parameters, eliminates carrier-unique ones
+//! (IP addresses, carrier ids) and enumerations coverable by rule-books,
+//! and keeps **65 range parameters** that engineers actively tune:
+//! **39 singular** (one value per carrier) and **26 pair-wise** (one value
+//! per carrier/X2-neighbor pair, governing mobility and handovers).
+//!
+//! Each parameter takes values on a discrete grid `min, min+step, …, max`
+//! (§2.2 gives e.g. `pMax`: 0..60 in steps of 0.6, `hysA3Offset`: 0..15 in
+//! steps of 0.5). A value is stored as a [`ValueIdx`] — the grid index —
+//! so that "same value" is exact integer equality, which the voting
+//! recommender and accuracy metric require.
+
+use crate::ids::ParamId;
+use serde::{Deserialize, Serialize};
+
+/// Grid index of a parameter value: the value is
+/// `range.min + idx as f64 * range.step`.
+pub type ValueIdx = u16;
+
+/// Whether a parameter is configured per carrier or per carrier pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// One value per carrier (`Y_j^{(i)}`), 39 of the 65.
+    Singular,
+    /// One value per (carrier, X2-neighbor) pair (`Y_{j,k}^{(i)}`), 26 of
+    /// the 65; these control user mobility and handovers between carriers.
+    Pairwise,
+}
+
+/// Functional category of a parameter (§2.2 lists the functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamFunction {
+    RadioConnection,
+    PowerControl,
+    LinkAdaptation,
+    Scheduling,
+    CapacityManagement,
+    LayerManagement,
+    Mobility,
+    Handover,
+    Interference,
+    LoadBalancing,
+}
+
+impl ParamFunction {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParamFunction::RadioConnection => "radio-connection",
+            ParamFunction::PowerControl => "power-control",
+            ParamFunction::LinkAdaptation => "link-adaptation",
+            ParamFunction::Scheduling => "scheduling",
+            ParamFunction::CapacityManagement => "capacity-management",
+            ParamFunction::LayerManagement => "layer-management",
+            ParamFunction::Mobility => "mobility",
+            ParamFunction::Handover => "handover",
+            ParamFunction::Interference => "interference",
+            ParamFunction::LoadBalancing => "load-balancing",
+        }
+    }
+}
+
+/// The discrete value grid of a range parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueRange {
+    /// Smallest allowed value.
+    pub min: f64,
+    /// Largest allowed value.
+    pub max: f64,
+    /// Grid step size (> 0).
+    pub step: f64,
+}
+
+impl ValueRange {
+    /// Creates a range, checking `min <= max` and `step > 0`.
+    pub fn new(min: f64, max: f64, step: f64) -> Self {
+        assert!(step > 0.0, "step must be positive");
+        assert!(min <= max, "min must not exceed max");
+        let r = Self { min, max, step };
+        assert!(
+            r.n_values() <= ValueIdx::MAX as usize + 1,
+            "range has more grid points than ValueIdx can index"
+        );
+        r
+    }
+
+    /// Number of grid points (inclusive of both ends).
+    pub fn n_values(&self) -> usize {
+        ((self.max - self.min) / self.step).round() as usize + 1
+    }
+
+    /// The concrete value at grid index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is outside the grid.
+    pub fn value(&self, idx: ValueIdx) -> f64 {
+        assert!(
+            (idx as usize) < self.n_values(),
+            "value index {} out of range ({} grid points)",
+            idx,
+            self.n_values()
+        );
+        self.min + idx as f64 * self.step
+    }
+
+    /// The grid index nearest to `v`, if `v` lies on the grid (within a
+    /// small tolerance) and inside `[min, max]`.
+    pub fn index_of(&self, v: f64) -> Option<ValueIdx> {
+        if v < self.min - 1e-9 || v > self.max + 1e-9 {
+            return None;
+        }
+        let k = (v - self.min) / self.step;
+        let r = k.round();
+        if (k - r).abs() > 1e-6 {
+            return None;
+        }
+        let idx = r as usize;
+        (idx < self.n_values()).then_some(idx as ValueIdx)
+    }
+
+    /// True if `v` is a legal value of this range (SON compliance check).
+    pub fn contains(&self, v: f64) -> bool {
+        self.index_of(v).is_some()
+    }
+}
+
+/// Definition of one configuration parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    pub id: ParamId,
+    /// Vendor-style camel-case name, e.g. `"hysA3Offset"`.
+    pub name: String,
+    pub kind: ParamKind,
+    pub function: ParamFunction,
+    pub range: ValueRange,
+    /// The rule-book initial default (§2.4), as a grid index.
+    pub default: ValueIdx,
+}
+
+/// The ordered catalog of configuration parameters.
+///
+/// [`ParamCatalog::standard`] builds the 65-parameter catalog used
+/// throughout the reproduction; tests may build smaller catalogs with
+/// [`ParamCatalog::new`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ParamCatalog {
+    defs: Vec<ParamDef>,
+}
+
+impl ParamCatalog {
+    /// Creates a catalog from explicit definitions.
+    ///
+    /// # Panics
+    /// Panics if ids are not dense `0..n`, names collide, or a default is
+    /// off-grid.
+    pub fn new(defs: Vec<ParamDef>) -> Self {
+        for (i, d) in defs.iter().enumerate() {
+            assert_eq!(d.id.index(), i, "parameter ids must be dense and ordered");
+            assert!(
+                (d.default as usize) < d.range.n_values(),
+                "default of {:?} is off-grid",
+                d.name
+            );
+            assert!(
+                defs[..i].iter().all(|e| e.name != d.name),
+                "duplicate parameter name {:?}",
+                d.name
+            );
+        }
+        Self { defs }
+    }
+
+    /// Number of parameters (the paper's `M`).
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition of parameter `p`.
+    pub fn def(&self, p: ParamId) -> &ParamDef {
+        &self.defs[p.index()]
+    }
+
+    /// All definitions in id order.
+    pub fn defs(&self) -> &[ParamDef] {
+        &self.defs
+    }
+
+    /// All parameter ids in order.
+    pub fn param_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.defs.len()).map(|i| ParamId(i as u16))
+    }
+
+    /// Ids of the singular parameters.
+    pub fn singular_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.defs
+            .iter()
+            .filter(|d| d.kind == ParamKind::Singular)
+            .map(|d| d.id)
+    }
+
+    /// Ids of the pair-wise parameters.
+    pub fn pairwise_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.defs
+            .iter()
+            .filter(|d| d.kind == ParamKind::Pairwise)
+            .map(|d| d.id)
+    }
+
+    /// Looks a parameter up by name.
+    pub fn by_name(&self, name: &str) -> Option<ParamId> {
+        self.defs
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| ParamId(i as u16))
+    }
+
+    /// The standard 65-parameter catalog: 39 singular + 26 pair-wise range
+    /// parameters. The six parameters §2.2 describes by name carry the
+    /// paper's exact ranges; the remainder are realistic LTE tunables
+    /// filling out the functional categories §2.2 lists.
+    pub fn standard() -> Self {
+        use ParamFunction::*;
+        use ParamKind::*;
+
+        // (name, kind, function, min, max, step, default value)
+        #[rustfmt::skip]
+        let spec: [(&str, ParamKind, ParamFunction, f64, f64, f64, f64); 65] = [
+            // ---- 39 singular parameters ----
+            // Paper-named examples (§2.2 ranges).
+            ("sFreqPrio",              Singular, LayerManagement,    1.0, 10000.0, 1.0,   1.0),
+            ("pMax",                   Singular, PowerControl,       0.0, 60.0,    0.6,   46.2),
+            ("qRxLevMin",              Singular, RadioConnection, -156.0, -44.0,   2.0,  -120.0),
+            ("inactivityTimer",        Singular, RadioConnection,    1.0, 65535.0, 1.0,   10.0),
+            ("lbCapacityThreshold",    Singular, LoadBalancing,      0.0, 100.0,   1.0,   80.0),
+            // Layer management / reselection.
+            ("cellReselectionPriority",Singular, LayerManagement,    0.0, 7.0,     1.0,   5.0),
+            ("threshServingLow",       Singular, LayerManagement,    0.0, 62.0,    2.0,   4.0),
+            ("threshXHigh",            Singular, LayerManagement,    0.0, 62.0,    2.0,   8.0),
+            ("threshXLow",             Singular, LayerManagement,    0.0, 62.0,    2.0,   6.0),
+            // Idle-mode mobility.
+            ("qHyst",                  Singular, Mobility,           0.0, 24.0,    1.0,   4.0),
+            ("sIntraSearch",           Singular, Mobility,           0.0, 62.0,    2.0,   46.0),
+            ("sNonIntraSearch",        Singular, Mobility,           0.0, 62.0,    2.0,   6.0),
+            ("sMeasure",               Singular, Mobility,           0.0, 97.0,    1.0,   0.0),
+            ("filterCoefficientRsrp",  Singular, Mobility,           0.0, 19.0,    1.0,   4.0),
+            // Power control.
+            ("pZeroNominalPusch",      Singular, PowerControl,    -126.0, 24.0,    1.0,  -103.0),
+            ("pZeroNominalPucch",      Singular, PowerControl,    -127.0, -96.0,   1.0,  -116.0),
+            ("alphaPusch",             Singular, PowerControl,       0.0, 1.0,     0.1,   0.8),
+            ("crsGain",                Singular, PowerControl,       0.0, 600.0,   10.0,  300.0),
+            ("pdcchPowerBoost",        Singular, PowerControl,       0.0, 6.0,     1.0,   0.0),
+            ("puschPowerRampStep",     Singular, PowerControl,       0.0, 6.0,     2.0,   2.0),
+            // Link adaptation.
+            ("cqiPeriodicity",         Singular, LinkAdaptation,     2.0, 160.0,   2.0,   40.0),
+            ("initialCqi",             Singular, LinkAdaptation,     1.0, 15.0,    1.0,   7.0),
+            ("amcBlerTarget",          Singular, LinkAdaptation,     1.0, 30.0,    1.0,   10.0),
+            ("harqMaxTx",              Singular, LinkAdaptation,     1.0, 8.0,     1.0,   4.0),
+            ("mimoSwitchThreshold",    Singular, LinkAdaptation,     0.0, 30.0,    1.0,   12.0),
+            // Scheduling.
+            ("dlSchedulerWeight",      Singular, Scheduling,         0.0, 100.0,   1.0,   50.0),
+            ("ulSchedulerMinBitrate",  Singular, Scheduling,         0.0, 1000.0,  8.0,   64.0),
+            ("schedulingRequestPeriod",Singular, Scheduling,         5.0, 80.0,    5.0,   10.0),
+            ("minPrbNonGbr",           Singular, Scheduling,         0.0, 100.0,   1.0,   5.0),
+            // Capacity / congestion management.
+            ("congTriggerThreshold",   Singular, CapacityManagement, 0.0, 100.0,   1.0,   90.0),
+            ("congClearThreshold",     Singular, CapacityManagement, 0.0, 100.0,   1.0,   70.0),
+            ("admissionRateThreshold", Singular, CapacityManagement, 0.0, 1000.0,  5.0,   500.0),
+            ("maxNumUeDl",             Singular, CapacityManagement, 10.0, 1000.0, 10.0,  400.0),
+            // Radio connection.
+            ("taTimer",                Singular, RadioConnection,  500.0, 10240.0, 10.0,  1880.0),
+            ("drxInactivityTimer",     Singular, RadioConnection,    1.0, 2560.0,  1.0,   100.0),
+            ("drxLongCycle",           Singular, RadioConnection,   10.0, 2560.0,  10.0,  320.0),
+            ("preambleTransMax",       Singular, RadioConnection,    3.0, 200.0,   1.0,   10.0),
+            ("outOfCoverageThreshold", Singular, RadioConnection, -140.0, -90.0,   1.0,  -118.0),
+            // Interference / load balancing.
+            ("uplinkNoiseFigure",      Singular, Interference,       0.0, 30.0,    0.5,   3.0),
+            // ---- 26 pair-wise parameters (mobility & handover, §4.1) ----
+            ("hysA3Offset",            Pairwise, Handover,           0.0, 15.0,    0.5,   2.0),
+            ("a3Offset",               Pairwise, Handover,         -15.0, 15.0,    0.5,   3.0),
+            ("timeToTriggerA3",        Pairwise, Handover,           0.0, 5120.0,  40.0,  320.0),
+            ("a5Threshold1Rsrp",       Pairwise, Handover,        -140.0, -44.0,   1.0,  -110.0),
+            ("a5Threshold2Rsrp",       Pairwise, Handover,        -140.0, -44.0,   1.0,  -114.0),
+            ("a5Threshold1Rsrq",       Pairwise, Handover,         -40.0, 0.0,     1.0,  -18.0),
+            ("a5Threshold2Rsrq",       Pairwise, Handover,         -40.0, 0.0,     1.0,  -20.0),
+            ("a1ServingThreshold",     Pairwise, Mobility,        -140.0, -44.0,   1.0,  -106.0),
+            ("a2CriticalThreshold",    Pairwise, Mobility,        -140.0, -44.0,   1.0,  -122.0),
+            ("qOffsetCell",            Pairwise, Mobility,         -24.0, 24.0,    1.0,   0.0),
+            ("qOffsetFreq",            Pairwise, Mobility,         -24.0, 24.0,    1.0,   0.0),
+            ("cellIndividualOffset",   Pairwise, Handover,         -24.0, 24.0,    0.5,   0.0),
+            ("timeToTriggerA5",        Pairwise, Handover,           0.0, 5120.0,  40.0,  640.0),
+            ("hysA5",                  Pairwise, Handover,           0.0, 15.0,    0.5,   1.5),
+            ("iflbA5Offset",           Pairwise, LoadBalancing,    -15.0, 15.0,    0.5,   0.0),
+            ("handoverPrepTimeout",    Pairwise, Handover,          50.0, 2000.0,  50.0,  500.0),
+            ("x2DataForwardingTimer",  Pairwise, Handover,          50.0, 3000.0,  50.0,  1000.0),
+            ("srvccThreshold",         Pairwise, Handover,        -140.0, -44.0,   1.0,  -112.0),
+            ("interFreqHoThreshold",   Pairwise, Handover,        -140.0, -44.0,   1.0,  -108.0),
+            ("loadExchangePeriod",     Pairwise, LoadBalancing,    100.0, 10000.0, 100.0, 1000.0),
+            ("neighborCellWeight",     Pairwise, LoadBalancing,      0.0, 100.0,   1.0,   50.0),
+            ("anrPciConflictTimer",    Pairwise, Mobility,           1.0, 600.0,   1.0,   60.0),
+            ("hoSuccessRateFloor",     Pairwise, Handover,           0.0, 100.0,   1.0,   90.0),
+            ("earlyHoOffset",          Pairwise, Handover,         -10.0, 10.0,    0.5,   0.0),
+            ("lateHoOffset",           Pairwise, Handover,         -10.0, 10.0,    0.5,   0.0),
+            ("pingPongGuardTimer",     Pairwise, Handover,           0.0, 10000.0, 100.0, 2000.0),
+        ];
+
+        let defs = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, kind, function, min, max, step, default))| {
+                let range = ValueRange::new(min, max, step);
+                let default = range
+                    .index_of(default)
+                    .unwrap_or_else(|| panic!("default of {name} is off-grid"));
+                ParamDef {
+                    id: ParamId(i as u16),
+                    name: name.to_string(),
+                    kind,
+                    function,
+                    range,
+                    default,
+                }
+            })
+            .collect();
+        Self::new(defs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_matches_paper_counts() {
+        let c = ParamCatalog::standard();
+        assert_eq!(c.len(), 65);
+        assert_eq!(c.singular_ids().count(), 39);
+        assert_eq!(c.pairwise_ids().count(), 26);
+    }
+
+    #[test]
+    fn paper_named_parameters_have_paper_ranges() {
+        let c = ParamCatalog::standard();
+        let hys = c.def(c.by_name("hysA3Offset").unwrap());
+        assert_eq!(hys.range, ValueRange::new(0.0, 15.0, 0.5));
+        assert_eq!(hys.kind, ParamKind::Pairwise);
+
+        let pmax = c.def(c.by_name("pMax").unwrap());
+        assert_eq!(pmax.range, ValueRange::new(0.0, 60.0, 0.6));
+
+        let q = c.def(c.by_name("qRxLevMin").unwrap());
+        assert_eq!((q.range.min, q.range.max), (-156.0, -44.0));
+
+        let sfp = c.def(c.by_name("sFreqPrio").unwrap());
+        assert_eq!((sfp.range.min, sfp.range.max), (1.0, 10000.0));
+        assert_eq!(
+            sfp.range.value(sfp.default),
+            1.0,
+            "default priority is 1 (highest)"
+        );
+
+        let it = c.def(c.by_name("inactivityTimer").unwrap());
+        assert_eq!(it.range.n_values(), 65535);
+    }
+
+    #[test]
+    fn value_range_grid_round_trip() {
+        let r = ValueRange::new(0.0, 15.0, 0.5);
+        assert_eq!(r.n_values(), 31);
+        assert_eq!(r.value(0), 0.0);
+        assert_eq!(r.value(30), 15.0);
+        assert_eq!(r.index_of(7.5), Some(15));
+        assert_eq!(r.index_of(7.3), None, "off-grid value");
+        assert_eq!(r.index_of(15.5), None, "above max");
+        assert_eq!(r.index_of(-0.5), None, "below min");
+        assert!(r.contains(0.5) && !r.contains(0.25));
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let r = ValueRange::new(-156.0, -44.0, 2.0);
+        assert_eq!(r.n_values(), 57);
+        assert_eq!(r.value(0), -156.0);
+        assert_eq!(r.index_of(-44.0), Some(56));
+        assert_eq!(r.index_of(-45.0), None);
+    }
+
+    #[test]
+    fn fractional_step_round_trip() {
+        let r = ValueRange::new(0.0, 60.0, 0.6);
+        assert_eq!(r.n_values(), 101);
+        for idx in 0..r.n_values() as ValueIdx {
+            assert_eq!(r.index_of(r.value(idx)), Some(idx), "idx {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_zero_step() {
+        ValueRange::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more grid points")]
+    fn rejects_oversized_grid() {
+        ValueRange::new(0.0, 100_000.0, 1.0);
+    }
+
+    #[test]
+    fn catalog_lookup_by_name() {
+        let c = ParamCatalog::standard();
+        assert!(c.by_name("qOffsetCell").is_some());
+        assert!(c.by_name("noSuchParam").is_none());
+        for p in c.param_ids() {
+            assert_eq!(c.by_name(&c.def(p).name), Some(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn rejects_sparse_ids() {
+        let range = ValueRange::new(0.0, 1.0, 1.0);
+        ParamCatalog::new(vec![ParamDef {
+            id: ParamId(3),
+            name: "x".into(),
+            kind: ParamKind::Singular,
+            function: ParamFunction::Mobility,
+            range,
+            default: 0,
+        }]);
+    }
+}

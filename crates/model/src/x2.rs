@@ -1,0 +1,248 @@
+//! The X2 neighbor-relation graph (§2.1, §3.3).
+//!
+//! Between two eNodeBs, the X2 interface carries handover signaling; Auric
+//! uses 1-hop X2 neighbor relations as its notion of *geographic proximity*
+//! for the local learner. We model X2 relations at carrier granularity:
+//! carriers on the same eNodeB and carriers on radio-adjacent eNodeBs are
+//! X2 neighbors.
+//!
+//! The graph also defines the canonical **directed pair list**: the 26
+//! pair-wise parameters take one value per ordered (carrier, neighbor)
+//! pair `(j, k)` — handover settings are directional.
+
+use crate::ids::CarrierId;
+use serde::{Deserialize, Serialize};
+
+/// Index into the canonical directed pair list of an [`X2Graph`].
+pub type PairIdx = u32;
+
+/// An undirected X2 neighbor graph over carriers, with a canonical directed
+/// pair enumeration.
+///
+/// Internally a CSR-style adjacency: `adj` holds each carrier's neighbors
+/// sorted ascending, `offsets[j]..offsets[j+1]` is carrier `j`'s slice.
+/// The directed pair `(j, adj[e])` has pair index `e`, so pair indices are
+/// dense, ordered by source carrier then neighbor id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct X2Graph {
+    offsets: Vec<u32>,
+    adj: Vec<CarrierId>,
+}
+
+impl X2Graph {
+    /// Builds the graph from undirected edges over `n_carriers` carriers.
+    /// Duplicate edges and self-loops are discarded.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n_carriers: usize, edges: &[(CarrierId, CarrierId)]) -> Self {
+        let mut neigh: Vec<Vec<CarrierId>> = vec![Vec::new(); n_carriers];
+        for &(a, b) in edges {
+            assert!(a.index() < n_carriers, "edge endpoint {a} out of range");
+            assert!(b.index() < n_carriers, "edge endpoint {b} out of range");
+            if a == b {
+                continue;
+            }
+            neigh[a.index()].push(b);
+            neigh[b.index()].push(a);
+        }
+        let mut offsets = Vec::with_capacity(n_carriers + 1);
+        let mut adj = Vec::new();
+        offsets.push(0u32);
+        for list in &mut neigh {
+            list.sort_unstable();
+            list.dedup();
+            adj.extend_from_slice(list);
+            offsets.push(adj.len() as u32);
+        }
+        Self { offsets, adj }
+    }
+
+    /// Number of carriers (graph vertices).
+    pub fn n_carriers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed pairs (twice the undirected edge count).
+    pub fn n_pairs(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The sorted X2 neighbors of carrier `c`.
+    pub fn neighbors(&self, c: CarrierId) -> &[CarrierId] {
+        let lo = self.offsets[c.index()] as usize;
+        let hi = self.offsets[c.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of carrier `c`.
+    pub fn degree(&self, c: CarrierId) -> usize {
+        self.neighbors(c).len()
+    }
+
+    /// The endpoints `(j, k)` of directed pair `p`.
+    pub fn pair(&self, p: PairIdx) -> (CarrierId, CarrierId) {
+        let k = self.adj[p as usize];
+        // Binary search the offsets for the source carrier.
+        let j = match self.offsets.binary_search(&p) {
+            // `p` may sit at the boundary shared by empty adjacency lists;
+            // the source is the *last* carrier whose slice starts at or
+            // before `p` and is non-empty there, i.e. the partition point.
+            Ok(mut i) => {
+                while self.offsets[i + 1] == p {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (CarrierId::from_index(j), k)
+    }
+
+    /// The pair index of the directed pair `(j, k)`, if `k` is a neighbor
+    /// of `j`.
+    pub fn pair_idx(&self, j: CarrierId, k: CarrierId) -> Option<PairIdx> {
+        let base = self.offsets[j.index()];
+        self.neighbors(j)
+            .binary_search(&k)
+            .ok()
+            .map(|pos| base + pos as u32)
+    }
+
+    /// The contiguous range of pair indices whose source is `j`.
+    pub fn pairs_from(&self, j: CarrierId) -> std::ops::Range<PairIdx> {
+        self.offsets[j.index()]..self.offsets[j.index() + 1]
+    }
+
+    /// All directed pairs in pair-index order.
+    pub fn pairs(&self) -> impl Iterator<Item = (PairIdx, CarrierId, CarrierId)> + '_ {
+        (0..self.n_carriers()).flat_map(move |j| {
+            let j = CarrierId::from_index(j);
+            self.pairs_from(j)
+                .zip(self.neighbors(j))
+                .map(move |(p, &k)| (p, j, k))
+        })
+    }
+
+    /// The carriers within `hops` X2 hops of `c`, excluding `c` itself,
+    /// sorted ascending. `hops = 1` is the paper's local-learner scope;
+    /// larger values feed the locality-radius ablation.
+    pub fn k_hop_neighbors(&self, c: CarrierId, hops: usize) -> Vec<CarrierId> {
+        if hops == 0 {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.n_carriers()];
+        seen[c.index()] = true;
+        let mut frontier = vec![c];
+        let mut out = Vec::new();
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        next.push(v);
+                        out.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Checks structural invariants: sorted unique adjacency and symmetry.
+    pub fn validate(&self) -> Result<(), String> {
+        for j in 0..self.n_carriers() {
+            let j = CarrierId::from_index(j);
+            let ns = self.neighbors(j);
+            if !ns.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {j} not sorted/unique"));
+            }
+            for &k in ns {
+                if k == j {
+                    return Err(format!("self-loop at {j}"));
+                }
+                if self.pair_idx(k, j).is_none() {
+                    return Err(format!("asymmetric edge {j} -> {k}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CarrierId {
+        CarrierId(i)
+    }
+
+    /// A path 0-1-2-3 plus edge 1-3 (triangle on 1,2,3).
+    fn sample() -> X2Graph {
+        X2Graph::from_edges(5, &[(c(0), c(1)), (c(1), c(2)), (c(2), c(3)), (c(1), c(3))])
+    }
+
+    #[test]
+    fn adjacency_and_degree() {
+        let g = sample();
+        assert_eq!(g.n_carriers(), 5);
+        assert_eq!(g.neighbors(c(1)), &[c(0), c(2), c(3)]);
+        assert_eq!(g.degree(c(4)), 0, "isolated carrier");
+        assert_eq!(g.n_pairs(), 8, "4 undirected edges = 8 directed pairs");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = X2Graph::from_edges(3, &[(c(0), c(1)), (c(1), c(0)), (c(2), c(2))]);
+        assert_eq!(g.n_pairs(), 2);
+        assert_eq!(g.degree(c(2)), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn pair_round_trip() {
+        let g = sample();
+        for (p, j, k) in g.pairs() {
+            assert_eq!(g.pair(p), (j, k));
+            assert_eq!(g.pair_idx(j, k), Some(p));
+        }
+        assert_eq!(g.pair_idx(c(0), c(3)), None);
+    }
+
+    #[test]
+    fn pair_lookup_past_isolated_vertices() {
+        // Carriers 1 and 2 are isolated; pair offsets collapse there.
+        let g = X2Graph::from_edges(5, &[(c(0), c(3)), (c(3), c(4))]);
+        for (p, j, k) in g.pairs() {
+            assert_eq!(g.pair(p), (j, k), "pair {p}");
+        }
+    }
+
+    #[test]
+    fn k_hop_expansion() {
+        let g = sample();
+        assert_eq!(g.k_hop_neighbors(c(0), 1), vec![c(1)]);
+        assert_eq!(g.k_hop_neighbors(c(0), 2), vec![c(1), c(2), c(3)]);
+        assert_eq!(g.k_hop_neighbors(c(0), 10), vec![c(1), c(2), c(3)]);
+        assert_eq!(g.k_hop_neighbors(c(0), 0), vec![]);
+        assert_eq!(g.k_hop_neighbors(c(4), 3), vec![], "isolated carrier");
+    }
+
+    #[test]
+    fn pairs_from_ranges_partition_pair_space() {
+        let g = sample();
+        let mut total = 0usize;
+        for j in 0..g.n_carriers() {
+            total += g.pairs_from(c(j as u32)).len();
+        }
+        assert_eq!(total, g.n_pairs());
+    }
+}

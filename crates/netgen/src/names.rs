@@ -1,0 +1,134 @@
+//! Level-name vocabularies for the Table-1 attribute schema.
+//!
+//! Level *indices* are what the learners see; the names only matter for
+//! explanations and reports, but keeping them realistic makes the examples
+//! and the decision-tree explanations read like the paper's.
+
+use auric_model::attrs::{table1_schema, AttributeSchema, Table1Levels};
+
+/// Carrier center frequencies and their band classes.
+/// Index in this array is the `carrier_frequency` level index.
+pub const FREQUENCIES: [(&str, auric_model::Band); 5] = [
+    ("700MHz", auric_model::Band::Low),
+    ("850MHz", auric_model::Band::Low),
+    ("1900MHz", auric_model::Band::Mid),
+    ("2100MHz", auric_model::Band::Mid),
+    ("2300MHz", auric_model::Band::High),
+];
+
+/// `carrier_type` levels.
+pub const CARRIER_TYPES: [&str; 3] = ["standard", "FirstNet", "NB-IoT"];
+/// `carrier_information` levels.
+pub const CARRIER_INFOS: [&str; 3] = ["none", "5G-colocated", "border"];
+/// `morphology` levels (indices match [`auric_model::Morphology::ALL`]).
+pub const MORPHOLOGIES: [&str; 3] = ["urban", "suburban", "rural"];
+/// `channel_bandwidth` levels.
+pub const BANDWIDTHS: [&str; 4] = ["5MHz", "10MHz", "15MHz", "20MHz"];
+/// `downlink_mimo_mode` levels.
+pub const MIMO_MODES: [&str; 3] = ["2x2", "4x4", "closed-loop"];
+/// `hardware_configuration` levels (remote radio head generations).
+pub const HARDWARE: [&str; 3] = ["RRH1", "RRH2", "RRH3"];
+/// `expected_cell_size` levels.
+pub const CELL_SIZES: [&str; 4] = ["1mi", "2mi", "3mi", "5mi"];
+/// `vendor` levels (indices match [`auric_model::Vendor::ALL`]).
+pub const VENDORS: [&str; 3] = ["VendorA", "VendorB", "VendorC"];
+/// Bucketized `neighbors_same_enodeb` levels.
+pub const NEIGHBOR_BUCKETS: [&str; 4] = ["0-2", "3-5", "6-8", "9+"];
+/// `software_version` levels, oldest first.
+pub const SOFTWARE_VERSIONS: [&str; 4] = ["RAN20Q1", "RAN20Q2", "RAN21Q1", "RAN21Q2"];
+/// Tracking-area blocks per market (TAC level count = markets × this).
+pub const TACS_PER_MARKET: usize = 4;
+
+/// Buckets a same-eNodeB neighbor count into a `neighbors_same_enodeb`
+/// level index.
+pub fn neighbor_bucket(count: usize) -> u16 {
+    match count {
+        0..=2 => 0,
+        3..=5 => 1,
+        6..=8 => 2,
+        _ => 3,
+    }
+}
+
+/// Builds the full Table-1 schema for a network with `n_markets` markets.
+///
+/// `neighbor_channel` has one level per frequency plus a final `"mixed"`
+/// level; `tracking_area_code` has [`TACS_PER_MARKET`] levels per market.
+pub fn build_schema(n_markets: usize) -> AttributeSchema {
+    let strs = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let mut neighbor_channel: Vec<String> =
+        FREQUENCIES.iter().map(|(n, _)| n.to_string()).collect();
+    neighbor_channel.push("mixed".to_string());
+    table1_schema(Table1Levels {
+        carrier_frequency: FREQUENCIES.iter().map(|(n, _)| n.to_string()).collect(),
+        carrier_type: strs(&CARRIER_TYPES),
+        carrier_information: strs(&CARRIER_INFOS),
+        morphology: strs(&MORPHOLOGIES),
+        channel_bandwidth: strs(&BANDWIDTHS),
+        downlink_mimo_mode: strs(&MIMO_MODES),
+        hardware_configuration: strs(&HARDWARE),
+        expected_cell_size: strs(&CELL_SIZES),
+        tracking_area_code: (0..n_markets)
+            .flat_map(|m| (0..TACS_PER_MARKET).map(move |k| format!("TAC-{m}-{k}")))
+            .collect(),
+        market: (0..n_markets)
+            .map(|m| format!("Market {}", m + 1))
+            .collect(),
+        vendor: strs(&VENDORS),
+        neighbor_channel,
+        neighbors_same_enodeb: strs(&NEIGHBOR_BUCKETS),
+        software_version: strs(&SOFTWARE_VERSIONS),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_idx;
+
+    #[test]
+    fn schema_shape() {
+        let s = build_schema(28);
+        assert_eq!(s.n_attrs(), 14);
+        assert_eq!(s.cardinality(attr_idx::MARKET), 28);
+        assert_eq!(s.cardinality(attr_idx::TAC), 28 * TACS_PER_MARKET);
+        assert_eq!(s.cardinality(attr_idx::FREQUENCY), 5);
+        assert_eq!(s.cardinality(attr_idx::NEIGHBOR_CHANNEL), 6);
+        assert_eq!(s.level_name(attr_idx::MORPHOLOGY, 0), "urban");
+        assert_eq!(s.level_name(attr_idx::SOFTWARE, 3), "RAN21Q2");
+    }
+
+    #[test]
+    fn attr_idx_constants_match_names() {
+        let s = build_schema(3);
+        assert_eq!(s.by_name("carrier_frequency"), Some(attr_idx::FREQUENCY));
+        assert_eq!(s.by_name("morphology"), Some(attr_idx::MORPHOLOGY));
+        assert_eq!(s.by_name("market"), Some(attr_idx::MARKET));
+        assert_eq!(s.by_name("vendor"), Some(attr_idx::VENDOR));
+        assert_eq!(s.by_name("software_version"), Some(attr_idx::SOFTWARE));
+        assert_eq!(
+            s.by_name("neighbors_same_enodeb"),
+            Some(attr_idx::NEIGHBORS_SAME_ENB)
+        );
+    }
+
+    #[test]
+    fn neighbor_bucketing() {
+        assert_eq!(neighbor_bucket(0), 0);
+        assert_eq!(neighbor_bucket(2), 0);
+        assert_eq!(neighbor_bucket(3), 1);
+        assert_eq!(neighbor_bucket(8), 2);
+        assert_eq!(neighbor_bucket(50), 3);
+    }
+
+    #[test]
+    fn frequencies_cover_all_bands() {
+        use auric_model::Band;
+        for band in Band::ALL {
+            assert!(
+                FREQUENCIES.iter().any(|&(_, b)| b == band),
+                "no frequency in band {band:?}"
+            );
+        }
+    }
+}

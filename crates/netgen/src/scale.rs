@@ -1,0 +1,179 @@
+//! Scale presets and tuning knobs for the generator.
+
+use serde::{Deserialize, Serialize};
+
+/// How big a network to generate.
+///
+/// The paper's snapshot is 28 markets / ~400K carriers; that is CI-hostile,
+/// so sizes are parameterized with presets from unit-test scale up to a
+/// shape-faithful "full" scale. Carrier counts follow from eNodeB counts:
+/// ~3 faces × 2–4 carriers, i.e. ≈ 7–10 carriers per eNodeB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetScale {
+    /// Number of markets (the paper has 28).
+    pub n_markets: usize,
+    /// Mean number of eNodeBs per market; actual counts vary ±40% by
+    /// market so market sizes differ the way Table 3's do.
+    pub enbs_per_market: usize,
+    /// Master seed; every downstream stage derives its own stream from it.
+    pub seed: u64,
+}
+
+impl NetScale {
+    /// Unit-test scale: 2 markets, a few hundred carriers. Fast enough for
+    /// proptest shrinking loops.
+    pub fn tiny() -> Self {
+        Self {
+            n_markets: 2,
+            enbs_per_market: 10,
+            seed: 7,
+        }
+    }
+
+    /// Small scale: 4 markets (one per timezone, like Table 3's subset),
+    /// ~2–3K carriers.
+    pub fn small() -> Self {
+        Self {
+            n_markets: 4,
+            enbs_per_market: 40,
+            seed: 7,
+        }
+    }
+
+    /// Medium scale: all 28 markets, ~10–15K carriers. The eval binary's
+    /// default.
+    pub fn medium() -> Self {
+        Self {
+            n_markets: 28,
+            enbs_per_market: 30,
+            seed: 7,
+        }
+    }
+
+    /// Full shape: 28 markets, ~60–80K carriers. Slow; used by the
+    /// headline experiment runs, not by tests.
+    pub fn full() -> Self {
+        Self {
+            n_markets: 28,
+            enbs_per_market: 150,
+            seed: 7,
+        }
+    }
+
+    /// Replaces the seed (each experiment wants its own stream).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for NetScale {
+    fn default() -> Self {
+        Self::medium()
+    }
+}
+
+/// Rates of the configuration-perturbing processes layered on top of the
+/// engineering rules. Defaults are tuned (empirically, via the eval
+/// harness) so the synthetic network lands near the paper's headline
+/// numbers: ~4% mismatch rate for the local learner, of which ~28% are
+/// stale-trial "good recommendations" and ~5% "update learner" causes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningKnobs {
+    /// Probability that a market has geographic tuning pockets
+    /// (optimization campaigns) at all.
+    pub pocket_prob: f64,
+    /// Maximum pockets per market when present.
+    pub max_pockets: usize,
+    /// How many parameters one pocket campaign tunes together (uniform in
+    /// this range). Campaign-style tuning is what concentrates Table 5's
+    /// recommended changes on few carriers with many parameters each.
+    pub params_per_pocket: (usize, usize),
+    /// Pocket radius range in km (uniform).
+    pub pocket_radius_km: (f64, f64),
+    /// Fraction of pockets whose cause is hidden from the attribute schema
+    /// (terrain / propagation — the paper's missing-attribute cause).
+    pub hidden_pocket_frac: f64,
+    /// Per-parameter probability of having a stale abandoned trial.
+    pub stale_trial_prob: f64,
+    /// Fraction of a market's value slots a stale trial touched.
+    pub stale_trial_frac: f64,
+    /// Per-parameter probability of an in-progress certification trial.
+    pub live_trial_prob: f64,
+    /// Fraction of the trial region's slots flipped so far (kept below the
+    /// voting threshold: the paper notes these are "not in the majority").
+    pub live_trial_frac: f64,
+    /// Per-slot probability of one-off noise.
+    pub noise_rate: f64,
+}
+
+impl Default for TuningKnobs {
+    fn default() -> Self {
+        Self {
+            pocket_prob: 0.8,
+            max_pockets: 2,
+            params_per_pocket: (6, 16),
+            pocket_radius_km: (2.5, 5.0),
+            hidden_pocket_frac: 0.55,
+            stale_trial_prob: 0.65,
+            stale_trial_frac: 0.018,
+            live_trial_prob: 0.30,
+            live_trial_frac: 0.35,
+            noise_rate: 0.008,
+        }
+    }
+}
+
+impl TuningKnobs {
+    /// A perfectly clean network: rules only. Useful for tests that want
+    /// learners to reach 100% and for ablations.
+    pub fn none() -> Self {
+        Self {
+            pocket_prob: 0.0,
+            max_pockets: 0,
+            params_per_pocket: (5, 16),
+            pocket_radius_km: (2.0, 6.0),
+            hidden_pocket_frac: 0.0,
+            stale_trial_prob: 0.0,
+            stale_trial_frac: 0.0,
+            live_trial_prob: 0.0,
+            live_trial_frac: 0.0,
+            noise_rate: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let sizes = [
+            NetScale::tiny(),
+            NetScale::small(),
+            NetScale::medium(),
+            NetScale::full(),
+        ]
+        .map(|s| s.n_markets * s.enbs_per_market);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = NetScale::small();
+        let b = a.with_seed(99);
+        assert_eq!(a.n_markets, b.n_markets);
+        assert_eq!(a.enbs_per_market, b.enbs_per_market);
+        assert_eq!(b.seed, 99);
+    }
+
+    #[test]
+    fn clean_knobs_disable_everything() {
+        let k = TuningKnobs::none();
+        assert_eq!(k.noise_rate, 0.0);
+        assert_eq!(k.pocket_prob, 0.0);
+        assert_eq!(k.stale_trial_prob, 0.0);
+        assert_eq!(k.live_trial_prob, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! SON-style compliance checking (§2.4).
+//!
+//! Self-Organizing-Network automation "can verify that the parameters
+//! conform to the ranges but cannot automatically discover what the
+//! optimized values are". This module is that verifier: it audits a
+//! snapshot's configuration against the parameter grids and, optionally,
+//! against a rule-book.
+
+use crate::Rulebook;
+use auric_model::{CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind, ValueIdx};
+use serde::{Deserialize, Serialize};
+
+/// Where a violation was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Slot {
+    Carrier(CarrierId),
+    Pair(PairIdx),
+}
+
+/// One compliance violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    pub param: ParamId,
+    pub slot: Slot,
+    pub kind: ViolationKind,
+}
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Value index is off the parameter's grid.
+    OffGrid { value: ValueIdx },
+    /// Value disagrees with the first matching rule-book rule.
+    RulebookMismatch { value: ValueIdx, expected: ValueIdx },
+}
+
+/// Audit report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ComplianceReport {
+    pub checked: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl ComplianceReport {
+    /// Fraction of checked slots that passed.
+    pub fn compliance_rate(&self) -> f64 {
+        if self.checked == 0 {
+            return 1.0;
+        }
+        1.0 - self.violations.len() as f64 / self.checked as f64
+    }
+}
+
+/// Checks that every configured value lies on its parameter's grid — the
+/// range conformance SON guarantees.
+pub fn check_ranges(snapshot: &NetworkSnapshot) -> ComplianceReport {
+    let mut report = ComplianceReport::default();
+    for def in snapshot.catalog.defs() {
+        let n = def.range.n_values();
+        match def.kind {
+            ParamKind::Singular => {
+                for c in &snapshot.carriers {
+                    report.checked += 1;
+                    let v = snapshot.config.value(def.id, c.id);
+                    if (v as usize) >= n {
+                        report.violations.push(Violation {
+                            param: def.id,
+                            slot: Slot::Carrier(c.id),
+                            kind: ViolationKind::OffGrid { value: v },
+                        });
+                    }
+                }
+            }
+            ParamKind::Pairwise => {
+                for p in 0..snapshot.x2.n_pairs() as u32 {
+                    report.checked += 1;
+                    let v = snapshot.config.pair_value(def.id, p);
+                    if (v as usize) >= n {
+                        report.violations.push(Violation {
+                            param: def.id,
+                            slot: Slot::Pair(p),
+                            kind: ViolationKind::OffGrid { value: v },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Checks singular values against a rule-book (the consistency audit the
+/// paper's engineers run between production and the book). Pair-wise
+/// parameters are skipped — rule-books don't model neighbors.
+pub fn check_rulebook(snapshot: &NetworkSnapshot, book: &Rulebook) -> ComplianceReport {
+    let mut report = ComplianceReport::default();
+    for def in snapshot.catalog.defs() {
+        if def.kind != ParamKind::Singular {
+            continue;
+        }
+        for c in &snapshot.carriers {
+            report.checked += 1;
+            let v = snapshot.config.value(def.id, c.id);
+            let expected = book.lookup(def.id, &c.attrs, def.default);
+            if v != expected {
+                report.violations.push(Violation {
+                    param: def.id,
+                    slot: Slot::Carrier(c.id),
+                    kind: ViolationKind::RulebookMismatch { value: v, expected },
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    #[test]
+    fn generated_networks_are_range_compliant() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let report = check_ranges(&net.snapshot);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.compliance_rate(), 1.0);
+        assert_eq!(report.checked, net.snapshot.config.total_values());
+    }
+
+    #[test]
+    fn rulebook_audit_finds_local_tuning() {
+        // A network with tuning deviates from its own mined rule-book
+        // exactly where engineers tuned; a clean network still deviates
+        // wherever latent rules key on attributes outside RULEBOOK_KEY.
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let book = crate::mine_rulebook(&net.snapshot);
+        let report = check_rulebook(&net.snapshot, &book);
+        assert!(report.checked > 0);
+        assert!(
+            !report.violations.is_empty(),
+            "mined book should not explain every tuned value"
+        );
+        assert!(report.compliance_rate() > 0.5);
+    }
+
+    #[test]
+    fn empty_report_is_fully_compliant() {
+        assert_eq!(ComplianceReport::default().compliance_rate(), 1.0);
+    }
+}

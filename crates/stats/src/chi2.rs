@@ -1,0 +1,134 @@
+//! The chi-square distribution: CDF, p-values and critical values.
+//!
+//! Auric's dependency learner (§3.2) compares the chi-square statistic of
+//! each (attribute, parameter) contingency table against the critical value
+//! at significance level 0.01 with `df = (R-1)(C-1)` degrees of freedom.
+//! A chi-square with `k` degrees of freedom is Gamma(k/2, 2), so the CDF is
+//! the regularized incomplete gamma function `P(k/2, x/2)`.
+
+use crate::special::{gamma_p, gamma_q};
+
+/// CDF of the chi-square distribution with `df` degrees of freedom.
+///
+/// # Panics
+/// Panics if `df == 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, df: usize) -> f64 {
+    assert!(df > 0, "chi-square needs df >= 1");
+    assert!(x >= 0.0, "chi-square support is x >= 0, got {x}");
+    gamma_p(df as f64 / 2.0, x / 2.0)
+}
+
+/// Upper-tail p-value: `P[X >= x]` for chi-square with `df` degrees of
+/// freedom. This is what gets compared against the significance level.
+pub fn chi2_p_value(x: f64, df: usize) -> f64 {
+    assert!(df > 0, "chi-square needs df >= 1");
+    assert!(x >= 0.0, "chi-square support is x >= 0, got {x}");
+    gamma_q(df as f64 / 2.0, x / 2.0)
+}
+
+/// Critical value `x*` such that `P[X >= x*] = alpha` for chi-square with
+/// `df` degrees of freedom — the threshold the paper's test compares its
+/// statistic against ("the critical value from the chi-square distribution
+/// table", §3.2).
+///
+/// Computed by bisection on the CDF; accurate to ~1e-10.
+///
+/// # Panics
+/// Panics if `alpha` is not in `(0, 1)` or `df == 0`.
+pub fn chi2_critical(df: usize, alpha: f64) -> f64 {
+    assert!(df > 0, "chi-square needs df >= 1");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "significance level must be in (0,1), got {alpha}"
+    );
+    let target = 1.0 - alpha;
+    // Bracket: mean + a few standard deviations covers any practical alpha;
+    // expand until the CDF passes the target.
+    let mut hi = df as f64 + 10.0 * (2.0 * df as f64).sqrt() + 10.0;
+    while chi2_cdf(hi, df) < target {
+        hi *= 2.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(mid, df) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * (1.0 + hi) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook chi-square critical values (df, alpha, x*).
+    const TABLE: &[(usize, f64, f64)] = &[
+        (1, 0.05, 3.841),
+        (1, 0.01, 6.635),
+        (2, 0.05, 5.991),
+        (2, 0.01, 9.210),
+        (4, 0.01, 13.277),
+        (10, 0.05, 18.307),
+        (10, 0.01, 23.209),
+        (30, 0.01, 50.892),
+        (100, 0.05, 124.342),
+    ];
+
+    #[test]
+    fn matches_distribution_table() {
+        for &(df, alpha, expect) in TABLE {
+            let got = chi2_critical(df, alpha);
+            assert!(
+                (got - expect).abs() < 5e-3,
+                "df={df} alpha={alpha}: got {got}, table {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_value_inverts_p_value() {
+        for &(df, alpha, _) in TABLE {
+            let x = chi2_critical(df, alpha);
+            assert!((chi2_p_value(x, df) - alpha).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cdf_properties() {
+        assert_eq!(chi2_cdf(0.0, 3), 0.0);
+        assert!((chi2_cdf(1e4, 3) - 1.0).abs() < 1e-12);
+        // Median of chi-square(2) is 2 ln 2.
+        assert!((chi2_cdf(2.0 * 2f64.ln(), 2) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn p_value_decreases_with_statistic() {
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let p = chi2_p_value(i as f64 * 0.7, 5);
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn stricter_alpha_needs_larger_statistic() {
+        for df in [1, 3, 8, 20] {
+            let lenient = chi2_critical(df, 0.05);
+            let strict = chi2_critical(df, 0.01);
+            assert!(strict > lenient, "df={df}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "significance level")]
+    fn rejects_bad_alpha() {
+        chi2_critical(3, 1.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Distance metrics for the k-NN learner (§4.2 uses Euclidean distance
+//! over one-hot encoded attributes).
+
+/// Euclidean distance between dense feature vectors.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance over mismatched vectors");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Hamming distance between categorical rows: the number of columns whose
+/// levels differ.
+///
+/// For one-hot encoded categoricals, squared Euclidean distance is exactly
+/// `2 ×` Hamming distance, so the k-NN learner ranks neighbors with this
+/// (cheaper) form without changing the result.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn hamming(a: &[u16], b: &[u16]) -> usize {
+    assert_eq!(a.len(), b.len(), "distance over mismatched rows");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn hamming_counts_differing_columns() {
+        assert_eq!(hamming(&[1, 2, 3], &[1, 0, 3]), 1);
+        assert_eq!(hamming(&[0, 0], &[1, 1]), 2);
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    fn one_hot_euclidean_equals_twice_hamming() {
+        use crate::onehot::OneHotEncoder;
+        let enc = OneHotEncoder::new(vec![3, 4, 2, 5]);
+        let a = [0u16, 3, 1, 2];
+        let b = [2u16, 3, 0, 2];
+        let d2 = euclidean(&enc.encode(&a), &enc.encode(&b)).powi(2);
+        assert!((d2 - 2.0 * hamming(&a, &b) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn euclidean_checks_length() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Frequency counting over categorical values: the machinery under the
+//! voting recommender (§3.2's "parameter value that has highest support")
+//! and the variability analysis (§2.6).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A multiset of `u16` values with O(1) add/remove and majority queries.
+///
+/// The collaborative-filtering voter keeps one of these per carrier group;
+/// leave-one-out evaluation removes the probe carrier's own value before
+/// asking for the winner and re-adds it afterwards.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreqTable {
+    /// Serialized as `(value, count)` pairs: JSON map keys must be
+    /// strings, so a `HashMap<u16, _>` would not round-trip.
+    #[serde(with = "counts_serde")]
+    counts: HashMap<u16, usize>,
+    total: usize,
+}
+
+/// Vec-of-pairs (de)serialization for the count map.
+mod counts_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(map: &HashMap<u16, usize>, ser: S) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(u16, usize)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        pairs.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<HashMap<u16, usize>, D::Error> {
+        let pairs: Vec<(u16, usize)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl FreqTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from values.
+    pub fn from_values<I: IntoIterator<Item = u16>>(values: I) -> Self {
+        let mut t = Self::new();
+        for v in values {
+            t.add(v);
+        }
+        t
+    }
+
+    /// Records one observation of `v`.
+    pub fn add(&mut self, v: u16) {
+        *self.counts.entry(v).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Removes one observation of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` has no remaining observations — removing something
+    /// never added is always a logic error in the caller.
+    pub fn remove(&mut self, v: u16) {
+        let c = self
+            .counts
+            .get_mut(&v)
+            .unwrap_or_else(|| panic!("removing value {v} that was never added"));
+        *c -= 1;
+        if *c == 0 {
+            self.counts.remove(&v);
+        }
+        self.total -= 1;
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count of value `v`.
+    pub fn count(&self, v: u16) -> usize {
+        self.counts.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct values currently present (the paper's
+    /// *variability*).
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The value with the highest count and that count. Ties break toward
+    /// the smallest value so results are deterministic. `None` when empty.
+    pub fn majority(&self) -> Option<(u16, usize)> {
+        self.counts
+            .iter()
+            .map(|(&v, &c)| (v, c))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// The majority value if its support ratio is at least `threshold`
+    /// (e.g. the paper's 0.75). `None` when empty or below threshold.
+    pub fn majority_with_support(&self, threshold: f64) -> Option<(u16, usize)> {
+        let (v, c) = self.majority()?;
+        (c as f64 >= threshold * self.total as f64).then_some((v, c))
+    }
+
+    /// Iterates `(value, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, usize)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Majority query with one observation of `exclude` virtually removed
+    /// — the read-only leave-one-out form the recommender's evaluation
+    /// uses (the table itself is shared across threads and never mutated).
+    ///
+    /// Returns `(value, count, total)` over the reduced table when the
+    /// winner's support ratio reaches `threshold`; `None` when the reduced
+    /// table is empty or support falls short. Excluding a value not in the
+    /// table is a caller bug and panics.
+    pub fn majority_with_support_excluding(
+        &self,
+        exclude: Option<u16>,
+        threshold: f64,
+    ) -> Option<(u16, usize, usize)> {
+        let mut total = self.total;
+        if let Some(e) = exclude {
+            assert!(
+                self.count(e) > 0,
+                "excluding value {e} that was never added"
+            );
+            total -= 1;
+        }
+        if total == 0 {
+            return None;
+        }
+        let mut best: Option<(u16, usize)> = None;
+        for (&v, &c) in &self.counts {
+            let c = if Some(v) == exclude { c - 1 } else { c };
+            if c == 0 {
+                continue;
+            }
+            best = match best {
+                None => Some((v, c)),
+                Some((bv, bc)) if c > bc || (c == bc && v < bv) => Some((v, c)),
+                keep => keep,
+            };
+        }
+        let (v, c) = best?;
+        (c as f64 >= threshold * total as f64).then_some((v, c, total))
+    }
+}
+
+/// Number of distinct values in a slice (convenience for the variability
+/// figures).
+pub fn distinct_count(values: &[u16]) -> usize {
+    let mut s: Vec<u16> = values.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut t = FreqTable::from_values([3, 3, 5]);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.count(3), 2);
+        t.remove(3);
+        assert_eq!(t.count(3), 1);
+        t.remove(3);
+        assert_eq!(t.count(3), 0);
+        assert_eq!(t.distinct(), 1);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn remove_unknown_panics() {
+        FreqTable::new().remove(9);
+    }
+
+    #[test]
+    fn majority_and_ties() {
+        let t = FreqTable::from_values([1, 2, 2, 3, 3]);
+        // Tie between 2 and 3 at count 2 → smaller value wins.
+        assert_eq!(t.majority(), Some((2, 2)));
+        assert_eq!(FreqTable::new().majority(), None);
+    }
+
+    #[test]
+    fn support_threshold_semantics() {
+        let t = FreqTable::from_values([7, 7, 7, 1]);
+        // 7 has 3/4 = exactly 75% support: threshold is inclusive.
+        assert_eq!(t.majority_with_support(0.75), Some((7, 3)));
+        assert_eq!(t.majority_with_support(0.76), None);
+        assert_eq!(t.majority_with_support(0.5), Some((7, 3)));
+        // Single value trivially has 100% support.
+        let one = FreqTable::from_values([4]);
+        assert_eq!(one.majority_with_support(1.0), Some((4, 1)));
+    }
+
+    #[test]
+    fn leave_one_out_pattern() {
+        // The voter's usage pattern: remove own value, query, re-add.
+        let mut t = FreqTable::from_values([5, 5, 5, 9]);
+        t.remove(9);
+        assert_eq!(t.majority_with_support(0.75), Some((5, 3)));
+        t.add(9);
+        t.remove(5);
+        // Remaining 5,5,9 → 2/3 support < 75%.
+        assert_eq!(t.majority_with_support(0.75), None);
+        t.add(5);
+        assert_eq!(t.total(), 4);
+    }
+
+    #[test]
+    fn excluding_matches_mutating_leave_one_out() {
+        let t = FreqTable::from_values([5, 5, 5, 9]);
+        // Excluding the odd one out: 5 has 3/3 support.
+        assert_eq!(
+            t.majority_with_support_excluding(Some(9), 0.75),
+            Some((5, 3, 3))
+        );
+        // Excluding a 5: remaining 5,5,9 → 2/3 < 75%.
+        assert_eq!(t.majority_with_support_excluding(Some(5), 0.75), None);
+        // No exclusion behaves like majority_with_support.
+        assert_eq!(
+            t.majority_with_support_excluding(None, 0.75),
+            Some((5, 3, 4))
+        );
+        // Original table untouched.
+        assert_eq!(t.total(), 4);
+    }
+
+    #[test]
+    fn excluding_the_only_value_empties_the_table() {
+        let t = FreqTable::from_values([2]);
+        assert_eq!(t.majority_with_support_excluding(Some(2), 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn excluding_unknown_value_panics() {
+        FreqTable::from_values([1]).majority_with_support_excluding(Some(9), 0.5);
+    }
+
+    #[test]
+    fn distinct_count_helper() {
+        assert_eq!(distinct_count(&[1, 1, 2, 9, 9, 9]), 3);
+        assert_eq!(distinct_count(&[]), 0);
+    }
+}

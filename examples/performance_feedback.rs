@@ -1,0 +1,85 @@
+//! The §6 extension: performance-feedback-weighted voting, closed-loop.
+//!
+//! "For the similar carriers with matching attributes and different
+//! distribution of parameter values, we can provide higher weights (in our
+//! voting approach) to configuration changes that have improved service
+//! performance in the past." Here the KPI *simulator* (not an injected
+//! flag) produces per-carrier health: we sabotage one eNodeB's handover
+//! hysteresis, watch its KPIs degrade, and let the degraded carriers lose
+//! their say in neighborhood votes.
+//!
+//! ```text
+//! cargo run --release --example performance_feedback
+//! ```
+
+use auric_core::perf::recommend_local_weighted;
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_kpi::{simulate, TrafficModel};
+use auric_model::{CarrierId, Provenance};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+
+fn main() {
+    let mut net = generate(&NetScale::tiny(), &TuningKnobs::default());
+    let snapshot = &mut net.snapshot;
+
+    // Sabotage: zero out hysA3Offset on every pair sourced at one eNodeB
+    // (a classic mis-tuning — §2.2's handover margin set razor thin).
+    let hys = snapshot.catalog.by_name("hysA3Offset").unwrap();
+    let victim_enb = snapshot.enodebs[3].clone();
+    for &c in &victim_enb.carriers {
+        for q in snapshot.x2.pairs_from(c) {
+            snapshot.config.set_pair_value(hys, q, 0, Provenance::Noise);
+        }
+    }
+    println!(
+        "sabotaged hysA3Offset = 0 dB on {} ({} carriers)",
+        victim_enb.id,
+        victim_enb.carriers.len()
+    );
+
+    // Post-launch monitoring: run the traffic/handover simulator and
+    // derive per-carrier health.
+    let snapshot = &net.snapshot;
+    let report = simulate(snapshot, &TrafficModel::default());
+    println!("network mean health: {:.3}", report.mean_health());
+    for &c in &victim_enb.carriers {
+        let k = report.kpi(c);
+        println!(
+            "  {c}: health {:.2} (HO attempts {}, ping-pong {}, drops {})",
+            k.health(),
+            k.ho_attempts,
+            k.ho_pingpong,
+            k.ho_drops
+        );
+    }
+    let watch_list = report.unhealthy(0.9);
+    println!("watch list (health < 0.9): {} carriers", watch_list.len());
+
+    // The degraded carriers now vote with reduced weight (their tuning
+    // history is suspect). Compare plain vs KPI-weighted recommendations
+    // around the victim.
+    let scope = Scope::whole(snapshot);
+    let model = CfModel::fit(snapshot, &scope, CfConfig::default());
+    let mut flipped = 0usize;
+    let mut compared = 0usize;
+    for i in 0..snapshot.n_carriers() {
+        let c = CarrierId::from_index(i);
+        if !snapshot
+            .x2
+            .neighbors(c)
+            .iter()
+            .any(|n| victim_enb.carriers.contains(n))
+        {
+            continue;
+        }
+        for p in snapshot.catalog.singular_ids() {
+            let plain = model.recommend_local_singular(snapshot, p, c, false);
+            let weighted = recommend_local_weighted(snapshot, &model, &report, p, c);
+            compared += 1;
+            flipped += usize::from(plain.value != weighted.value);
+        }
+    }
+    println!(
+        "\n{flipped} of {compared} neighbor recommendations changed under KPI weighting"
+    );
+}

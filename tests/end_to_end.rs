@@ -1,0 +1,120 @@
+//! End-to-end integration: generator → recommender → evaluation →
+//! deployment, across crate boundaries.
+
+use auric_repro::core::{
+    evaluate_cf, recommend_pairwise, recommend_singular, CfConfig, CfModel, NewCarrier, Scope,
+};
+use auric_repro::ems::{sample_campaign, EmsSettings, SmartLaunch, VendorConfigSource};
+use auric_repro::model::{CarrierId, ParamId, ValueIdx};
+use auric_repro::netgen::{generate, NetScale, TuningKnobs};
+
+#[test]
+fn full_pipeline_small_network() {
+    // Generate → fit → evaluate → recommend → launch, in one flow.
+    let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    snap.validate().expect("generator output is consistent");
+
+    let scope = Scope::whole(snap);
+    let model = CfModel::fit(snap, &scope, CfConfig::default());
+
+    // Evaluation: the local learner should land in a high-accuracy band on
+    // a default-tuned network (the paper's headline is ~96%; tiny scale
+    // is noisier, so accept a broad band that still excludes failure).
+    let local = evaluate_cf(snap, &scope, &model, true);
+    let acc = local.micro_accuracy();
+    assert!(acc > 0.90, "local leave-one-out accuracy {acc}");
+
+    // Cold-start recommendation covers the whole catalog.
+    let template = CarrierId(0);
+    let nc = NewCarrier {
+        attrs: snap.carrier(template).attrs.clone(),
+        neighbors: snap.x2.neighbors(template).to_vec(),
+    };
+    let singular = recommend_singular(snap, &model, &nc);
+    assert_eq!(singular.len(), 39);
+    if let Some(&n) = nc.neighbors.first() {
+        let pairwise = recommend_pairwise(snap, &model, &nc, n);
+        assert_eq!(pairwise.len(), 26);
+    }
+
+    // Deployment: a small campaign completes with sane accounting.
+    struct Defaults<'a>(&'a auric_repro::model::NetworkSnapshot);
+    impl VendorConfigSource for Defaults<'_> {
+        fn initial_value(&self, _c: CarrierId, p: ParamId) -> ValueIdx {
+            self.0.catalog.def(p).default
+        }
+    }
+    let plans = sample_campaign(snap, 20, 0.1, 5);
+    let mut pipeline = SmartLaunch::new(snap, &model, EmsSettings::default());
+    let report = pipeline.run_campaign(&plans, &Defaults(snap));
+    assert_eq!(report.launched, 20);
+    assert_eq!(
+        report.changes_implemented + report.fallouts(),
+        report.changes_recommended
+    );
+}
+
+#[test]
+fn local_beats_global_when_tuning_is_geographic() {
+    // The paper's central claim, as an invariant: on a network whose only
+    // deviation from the rules is geographic pockets, the local learner
+    // must beat the global one.
+    let knobs = TuningKnobs {
+        pocket_prob: 0.9,
+        max_pockets: 2,
+        ..TuningKnobs::none()
+    };
+    let net = generate(
+        &NetScale {
+            n_markets: 2,
+            enbs_per_market: 16,
+            seed: 21,
+        },
+        &knobs,
+    );
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let model = CfModel::fit(snap, &scope, CfConfig::default());
+    let global = evaluate_cf(snap, &scope, &model, false).micro_accuracy();
+    let local = evaluate_cf(snap, &scope, &model, true).micro_accuracy();
+    assert!(
+        local > global,
+        "local {local} must beat global {global} on a pocketed network"
+    );
+}
+
+#[test]
+fn accuracy_degrades_gracefully_with_noise() {
+    // More one-off noise → lower leave-one-out accuracy, monotonically
+    // (the recommender can't predict lawless values).
+    let mut last = 1.1;
+    for &noise in &[0.0, 0.05, 0.15] {
+        let knobs = TuningKnobs {
+            noise_rate: noise,
+            ..TuningKnobs::none()
+        };
+        let net = generate(&NetScale::tiny(), &knobs);
+        let snap = &net.snapshot;
+        let scope = Scope::whole(snap);
+        let model = CfModel::fit(snap, &scope, CfConfig::default());
+        let acc = evaluate_cf(snap, &scope, &model, true).micro_accuracy();
+        assert!(
+            acc < last + 0.005,
+            "noise {noise}: accuracy {acc} vs previous {last}"
+        );
+        last = acc;
+    }
+}
+
+#[test]
+fn seeds_change_data_but_not_structure() {
+    for seed in [1u64, 99, 12345] {
+        let net = generate(&NetScale::tiny().with_seed(seed), &TuningKnobs::default());
+        let snap = &net.snapshot;
+        snap.validate().unwrap();
+        assert_eq!(snap.catalog.len(), 65);
+        assert_eq!(snap.markets.len(), 2);
+        assert_eq!(snap.schema.n_attrs(), 14);
+    }
+}

@@ -1,0 +1,64 @@
+//! Closed-loop integration across netgen → kpi → core: the §6
+//! performance-feedback chain. Misconfiguration must be *observable* in
+//! the simulated KPIs, and the KPI report must plug into the weighted
+//! voter.
+
+use auric_repro::core::perf::{recommend_local_weighted, KpiSource};
+use auric_repro::core::{CfConfig, CfModel, Scope};
+use auric_repro::kpi::{simulate, TrafficModel};
+use auric_repro::model::Provenance;
+use auric_repro::netgen::{generate, NetScale, TuningKnobs};
+
+#[test]
+fn misconfiguration_is_observable_in_kpis() {
+    let base = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
+    let healthy = simulate(&base, &TrafficModel::default());
+
+    // Sabotage handover margins network-wide.
+    let mut broken = base.clone();
+    let hys = broken.catalog.by_name("hysA3Offset").unwrap();
+    for q in 0..broken.x2.n_pairs() as u32 {
+        broken.config.set_pair_value(hys, q, 0, Provenance::Noise);
+    }
+    let sick = simulate(&broken, &TrafficModel::default());
+
+    assert!(
+        sick.mean_health() < healthy.mean_health() - 0.02,
+        "sabotage must show: healthy {} vs sick {}",
+        healthy.mean_health(),
+        sick.mean_health()
+    );
+    assert!(
+        sick.unhealthy(0.9).len() > healthy.unhealthy(0.9).len(),
+        "the watch list must grow"
+    );
+}
+
+#[test]
+fn kpi_report_weights_degrade_with_health() {
+    let snap = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
+    let report = simulate(&snap, &TrafficModel::default());
+    for k in report.per_carrier() {
+        let w = report.weight(k.carrier);
+        assert!((0.05..=1.0).contains(&w));
+        assert!(
+            (w - k.health().max(0.05)).abs() < 1e-12,
+            "weight tracks health"
+        );
+    }
+}
+
+#[test]
+fn weighted_recommendations_run_end_to_end() {
+    let snap = generate(&NetScale::tiny(), &TuningKnobs::default()).snapshot;
+    let report = simulate(&snap, &TrafficModel::default());
+    let scope = Scope::whole(&snap);
+    let model = CfModel::fit(&snap, &scope, CfConfig::default());
+    let p = snap.catalog.singular_ids().next().unwrap();
+    for i in (0..snap.n_carriers()).step_by(13) {
+        let c = auric_repro::model::CarrierId::from_index(i);
+        let rec = recommend_local_weighted(&snap, &model, &report, p, c);
+        let def = snap.catalog.def(p);
+        assert!((rec.value as usize) < def.range.n_values());
+    }
+}

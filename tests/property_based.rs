@@ -1,0 +1,105 @@
+//! Property-based integration tests (proptest) over the core invariants:
+//! voting semantics, value-grid round trips, one-hot structure, X2 graph
+//! symmetry, and chi-square monotonicity.
+
+use auric_repro::model::{CarrierId, ValueRange, X2Graph};
+use auric_repro::stats::chi2::{chi2_cdf, chi2_critical};
+use auric_repro::stats::freq::FreqTable;
+use auric_repro::stats::onehot::OneHotEncoder;
+use proptest::prelude::*;
+
+proptest! {
+    /// The majority under leave-one-out never reports more support than
+    /// the table holds, and the winner is genuinely maximal.
+    #[test]
+    fn freq_table_majority_invariants(values in proptest::collection::vec(0u16..8, 1..60)) {
+        let table = FreqTable::from_values(values.iter().copied());
+        let exclude = values[0];
+        if let Some((winner, count, total)) =
+            table.majority_with_support_excluding(Some(exclude), 0.0)
+        {
+            prop_assert_eq!(total, values.len() - 1);
+            prop_assert!(count <= total);
+            // No other value has a strictly larger reduced count.
+            for v in 0u16..8 {
+                let c = table.count(v) - usize::from(v == exclude);
+                prop_assert!(c <= count, "value {} has count {} > winner {}", v, c, count);
+            }
+            prop_assert!(table.count(winner) > 0);
+        } else {
+            prop_assert_eq!(values.len(), 1);
+        }
+    }
+
+    /// Raising the support threshold can only remove recommendations,
+    /// never change the winner.
+    #[test]
+    fn support_threshold_is_monotone(values in proptest::collection::vec(0u16..5, 1..40)) {
+        let table = FreqTable::from_values(values.iter().copied());
+        let mut prev: Option<(u16, usize, usize)> = table.majority_with_support_excluding(None, 0.0);
+        for t in [0.25, 0.5, 0.75, 0.9, 1.0] {
+            let cur = table.majority_with_support_excluding(None, t);
+            match (prev, cur) {
+                (None, Some(_)) => prop_assert!(false, "recommendation appeared as threshold rose"),
+                (Some(p), Some(c)) => prop_assert_eq!(p.0, c.0, "winner changed with threshold"),
+                _ => {}
+            }
+            prev = cur;
+        }
+    }
+
+    /// Every grid value round-trips through `value`/`index_of`.
+    #[test]
+    fn value_range_round_trip(
+        min in -200.0f64..200.0,
+        steps in 1usize..500,
+        step_q in 1u32..20,
+    ) {
+        let step = step_q as f64 * 0.5;
+        let max = min + steps as f64 * step;
+        let range = ValueRange::new(min, max, step);
+        prop_assert_eq!(range.n_values(), steps + 1);
+        for idx in [0, steps / 2, steps] {
+            let v = range.value(idx as u16);
+            prop_assert_eq!(range.index_of(v), Some(idx as u16));
+        }
+    }
+
+    /// One-hot vectors have exactly one bit per column block.
+    #[test]
+    fn one_hot_block_structure(cards in proptest::collection::vec(1usize..12, 1..10)) {
+        let enc = OneHotEncoder::new(cards.clone());
+        let row: Vec<u16> = cards.iter().map(|&c| (c - 1) as u16).collect();
+        let v = enc.encode(&row);
+        prop_assert_eq!(v.iter().sum::<f64>() as usize, cards.len());
+        prop_assert_eq!(enc.decode(&v), row);
+    }
+
+    /// X2 graphs built from arbitrary edge lists are symmetric and
+    /// self-loop free, and pair indices round-trip.
+    #[test]
+    fn x2_graph_invariants(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 0..120)
+    ) {
+        let edges: Vec<(CarrierId, CarrierId)> =
+            edges.into_iter().map(|(a, b)| (CarrierId(a), CarrierId(b))).collect();
+        let g = X2Graph::from_edges(30, &edges);
+        prop_assert!(g.validate().is_ok());
+        for (p, j, k) in g.pairs() {
+            prop_assert_eq!(g.pair(p), (j, k));
+            prop_assert!(g.pair_idx(k, j).is_some(), "asymmetric {} -> {}", j, k);
+        }
+        // Degree sum equals the directed pair count.
+        let deg_sum: usize = (0..30).map(|i| g.degree(CarrierId(i))).sum();
+        prop_assert_eq!(deg_sum, g.n_pairs());
+    }
+
+    /// The chi-square CDF is monotone in x and the critical value inverts
+    /// it.
+    #[test]
+    fn chi2_cdf_monotone(df in 1usize..60, x in 0.0f64..200.0, dx in 0.0f64..50.0) {
+        prop_assert!(chi2_cdf(x + dx, df) >= chi2_cdf(x, df) - 1e-12);
+        let crit = chi2_critical(df, 0.01);
+        prop_assert!((chi2_cdf(crit, df) - 0.99).abs() < 1e-6);
+    }
+}
