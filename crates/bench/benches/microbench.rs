@@ -2,7 +2,10 @@
 //! Auric actually cares about — model-fit latency and recommendation
 //! throughput — plus the statistical kernels underneath.
 
-use auric_bench::{bench_network, bench_network_small, fitted};
+use auric_bench::{
+    bench_network, bench_network_small, fitted, local_loo_sweep, local_loo_sweep_legacy,
+};
+use auric_core::legacy::LegacyCfModel;
 use auric_core::{recommend_singular, CfConfig, CfModel, NewCarrier, Scope};
 use auric_stats::chi2::chi2_critical;
 use auric_stats::contingency::ContingencyTable;
@@ -42,6 +45,39 @@ fn bench_cf_fit(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fit_tiny_whole_network", |b| {
         b.iter(|| black_box(CfModel::fit(&net.snapshot, &scope, CfConfig::default())))
+    });
+    group.bench_function("fit_tiny_legacy_unpacked", |b| {
+        b.iter(|| {
+            black_box(LegacyCfModel::fit(
+                &net.snapshot,
+                &scope,
+                CfConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_local_loo(c: &mut Criterion) {
+    // The accuracy-evaluation hot loop: a leave-one-out local
+    // recommendation for every parameter at every slot.
+    let net = bench_network();
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let packed = CfModel::fit(snap, &scope, CfConfig::default());
+    let legacy = LegacyCfModel::fit(snap, &scope, CfConfig::default());
+    assert_eq!(
+        local_loo_sweep(snap, &scope, &packed),
+        local_loo_sweep_legacy(snap, &scope, &legacy),
+        "packed and legacy sweeps must agree before timing them"
+    );
+    let mut group = c.benchmark_group("local_loo");
+    group.sample_size(10);
+    group.bench_function("sweep_tiny_packed", |b| {
+        b.iter(|| black_box(local_loo_sweep(snap, &scope, &packed)))
+    });
+    group.bench_function("sweep_tiny_legacy_unpacked", |b| {
+        b.iter(|| black_box(local_loo_sweep_legacy(snap, &scope, &legacy)))
     });
     group.finish();
 }
@@ -94,6 +130,7 @@ criterion_group!(
     bench_contingency,
     bench_generator,
     bench_cf_fit,
+    bench_local_loo,
     bench_recommend_throughput,
     bench_decision_tree
 );

@@ -5,7 +5,9 @@
 //! friendly scale; this library holds the common snapshot and model
 //! construction so each target measures the same workload.
 
+use auric_core::legacy::LegacyCfModel;
 use auric_core::{CfConfig, CfModel, Scope};
+use auric_model::{NetworkSnapshot, ParamKind};
 use auric_netgen::{generate, GeneratedNetwork, NetScale, TuningKnobs};
 
 /// The standard bench network: tiny scale, default tuning, fixed seed.
@@ -30,6 +32,48 @@ pub fn fitted(net: &GeneratedNetwork) -> (Scope, CfModel) {
     let scope = Scope::whole(&net.snapshot);
     let model = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
     (scope, model)
+}
+
+/// The full leave-one-out local-recommendation sweep on the packed-key
+/// path: every parameter, every in-scope carrier or pair. This is the
+/// accuracy-evaluation hot loop; the checksum keeps the work observable.
+pub fn local_loo_sweep(snap: &NetworkSnapshot, scope: &Scope, model: &CfModel) -> u64 {
+    let mut checksum = 0u64;
+    for def in snap.catalog.defs() {
+        match def.kind {
+            ParamKind::Singular => {
+                for &c in &scope.carriers {
+                    checksum += model.recommend_local_singular(snap, def.id, c, true).value as u64;
+                }
+            }
+            ParamKind::Pairwise => {
+                for &q in &scope.pairs {
+                    checksum += model.recommend_local_pair(snap, def.id, q, true).value as u64;
+                }
+            }
+        }
+    }
+    checksum
+}
+
+/// The same sweep on the unpacked reference implementation.
+pub fn local_loo_sweep_legacy(snap: &NetworkSnapshot, scope: &Scope, model: &LegacyCfModel) -> u64 {
+    let mut checksum = 0u64;
+    for def in snap.catalog.defs() {
+        match def.kind {
+            ParamKind::Singular => {
+                for &c in &scope.carriers {
+                    checksum += model.recommend_local_singular(snap, def.id, c, true).value as u64;
+                }
+            }
+            ParamKind::Pairwise => {
+                for &q in &scope.pairs {
+                    checksum += model.recommend_local_pair(snap, def.id, q, true).value as u64;
+                }
+            }
+        }
+    }
+    checksum
 }
 
 /// Run options pinning every experiment bench to the tiny scale.

@@ -82,27 +82,13 @@ pub fn evaluate_cf(
     model: &CfModel,
     local: bool,
 ) -> AccuracyReport {
-    let n_params = snapshot.catalog.len();
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(n_params.max(1));
-    let mut per_param: Vec<Option<ParamAccuracy>> = (0..n_params).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let chunk_len = n_params.div_ceil(n_threads);
-        for (t, chunk) in per_param.chunks_mut(chunk_len).enumerate() {
-            let base = t * chunk_len;
-            s.spawn(move || {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let param = ParamId((base + off) as u16);
-                    *slot = Some(evaluate_param(snapshot, scope, model, param, local));
-                }
-            });
-        }
+    // Work-stealing over parameters: pair-wise parameters are an order of
+    // magnitude more work than singular ones, so static chunks leave
+    // threads idle. The pool reassembles results in parameter order.
+    let per_param = crate::cf::parallel_map(snapshot.catalog.len(), |i| {
+        evaluate_param(snapshot, scope, model, ParamId(i as u16), local)
     });
-    AccuracyReport {
-        per_param: per_param.into_iter().map(Option::unwrap).collect(),
-    }
+    AccuracyReport { per_param }
 }
 
 /// Evaluates one parameter.
@@ -126,10 +112,8 @@ pub fn evaluate_param(
                 let rec = if local {
                     model.recommend_local_singular(snapshot, param, c, true)
                 } else {
-                    let key = model
-                        .param(param)
-                        .key_for_carrier(&snapshot.carrier(c).attrs);
-                    model.recommend_global(param, &key, Some(current))
+                    // Column fast path: no per-probe key projection.
+                    model.recommend_global_for_carrier(snapshot, param, c, Some(current))
                 };
                 acc.total += 1;
                 acc.by_basis[basis_slot(rec.basis)] += 1;
@@ -142,11 +126,7 @@ pub fn evaluate_param(
                 let rec = if local {
                     model.recommend_local_pair(snapshot, param, q, true)
                 } else {
-                    let (j, k) = snapshot.x2.pair(q);
-                    let key = model
-                        .param(param)
-                        .key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
-                    model.recommend_global(param, &key, Some(current))
+                    model.recommend_global_for_pair(snapshot, param, q, Some(current))
                 };
                 acc.total += 1;
                 acc.by_basis[basis_slot(rec.basis)] += 1;

@@ -1,13 +1,29 @@
 //! The collaborative-filtering recommender: chi-square dependency
 //! selection + exact-match voting, in global and local (geographic
 //! proximity) flavors (§3.2–3.3).
+//!
+//! ## Hot-path representation
+//!
+//! Vote keys are bit-packed `u64`s (see [`PackedKeyCodec`]): each fitted
+//! parameter owns a mixed-radix layout over its dependent attributes, and
+//! every group lookup, prefix backoff, and neighborhood scan works on
+//! plain integers. Fitting also materializes a **key column** — the packed
+//! key of every snapshot carrier (or directed pair) — so local voting is a
+//! linear scan of integer compares with zero allocation, and leave-one-out
+//! sweeps reuse the column instead of re-projecting attributes per probe.
+//! Layouts wider than 64 bits (only reachable under the marginal
+//! dependency-selection ablation) fall back to unpacked keys with
+//! identical semantics; `legacy.rs` keeps the original unpacked
+//! implementation as the differential-testing oracle.
 
 use crate::dependency::{select_dependent, PredictorAttr, Side};
 use crate::scope::Scope;
-use crate::voting::{VoteKey, VoteTables};
+use crate::voting::{KeyRef, VoteKey, VoteTables};
 use auric_model::{AttrVec, CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind, ValueIdx};
 use auric_stats::freq::FreqTable;
+use auric_stats::packed::PackedKeyCodec;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Hyperparameters of the recommender. Paper values: `alpha = 0.01`,
 /// `support = 0.75`, `hops = 1`.
@@ -65,13 +81,45 @@ pub struct Recommendation {
     pub voters: usize,
 }
 
+/// Packed keys of every snapshot target, built during fit so the local
+/// learner and the LoO sweeps never re-project attributes. Not serialized
+/// — a deserialized model recomputes keys on the fly (still allocation
+/// free on the packed path).
+#[derive(Debug, Clone)]
+enum KeyColumn {
+    /// No column: wide layout, or a freshly deserialized model.
+    None,
+    /// `col[c.index()]` = packed key of carrier `c` (singular parameters).
+    Carrier(Vec<u64>),
+    /// `col[q as usize]` = packed key of directed pair `q` (pair-wise).
+    Pair(Vec<u64>),
+}
+
+impl KeyColumn {
+    fn carriers(&self) -> Option<&[u64]> {
+        match self {
+            KeyColumn::Carrier(col) => Some(col),
+            _ => None,
+        }
+    }
+
+    fn pairs(&self) -> Option<&[u64]> {
+        match self {
+            KeyColumn::Pair(col) => Some(col),
+            _ => None,
+        }
+    }
+}
+
 /// Per-parameter fitted state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParamCf {
     pub param: ParamId,
     /// Dependent attributes in key order (strongest marginal association
     /// first).
     pub dependent: Vec<PredictorAttr>,
+    /// Bit-field layout of the vote key over `dependent`.
+    codec: PackedKeyCodec,
     /// Scope-wide vote tables keyed on the dependent attributes.
     pub tables: VoteTables,
     /// Backoff tables: `prefix_tables[l]` groups on the first `l`
@@ -79,14 +127,19 @@ pub struct ParamCf {
     /// When a full-key group is empty (a rare attribute combination after
     /// leave-one-out), the recommender walks toward shorter prefixes —
     /// "maximum support among the most similar carriers" rather than a
-    /// scope-wide guess.
+    /// scope-wide guess. Under the packed layout a prefix key is just the
+    /// full key masked, so no re-projection happens on this path.
     prefix_tables: Vec<VoteTables>,
     /// Catalog default (final fallback).
     pub default: ValueIdx,
+    /// Packed key per snapshot target (see [`KeyColumn`]).
+    keys: KeyColumn,
 }
 
 impl ParamCf {
-    /// The vote key of a carrier (singular parameters).
+    /// The unpacked vote key of a carrier (singular parameters). This is
+    /// the interchange form accepted by [`CfModel::recommend_global`];
+    /// internal paths use the packed companions below.
     pub fn key_for_carrier(&self, attrs: &AttrVec) -> VoteKey {
         self.dependent
             .iter()
@@ -97,7 +150,7 @@ impl ParamCf {
             .collect()
     }
 
-    /// The vote key of a directed pair (pair-wise parameters).
+    /// The unpacked vote key of a directed pair (pair-wise parameters).
     pub fn key_for_pair(&self, src: &AttrVec, dst: &AttrVec) -> VoteKey {
         self.dependent
             .iter()
@@ -107,41 +160,73 @@ impl ParamCf {
             })
             .collect()
     }
+
+    /// The key layout of this parameter.
+    pub fn codec(&self) -> &PackedKeyCodec {
+        &self.codec
+    }
+
+    /// Packs a carrier's vote key without allocating.
+    #[inline]
+    pub fn packed_for_carrier(&self, attrs: &AttrVec) -> u64 {
+        self.codec.pack_with(|i| {
+            let pa = self.dependent[i];
+            debug_assert_eq!(pa.side, Side::Src, "singular key reads only the carrier");
+            attrs.get(pa.attr)
+        })
+    }
+
+    /// Packs a directed pair's vote key without allocating.
+    #[inline]
+    pub fn packed_for_pair(&self, src: &AttrVec, dst: &AttrVec) -> u64 {
+        self.codec.pack_with(|i| {
+            let pa = self.dependent[i];
+            match pa.side {
+                Side::Src => src.get(pa.attr),
+                Side::Dst => dst.get(pa.attr),
+            }
+        })
+    }
+
+    /// The fitted per-carrier key column, when present (packed layout,
+    /// fitted — not deserialized — model).
+    pub(crate) fn carrier_keys(&self) -> Option<&[u64]> {
+        self.keys.carriers()
+    }
+
+    /// The fitted per-pair key column, when present.
+    pub(crate) fn pair_keys(&self) -> Option<&[u64]> {
+        self.keys.pairs()
+    }
 }
 
 /// A fitted Auric model over one learning scope.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CfModel {
     pub config: CfConfig,
+    /// Serialized in the stable wire format: per parameter, the key layout
+    /// cardinalities plus every table's groups as sorted
+    /// `(unpacked key, table)` pairs — packed integers never reach disk.
+    #[serde(with = "model_serde")]
     params: Vec<ParamCf>,
 }
 
 impl CfModel {
     /// Fits dependency sets and vote tables for every catalog parameter
-    /// over `scope`. Parameters are processed in parallel.
+    /// over `scope`.
+    ///
+    /// Parameters are fitted in parallel by a work-stealing pool: workers
+    /// claim the next parameter index off a shared atomic counter, so one
+    /// slow parameter (big cardinality, many pairs) no longer idles the
+    /// threads that drew cheap static chunks. Results are reassembled in
+    /// index order, so the fitted model is deterministic regardless of
+    /// which worker fitted what.
     pub fn fit(snapshot: &NetworkSnapshot, scope: &Scope, config: CfConfig) -> Self {
         let n_params = snapshot.catalog.len();
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(n_params.max(1));
-        let mut params: Vec<Option<ParamCf>> = (0..n_params).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let chunks = params.chunks_mut(n_params.div_ceil(n_threads));
-            for (t, chunk) in chunks.enumerate() {
-                let base = t * n_params.div_ceil(n_threads);
-                s.spawn(move || {
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        let param = ParamId((base + off) as u16);
-                        *slot = Some(fit_param(snapshot, scope, param, &config));
-                    }
-                });
-            }
+        let params = parallel_map(n_params, |i| {
+            fit_param(snapshot, scope, ParamId(i as u16), &config)
         });
-        Self {
-            config,
-            params: params.into_iter().map(Option::unwrap).collect(),
-        }
+        Self { config, params }
     }
 
     /// The fitted state of one parameter.
@@ -154,9 +239,9 @@ impl CfModel {
         &self.params
     }
 
-    /// Global recommendation for a vote key. `exclude` is the probe slot's
-    /// own current value during leave-one-out evaluation, `None` for new
-    /// carriers.
+    /// Global recommendation for an unpacked vote key. `exclude` is the
+    /// probe slot's own current value during leave-one-out evaluation,
+    /// `None` for new carriers.
     pub fn recommend_global(
         &self,
         param: ParamId,
@@ -164,7 +249,78 @@ impl CfModel {
         exclude: Option<ValueIdx>,
     ) -> Recommendation {
         let pc = self.param(param);
-        if let Some((value, support, voters)) = pc.tables.vote(key, exclude, self.config.support) {
+        debug_assert_eq!(key.len(), pc.dependent.len());
+        if pc.codec.fits_u64() {
+            let packed = pc.codec.pack(key);
+            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(packed, l)), exclude)
+        } else {
+            let clamped = pc.codec.clamp(key);
+            self.global_chain(pc, |l| KeyRef::Wide(&clamped[..l]), exclude)
+        }
+    }
+
+    /// Global recommendation for an existing carrier, reusing the fitted
+    /// key column when available (the fast path of the LoO sweeps).
+    pub fn recommend_global_for_carrier(
+        &self,
+        snapshot: &NetworkSnapshot,
+        param: ParamId,
+        carrier: CarrierId,
+        exclude: Option<ValueIdx>,
+    ) -> Recommendation {
+        let pc = self.param(param);
+        if pc.codec.fits_u64() {
+            let key = match pc.keys.carriers() {
+                Some(col) => col[carrier.index()],
+                None => pc.packed_for_carrier(&snapshot.carrier(carrier).attrs),
+            };
+            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude)
+        } else {
+            let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
+            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude)
+        }
+    }
+
+    /// Global recommendation for an existing directed pair, reusing the
+    /// fitted key column when available.
+    pub fn recommend_global_for_pair(
+        &self,
+        snapshot: &NetworkSnapshot,
+        param: ParamId,
+        pair: PairIdx,
+        exclude: Option<ValueIdx>,
+    ) -> Recommendation {
+        let pc = self.param(param);
+        if pc.codec.fits_u64() {
+            let key = match pc.keys.pairs() {
+                Some(col) => col[pair as usize],
+                None => {
+                    let (j, k) = snapshot.x2.pair(pair);
+                    pc.packed_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs)
+                }
+            };
+            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude)
+        } else {
+            let (j, k) = snapshot.x2.pair(pair);
+            let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
+            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude)
+        }
+    }
+
+    /// The global fallback chain over a key supplied per prefix length:
+    /// `key_at(n)` is the full key, `key_at(l)` its first `l` positions.
+    /// On the packed path the prefixes are mask applications; on the wide
+    /// path they are subslices — either way, no projection and no
+    /// allocation.
+    fn global_chain<'k>(
+        &self,
+        pc: &ParamCf,
+        key_at: impl Fn(usize) -> KeyRef<'k>,
+        exclude: Option<ValueIdx>,
+    ) -> Recommendation {
+        let n = pc.dependent.len();
+        let full = key_at(n);
+        if let Some((value, support, voters)) = pc.tables.vote(full, exclude, self.config.support) {
             return Recommendation {
                 value,
                 basis: Basis::GlobalVote,
@@ -172,7 +328,7 @@ impl CfModel {
                 voters,
             };
         }
-        if let Some((value, support, voters)) = pc.tables.group_majority(key, exclude) {
+        if let Some((value, support, voters)) = pc.tables.group_majority(full, exclude) {
             return Recommendation {
                 value,
                 basis: Basis::GroupMajority,
@@ -185,8 +341,8 @@ impl CfModel {
         // shorter prefixes of the dependency key. The excluded value may
         // be absent from an ancestor group, so only exclude it where
         // present.
-        for l in (1..key.len()).rev() {
-            let prefix = &key[..l];
+        for l in (1..n).rev() {
+            let prefix = key_at(l);
             let tables = &pc.prefix_tables[l];
             let ex = exclude.filter(|&v| tables.group(prefix).is_some_and(|g| g.count(v) > 0));
             if let Some((value, support, voters)) = tables.group_majority(prefix, ex) {
@@ -230,26 +386,66 @@ impl CfModel {
     ) -> Recommendation {
         debug_assert_eq!(snapshot.catalog.def(param).kind, ParamKind::Singular);
         let pc = self.param(param);
-        let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
-        let mut table = FreqTable::new();
-        for n in snapshot.x2.k_hop_neighbors(carrier, self.config.hops) {
-            let neighbor = snapshot.carrier(n);
-            if pc.key_for_carrier(&neighbor.attrs) == key {
-                table.add(snapshot.config.value(param, n));
-            }
-        }
-        if let Some((value, support, total)) =
-            table.majority_with_support_excluding(None, self.config.support)
-        {
-            return Recommendation {
-                value,
-                basis: Basis::LocalVote,
-                support,
-                voters: total,
+        let exclude = || loo.then(|| snapshot.config.value(param, carrier));
+        if pc.codec.fits_u64() {
+            let col = pc.keys.carriers();
+            let key = match col {
+                Some(col) => col[carrier.index()],
+                None => pc.packed_for_carrier(&snapshot.carrier(carrier).attrs),
             };
+            // The neighborhood vote: a linear scan of integer compares
+            // over the key column (1-hop reads the CSR adjacency slice
+            // directly — no BFS allocation).
+            let mut table = FreqTable::new();
+            let mut tally = |n: CarrierId| {
+                let nkey = match col {
+                    Some(col) => col[n.index()],
+                    None => pc.packed_for_carrier(&snapshot.carrier(n).attrs),
+                };
+                if nkey == key {
+                    table.add(snapshot.config.value(param, n));
+                }
+            };
+            if self.config.hops == 1 {
+                for &n in snapshot.x2.neighbors(carrier) {
+                    tally(n);
+                }
+            } else {
+                for n in snapshot.x2.k_hop_neighbors(carrier, self.config.hops) {
+                    tally(n);
+                }
+            }
+            if let Some((value, support, total)) =
+                table.majority_with_support_excluding(None, self.config.support)
+            {
+                return Recommendation {
+                    value,
+                    basis: Basis::LocalVote,
+                    support,
+                    voters: total,
+                };
+            }
+            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude())
+        } else {
+            let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
+            let mut table = FreqTable::new();
+            for n in snapshot.x2.k_hop_neighbors(carrier, self.config.hops) {
+                if pc.key_for_carrier(&snapshot.carrier(n).attrs) == key {
+                    table.add(snapshot.config.value(param, n));
+                }
+            }
+            if let Some((value, support, total)) =
+                table.majority_with_support_excluding(None, self.config.support)
+            {
+                return Recommendation {
+                    value,
+                    basis: Basis::LocalVote,
+                    support,
+                    voters: total,
+                };
+            }
+            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude())
         }
-        let exclude = loo.then(|| snapshot.config.value(param, carrier));
-        self.recommend_global(param, &key, exclude)
     }
 
     /// Local recommendation for a pair-wise parameter on an existing
@@ -265,38 +461,138 @@ impl CfModel {
         debug_assert_eq!(snapshot.catalog.def(param).kind, ParamKind::Pairwise);
         let pc = self.param(param);
         let (j, k) = snapshot.x2.pair(pair);
-        let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
-        let mut table = FreqTable::new();
-        let mut sources = vec![j];
-        sources.extend(snapshot.x2.k_hop_neighbors(j, self.config.hops));
-        for src in sources {
-            for q in snapshot.x2.pairs_from(src) {
-                if q == pair {
-                    continue; // never vote for ourselves
+        let exclude = || loo.then(|| snapshot.config.pair_value(param, pair));
+        if pc.codec.fits_u64() {
+            let col = pc.keys.pairs();
+            let key = match col {
+                Some(col) => col[pair as usize],
+                None => pc.packed_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs),
+            };
+            // Candidate pairs are sourced at `j` and its neighborhood;
+            // their keys come straight off the pair column, so the scan
+            // allocates nothing (the old path rebuilt a `sources` vector
+            // and projected two attribute vectors per candidate).
+            let mut table = FreqTable::new();
+            let mut scan_source = |src: CarrierId| {
+                for q in snapshot.x2.pairs_from(src) {
+                    if q == pair {
+                        continue; // never vote for ourselves
+                    }
+                    let qkey = match col {
+                        Some(col) => col[q as usize],
+                        None => {
+                            let (a, b) = snapshot.x2.pair(q);
+                            pc.packed_for_pair(
+                                &snapshot.carrier(a).attrs,
+                                &snapshot.carrier(b).attrs,
+                            )
+                        }
+                    };
+                    if qkey == key {
+                        table.add(snapshot.config.pair_value(param, q));
+                    }
                 }
-                let (a, b) = snapshot.x2.pair(q);
-                let qkey = pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
-                if qkey == key {
-                    table.add(snapshot.config.pair_value(param, q));
+            };
+            scan_source(j);
+            if self.config.hops == 1 {
+                for &n in snapshot.x2.neighbors(j) {
+                    scan_source(n);
+                }
+            } else {
+                for n in snapshot.x2.k_hop_neighbors(j, self.config.hops) {
+                    scan_source(n);
                 }
             }
-        }
-        if let Some((value, support, total)) =
-            table.majority_with_support_excluding(None, self.config.support)
-        {
-            return Recommendation {
-                value,
-                basis: Basis::LocalVote,
-                support,
-                voters: total,
+            if let Some((value, support, total)) =
+                table.majority_with_support_excluding(None, self.config.support)
+            {
+                return Recommendation {
+                    value,
+                    basis: Basis::LocalVote,
+                    support,
+                    voters: total,
+                };
+            }
+            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude())
+        } else {
+            let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
+            let mut table = FreqTable::new();
+            let mut scan_source = |src: CarrierId| {
+                for q in snapshot.x2.pairs_from(src) {
+                    if q == pair {
+                        continue; // never vote for ourselves
+                    }
+                    let (a, b) = snapshot.x2.pair(q);
+                    let qkey =
+                        pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
+                    if qkey == key {
+                        table.add(snapshot.config.pair_value(param, q));
+                    }
+                }
             };
+            scan_source(j);
+            for n in snapshot.x2.k_hop_neighbors(j, self.config.hops) {
+                scan_source(n);
+            }
+            if let Some((value, support, total)) =
+                table.majority_with_support_excluding(None, self.config.support)
+            {
+                return Recommendation {
+                    value,
+                    basis: Basis::LocalVote,
+                    support,
+                    voters: total,
+                };
+            }
+            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude())
         }
-        let exclude = loo.then(|| snapshot.config.pair_value(param, pair));
-        self.recommend_global(param, &key, exclude)
     }
 }
 
-/// Fits one parameter: dependency selection, then vote-table construction.
+/// Runs `job(i)` for `i in 0..n` on a work-stealing thread pool and
+/// returns the results in index order. Workers claim indices off a shared
+/// atomic counter, so unevenly sized jobs balance themselves; the output
+/// is independent of the schedule.
+pub(crate) fn parallel_map<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    if n_threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..n_threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, job(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Fits one parameter: dependency selection, key-layout construction,
+/// key-column materialization, then vote-table construction.
 fn fit_param(
     snapshot: &NetworkSnapshot,
     scope: &Scope,
@@ -309,38 +605,176 @@ fn fit_param(
         select_dependent(snapshot, scope, param, config.alpha)
     };
     let def = snapshot.catalog.def(param);
+    let cards: Vec<u16> = dependent
+        .iter()
+        .map(|pa| snapshot.schema.radix(pa.attr))
+        .collect();
+    let codec = PackedKeyCodec::new(&cards);
     let n_prefixes = dependent.len(); // prefixes of length 0..dependent.len()-1 plus full
+    let packed = codec.fits_u64();
+    let new_tables = if packed {
+        VoteTables::new
+    } else {
+        VoteTables::new_wide
+    };
     let mut pc = ParamCf {
         param,
         dependent,
-        tables: VoteTables::new(),
-        prefix_tables: (0..n_prefixes).map(|_| VoteTables::new()).collect(),
+        codec,
+        tables: new_tables(),
+        prefix_tables: (0..n_prefixes).map(|_| new_tables()).collect(),
         default: def.default,
+        keys: KeyColumn::None,
     };
-    let record = |pc: &mut ParamCf, key: crate::voting::VoteKey, value: ValueIdx| {
-        for l in 0..pc.prefix_tables.len() {
-            pc.prefix_tables[l].add(key[..l].to_vec(), value);
-        }
-        pc.tables.add(key, value);
-    };
-    match def.kind {
-        ParamKind::Singular => {
-            for &c in &scope.carriers {
-                let key = pc.key_for_carrier(&snapshot.carrier(c).attrs);
-                let v = snapshot.config.value(param, c);
-                record(&mut pc, key, v);
+    if packed {
+        let record = |pc: &mut ParamCf, key: u64, value: ValueIdx| {
+            for l in 0..pc.prefix_tables.len() {
+                let prefix = pc.codec.prefix(key, l);
+                pc.prefix_tables[l].add_packed(prefix, value);
+            }
+            pc.tables.add_packed(key, value);
+        };
+        match def.kind {
+            ParamKind::Singular => {
+                // Column over the whole snapshot (not just the scope):
+                // local voting consults out-of-scope neighbors too.
+                let col: Vec<u64> = snapshot
+                    .carriers
+                    .iter()
+                    .map(|c| pc.packed_for_carrier(&c.attrs))
+                    .collect();
+                for &c in &scope.carriers {
+                    record(&mut pc, col[c.index()], snapshot.config.value(param, c));
+                }
+                pc.keys = KeyColumn::Carrier(col);
+            }
+            ParamKind::Pairwise => {
+                let col: Vec<u64> = snapshot
+                    .x2
+                    .pairs()
+                    .map(|(_, j, k)| {
+                        pc.packed_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs)
+                    })
+                    .collect();
+                for &q in &scope.pairs {
+                    record(
+                        &mut pc,
+                        col[q as usize],
+                        snapshot.config.pair_value(param, q),
+                    );
+                }
+                pc.keys = KeyColumn::Pair(col);
             }
         }
-        ParamKind::Pairwise => {
-            for &q in &scope.pairs {
-                let (j, k) = snapshot.x2.pair(q);
-                let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
-                let v = snapshot.config.pair_value(param, q);
-                record(&mut pc, key, v);
+    } else {
+        let record = |pc: &mut ParamCf, key: &[u16], value: ValueIdx| {
+            for l in 0..pc.prefix_tables.len() {
+                pc.prefix_tables[l].add_wide(&key[..l], value);
+            }
+            pc.tables.add_wide(key, value);
+        };
+        match def.kind {
+            ParamKind::Singular => {
+                for &c in &scope.carriers {
+                    let key = pc.key_for_carrier(&snapshot.carrier(c).attrs);
+                    record(&mut pc, &key, snapshot.config.value(param, c));
+                }
+            }
+            ParamKind::Pairwise => {
+                for &q in &scope.pairs {
+                    let (j, k) = snapshot.x2.pair(q);
+                    let key =
+                        pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
+                    record(&mut pc, &key, snapshot.config.pair_value(param, q));
+                }
             }
         }
     }
     pc
+}
+
+/// The stable wire format for the fitted parameters: group keys leave the
+/// process unpacked and sorted, exactly like the pre-packing layout, with
+/// the key-layout cardinalities carried alongside so deserialization can
+/// rebuild the packed representation.
+mod model_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct TablesWire {
+        /// Sorted `(unpacked key, table)` pairs.
+        groups: Vec<(VoteKey, FreqTable)>,
+        overall: FreqTable,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct ParamWire {
+        param: ParamId,
+        dependent: Vec<PredictorAttr>,
+        /// Per-position cardinalities of the key layout.
+        cards: Vec<u16>,
+        tables: TablesWire,
+        prefix_tables: Vec<TablesWire>,
+        default: ValueIdx,
+    }
+
+    fn to_wire(tables: &VoteTables, codec: &PackedKeyCodec, len: usize) -> TablesWire {
+        TablesWire {
+            groups: tables
+                .unpacked_groups(codec, len)
+                .into_iter()
+                .map(|(k, t)| (k, t.clone()))
+                .collect(),
+            overall: tables.overall().clone(),
+        }
+    }
+
+    pub fn serialize<S: Serializer>(params: &[ParamCf], ser: S) -> Result<S::Ok, S::Error> {
+        let wires: Vec<ParamWire> = params
+            .iter()
+            .map(|pc| ParamWire {
+                param: pc.param,
+                dependent: pc.dependent.clone(),
+                cards: pc.codec.cards().to_vec(),
+                tables: to_wire(&pc.tables, &pc.codec, pc.dependent.len()),
+                prefix_tables: pc
+                    .prefix_tables
+                    .iter()
+                    .enumerate()
+                    .map(|(l, t)| to_wire(t, &pc.codec, l))
+                    .collect(),
+                default: pc.default,
+            })
+            .collect();
+        wires.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<ParamCf>, D::Error> {
+        let wires: Vec<ParamWire> = Vec::deserialize(de)?;
+        Ok(wires
+            .into_iter()
+            .map(|w| {
+                let codec = PackedKeyCodec::new(&w.cards);
+                let tables =
+                    VoteTables::from_unpacked_groups(&codec, w.tables.groups, w.tables.overall);
+                let prefix_tables = w
+                    .prefix_tables
+                    .into_iter()
+                    .map(|tw| VoteTables::from_unpacked_groups(&codec, tw.groups, tw.overall))
+                    .collect();
+                ParamCf {
+                    param: w.param,
+                    dependent: w.dependent,
+                    codec,
+                    tables,
+                    prefix_tables,
+                    default: w.default,
+                    keys: KeyColumn::None,
+                }
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +819,50 @@ mod tests {
         }
         let acc = hit as f64 / total as f64;
         assert!(acc > 0.93, "clean-network LoO accuracy {acc}");
+    }
+
+    #[test]
+    fn carrier_entry_points_agree_with_the_unpacked_key_form() {
+        // recommend_global_for_carrier (column fast path) must equal
+        // recommend_global over the unpacked key, for fitted and for
+        // deserialized (column-less) models alike.
+        let (net, model) = fitted();
+        let snap = &net.snapshot;
+        let json = serde_json::to_string(&model).expect("serialize");
+        let thawed: CfModel = serde_json::from_str(&json).expect("deserialize");
+        for p in snap.catalog.singular_ids() {
+            let pc = model.param(p);
+            for c in snap.carriers.iter().step_by(7) {
+                let key = pc.key_for_carrier(&c.attrs);
+                let current = snap.config.value(p, c.id);
+                let via_key = model.recommend_global(p, &key, Some(current));
+                assert_eq!(
+                    model.recommend_global_for_carrier(snap, p, c.id, Some(current)),
+                    via_key
+                );
+                assert_eq!(
+                    thawed.recommend_global_for_carrier(snap, p, c.id, Some(current)),
+                    via_key
+                );
+            }
+        }
+        for p in snap.catalog.pairwise_ids().take(3) {
+            let pc = model.param(p);
+            for q in (0..snap.x2.n_pairs() as u32).step_by(13) {
+                let (j, k) = snap.x2.pair(q);
+                let key = pc.key_for_pair(&snap.carrier(j).attrs, &snap.carrier(k).attrs);
+                let current = snap.config.pair_value(p, q);
+                let via_key = model.recommend_global(p, &key, Some(current));
+                assert_eq!(
+                    model.recommend_global_for_pair(snap, p, q, Some(current)),
+                    via_key
+                );
+                assert_eq!(
+                    thawed.recommend_global_for_pair(snap, p, q, Some(current)),
+                    via_key
+                );
+            }
+        }
     }
 
     #[test]
@@ -468,7 +946,8 @@ mod tests {
         let snap = &net.snapshot;
         let p = snap.catalog.singular_ids().next().unwrap();
         let pc = model.param(p);
-        // A key that cannot exist (levels past every cardinality).
+        // A key that cannot exist (levels past every cardinality; they
+        // collapse to the reserved sentinel, which no recorded key holds).
         let bogus: Vec<u16> = pc.dependent.iter().map(|_| u16::MAX).collect();
         let rec = model.recommend_global(p, &bogus, None);
         assert!(
@@ -535,6 +1014,40 @@ mod tests {
     }
 
     #[test]
+    fn wire_format_keeps_groups_as_sorted_unpacked_pairs() {
+        // The on-disk JSON must expose group keys as attribute-level
+        // arrays (sorted), not packed integers.
+        let (net, model) = fitted();
+        let json = serde_json::to_string(&model).expect("serialize");
+        let value: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        let params = value["params"].as_array().expect("params array");
+        assert_eq!(params.len(), net.snapshot.catalog.len());
+        let mut saw_nonempty_key = false;
+        for p in params {
+            let n_dep = p["dependent"].as_array().expect("dependent").len();
+            assert_eq!(p["cards"].as_array().expect("cards").len(), n_dep);
+            let groups = p["tables"]["groups"].as_array().expect("groups");
+            let mut prev: Option<Vec<u64>> = None;
+            for pair in groups {
+                let entry = pair.as_array().expect("pair");
+                let key: Vec<u64> = entry[0]
+                    .as_array()
+                    .expect("unpacked key array")
+                    .iter()
+                    .map(|v| v.as_u64().expect("level"))
+                    .collect();
+                assert_eq!(key.len(), n_dep, "key length matches dependency count");
+                saw_nonempty_key |= !key.is_empty();
+                if let Some(prev) = &prev {
+                    assert!(prev < &key, "groups sorted by unpacked key");
+                }
+                prev = Some(key);
+            }
+        }
+        assert!(saw_nonempty_key, "expected at least one non-trivial key");
+    }
+
+    #[test]
     fn fit_is_deterministic_despite_parallelism() {
         let net = generate(&NetScale::tiny(), &TuningKnobs::default());
         let scope = Scope::whole(&net.snapshot);
@@ -544,5 +1057,15 @@ mod tests {
             assert_eq!(x.dependent, y.dependent);
             assert_eq!(x.tables, y.tables);
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
     }
 }

@@ -150,22 +150,94 @@ fn marginal_test(samples: &Samples, c: usize, alpha: f64) -> (f64, bool) {
     (test.statistic, test.dependent)
 }
 
+/// The stratification of the samples by the currently selected
+/// attributes, maintained incrementally as the greedy selection grows.
+///
+/// Strata are interned to dense ids (first-appearance order, so the
+/// result is deterministic), and samples falling in strata too small to
+/// ever pass the Cochran guard below (fewer than 5 observations cannot
+/// support even one effective degree of freedom) are filtered out once
+/// per refinement instead of being hashed into a fresh
+/// `HashMap<Vec<AttrValue>, ContingencyTable>` on every candidate test.
+/// With exact-match keys most strata are tiny, so this prefilter — plus
+/// indexing contingency tables by stratum id instead of by key vector —
+/// is what makes the conditional pass cheap at evaluation scale.
+struct Strata {
+    /// Stratum id per sample, over *all* samples.
+    ids: Vec<u32>,
+    n_strata: usize,
+    /// Samples whose stratum can contribute evidence (≥ 5 observations).
+    active: Vec<u32>,
+    /// Stratum id → compact table index, `u32::MAX` for filtered strata.
+    compact: Vec<u32>,
+    n_compact: usize,
+}
+
+impl Strata {
+    fn root(n_samples: usize) -> Self {
+        let mut s = Self {
+            ids: vec![0; n_samples],
+            n_strata: 1,
+            active: Vec::new(),
+            compact: Vec::new(),
+            n_compact: 0,
+        };
+        s.requalify();
+        s
+    }
+
+    /// Splits every stratum by the levels of a newly admitted attribute.
+    /// Partitions identically to keying on the full selected level
+    /// vector: two samples share a stratum iff they shared one before
+    /// *and* agree on the new attribute.
+    fn refine(&mut self, levels: &[AttrValue]) {
+        let mut intern: HashMap<u64, u32> = HashMap::with_capacity(self.n_strata * 2);
+        for (id, &lv) in self.ids.iter_mut().zip(levels) {
+            let key = ((*id as u64) << 16) | lv as u64;
+            let next = intern.len() as u32;
+            *id = *intern.entry(key).or_insert(next);
+        }
+        self.n_strata = intern.len();
+        self.requalify();
+    }
+
+    fn requalify(&mut self) {
+        let mut counts = vec![0u32; self.n_strata];
+        for &id in &self.ids {
+            counts[id as usize] += 1;
+        }
+        self.compact.clear();
+        self.compact.resize(self.n_strata, u32::MAX);
+        self.n_compact = 0;
+        for (s, &ct) in counts.iter().enumerate() {
+            if ct >= 5 {
+                self.compact[s] = self.n_compact as u32;
+                self.n_compact += 1;
+            }
+        }
+        self.active = (0..self.ids.len() as u32)
+            .filter(|&i| self.compact[self.ids[i as usize] as usize] != u32::MAX)
+            .collect();
+    }
+}
+
 /// Conditional test of candidate `c` given the selected attributes:
 /// samples are stratified by the selected key; per-stratum chi-square
 /// statistics and effective degrees of freedom are summed, and the total
 /// is compared to the critical value at `alpha`.
-fn conditional_test(samples: &Samples, c: usize, selected: &[usize], alpha: f64) -> bool {
-    let mut strata: HashMap<Vec<AttrValue>, ContingencyTable> = HashMap::new();
-    for (i, &vcol) in samples.values.iter().enumerate() {
-        let key: Vec<AttrValue> = selected.iter().map(|&s| samples.levels[s][i]).collect();
-        strata
-            .entry(key)
-            .or_insert_with(|| ContingencyTable::new(samples.cards[c], samples.n_value_cols))
-            .add(samples.levels[c][i] as usize, vcol, 1);
+fn conditional_test(samples: &Samples, c: usize, strata: &Strata, alpha: f64) -> bool {
+    let mut tables: Vec<ContingencyTable> = (0..strata.n_compact)
+        .map(|_| ContingencyTable::new(samples.cards[c], samples.n_value_cols))
+        .collect();
+    let levels = &samples.levels[c];
+    for &i in &strata.active {
+        let i = i as usize;
+        let t = strata.compact[strata.ids[i] as usize] as usize;
+        tables[t].add(levels[i] as usize, samples.values[i], 1);
     }
     let mut stat = 0.0;
     let mut df = 0usize;
-    for table in strata.values() {
+    for table in &tables {
         let d = table.effective_df();
         if d == 0 {
             continue;
@@ -174,7 +246,9 @@ fn conditional_test(samples: &Samples, c: usize, selected: &[usize], alpha: f64)
         // is anti-conservative (expected counts well under 5), and at
         // per-market sample sizes that admits spurious correlates which
         // fragment the vote groups. Require a sane observations-per-cell
-        // budget before a stratum contributes evidence.
+        // budget before a stratum contributes evidence. (Strata under 5
+        // observations were already filtered out of `active` — they can
+        // never satisfy `total ≥ 5·d` for d ≥ 1.)
         if table.total() < 5 * d as u64 {
             continue;
         }
@@ -210,10 +284,14 @@ pub fn select_dependent(
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    // Greedy conditional admission.
+    // Greedy conditional admission. The stratification only changes when
+    // a candidate is admitted, so it is refined incrementally rather than
+    // rebuilt per test.
     let mut selected: Vec<usize> = Vec::new();
+    let mut strata = Strata::root(samples.values.len());
     for &(c, _) in &ranked {
-        if selected.is_empty() || conditional_test(&samples, c, &selected, alpha) {
+        if selected.is_empty() || conditional_test(&samples, c, &strata, alpha) {
+            strata.refine(&samples.levels[c]);
             selected.push(c);
         }
     }

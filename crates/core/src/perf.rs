@@ -92,10 +92,25 @@ pub fn recommend_local_weighted(
     let pc = model.param(param);
     let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
     let mut votes = WeightedVotes::new();
-    for n in snapshot.x2.k_hop_neighbors(carrier, model.config.hops) {
-        let neighbor = snapshot.carrier(n);
-        if pc.key_for_carrier(&neighbor.attrs) == key {
-            votes.add(snapshot.config.value(param, n), kpi.weight(n));
+    if pc.codec().fits_u64() {
+        // Integer compares against the fitted key column (see cf.rs).
+        let packed = pc.packed_for_carrier(&snapshot.carrier(carrier).attrs);
+        let col = pc.carrier_keys();
+        for n in snapshot.x2.k_hop_neighbors(carrier, model.config.hops) {
+            let nkey = match col {
+                Some(col) => col[n.index()],
+                None => pc.packed_for_carrier(&snapshot.carrier(n).attrs),
+            };
+            if nkey == packed {
+                votes.add(snapshot.config.value(param, n), kpi.weight(n));
+            }
+        }
+    } else {
+        for n in snapshot.x2.k_hop_neighbors(carrier, model.config.hops) {
+            let neighbor = snapshot.carrier(n);
+            if pc.key_for_carrier(&neighbor.attrs) == key {
+                votes.add(snapshot.config.value(param, n), kpi.weight(n));
+            }
         }
     }
     if let Some((value, mass)) = votes.winner(model.config.support) {

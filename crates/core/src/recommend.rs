@@ -53,12 +53,28 @@ pub fn recommend_singular(
         .map(|p| {
             let pc = model.param(p);
             let key = pc.key_for_carrier(&new_carrier.attrs);
-            // Local vote over the planned neighbors with matching keys.
+            // Local vote over the planned neighbors with matching keys —
+            // integer compares against the fitted key column on the
+            // packed layout, one projection per neighbor otherwise.
             let mut table = FreqTable::new();
-            for &n in &new_carrier.neighbors {
-                let nb = snapshot.carrier(n);
-                if pc.key_for_carrier(&nb.attrs) == key {
-                    table.add(snapshot.config.value(p, n));
+            if pc.codec().fits_u64() {
+                let packed = pc.packed_for_carrier(&new_carrier.attrs);
+                let col = pc.carrier_keys();
+                for &n in &new_carrier.neighbors {
+                    let nkey = match col {
+                        Some(col) => col[n.index()],
+                        None => pc.packed_for_carrier(&snapshot.carrier(n).attrs),
+                    };
+                    if nkey == packed {
+                        table.add(snapshot.config.value(p, n));
+                    }
+                }
+            } else {
+                for &n in &new_carrier.neighbors {
+                    let nb = snapshot.carrier(n);
+                    if pc.key_for_carrier(&nb.attrs) == key {
+                        table.add(snapshot.config.value(p, n));
+                    }
                 }
             }
             let rec = if let Some((value, support, voters)) =
@@ -93,15 +109,38 @@ pub fn recommend_pairwise(
         .map(|p| {
             let pc = model.param(p);
             let key = pc.key_for_pair(&new_carrier.attrs, dst);
-            // Local vote over pairs sourced at the planned neighbors.
+            // Local vote over pairs sourced at the planned neighbors,
+            // reading keys off the fitted pair column when available.
             let mut table = FreqTable::new();
-            for &n in &new_carrier.neighbors {
-                for q in snapshot.x2.pairs_from(n) {
-                    let (a, b) = snapshot.x2.pair(q);
-                    let qkey =
-                        pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
-                    if qkey == key {
-                        table.add(snapshot.config.pair_value(p, q));
+            if pc.codec().fits_u64() {
+                let packed = pc.packed_for_pair(&new_carrier.attrs, dst);
+                let col = pc.pair_keys();
+                for &n in &new_carrier.neighbors {
+                    for q in snapshot.x2.pairs_from(n) {
+                        let qkey = match col {
+                            Some(col) => col[q as usize],
+                            None => {
+                                let (a, b) = snapshot.x2.pair(q);
+                                pc.packed_for_pair(
+                                    &snapshot.carrier(a).attrs,
+                                    &snapshot.carrier(b).attrs,
+                                )
+                            }
+                        };
+                        if qkey == packed {
+                            table.add(snapshot.config.pair_value(p, q));
+                        }
+                    }
+                }
+            } else {
+                for &n in &new_carrier.neighbors {
+                    for q in snapshot.x2.pairs_from(n) {
+                        let (a, b) = snapshot.x2.pair(q);
+                        let qkey =
+                            pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
+                        if qkey == key {
+                            table.add(snapshot.config.pair_value(p, q));
+                        }
                     }
                 }
             }

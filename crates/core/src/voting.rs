@@ -1,66 +1,128 @@
 //! The voting recommender: exact-match groups over dependent attributes,
 //! with a support threshold (§3.2: "amongst the similar carriers, we take
 //! a voting approach ... We use a threshold of 75%").
+//!
+//! Group keys are stored *packed*: the dependent attribute levels of one
+//! target are laid out as bit fields of a single `u64` (see
+//! [`auric_stats::packed::PackedKeyCodec`]), so group lookups hash and
+//! compare one integer instead of a heap-allocated `Vec<u16>`. Layouts
+//! wider than 64 bits (possible only under the marginal
+//! dependency-selection ablation) fall back to boxed unpacked keys with
+//! identical semantics.
 
 use auric_model::{AttrValue, ValueIdx};
 use auric_stats::freq::FreqTable;
-use serde::{Deserialize, Serialize};
+use auric_stats::packed::{FastHash, PackedKeyCodec};
 use std::collections::HashMap;
 
-/// A group key: the target's levels on the dependent attributes, in the
-/// dependency list's order.
+/// An unpacked group key: the target's levels on the dependent attributes,
+/// in the dependency list's order. This remains the *interchange* form
+/// (public APIs, serialization); storage and comparison use the packed
+/// form.
 pub type VoteKey = Vec<AttrValue>;
+
+/// A borrowed group key in either representation.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyRef<'a> {
+    /// Bit-packed key (or prefix-masked packed key).
+    Packed(u64),
+    /// Unpacked key for layouts wider than 64 bits.
+    Wide(&'a [u16]),
+}
+
+/// Group storage: packed keys under the fast integer hasher, or boxed
+/// unpacked keys when the layout does not fit a `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GroupStore {
+    Packed(HashMap<u64, FreqTable, FastHash>),
+    Wide(HashMap<Box<[u16]>, FreqTable>),
+}
+
+impl GroupStore {
+    fn get(&self, key: KeyRef<'_>) -> Option<&FreqTable> {
+        match (self, key) {
+            (GroupStore::Packed(map), KeyRef::Packed(k)) => map.get(&k),
+            (GroupStore::Wide(map), KeyRef::Wide(k)) => map.get(k),
+            _ => unreachable!("vote-key representation mismatch"),
+        }
+    }
+}
 
 /// Per-parameter vote tables: one frequency table per dependent-attribute
 /// combination, plus the scope-wide distribution for fallback and
 /// diagnostics.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization happens at the model level (see `cf::model_serde`), which
+/// owns the key layout needed to unpack group keys into the stable
+/// sorted-pairs wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoteTables {
-    /// Serialized as `(key, table)` pairs (JSON map keys must be strings).
-    #[serde(with = "groups_serde")]
-    groups: HashMap<VoteKey, FreqTable>,
+    groups: GroupStore,
     overall: FreqTable,
 }
 
-/// Vec-of-pairs (de)serialization for the group map.
-mod groups_serde {
-    use super::VoteKey;
-    use auric_stats::freq::FreqTable;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<VoteKey, FreqTable>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let mut pairs: Vec<(&VoteKey, &FreqTable)> = map.iter().collect();
-        pairs.sort_by(|a, b| a.0.cmp(b.0));
-        pairs.serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<HashMap<VoteKey, FreqTable>, D::Error> {
-        let pairs: Vec<(VoteKey, FreqTable)> = Vec::deserialize(de)?;
-        Ok(pairs.into_iter().collect())
+impl Default for VoteTables {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl VoteTables {
-    /// An empty table set.
+    /// An empty table set with packed keys.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            groups: GroupStore::Packed(HashMap::default()),
+            overall: FreqTable::new(),
+        }
     }
 
-    /// Records one observation of `value` under `key`.
-    pub fn add(&mut self, key: VoteKey, value: ValueIdx) {
-        self.groups.entry(key).or_default().add(value);
+    /// An empty table set with wide (unpacked) keys, for layouts that do
+    /// not fit a `u64`.
+    pub fn new_wide() -> Self {
+        Self {
+            groups: GroupStore::Wide(HashMap::new()),
+            overall: FreqTable::new(),
+        }
+    }
+
+    /// Whether this table set stores wide keys.
+    pub fn is_wide(&self) -> bool {
+        matches!(self.groups, GroupStore::Wide(_))
+    }
+
+    /// Records one observation of `value` under a packed `key`.
+    #[inline]
+    pub fn add_packed(&mut self, key: u64, value: ValueIdx) {
+        match &mut self.groups {
+            GroupStore::Packed(map) => map.entry(key).or_default().add(value),
+            GroupStore::Wide(_) => unreachable!("packed add on wide tables"),
+        }
+        self.overall.add(value);
+    }
+
+    /// Records one observation of `value` under a wide `key`.
+    pub fn add_wide(&mut self, key: &[u16], value: ValueIdx) {
+        match &mut self.groups {
+            GroupStore::Wide(map) => {
+                if let Some(t) = map.get_mut(key) {
+                    t.add(value);
+                } else {
+                    let mut t = FreqTable::new();
+                    t.add(value);
+                    map.insert(key.into(), t);
+                }
+            }
+            GroupStore::Packed(_) => unreachable!("wide add on packed tables"),
+        }
         self.overall.add(value);
     }
 
     /// Number of distinct groups.
     pub fn n_groups(&self) -> usize {
-        self.groups.len()
+        match &self.groups {
+            GroupStore::Packed(map) => map.len(),
+            GroupStore::Wide(map) => map.len(),
+        }
     }
 
     /// Total observations.
@@ -68,8 +130,9 @@ impl VoteTables {
         self.overall.total()
     }
 
-    /// The group table for `key`, if any carrier matched it.
-    pub fn group(&self, key: &[AttrValue]) -> Option<&FreqTable> {
+    /// The group table for `key`, if any target matched it.
+    #[inline]
+    pub fn group(&self, key: KeyRef<'_>) -> Option<&FreqTable> {
         self.groups.get(key)
     }
 
@@ -82,9 +145,10 @@ impl VoteTables {
     /// excluding one observation of `exclude` (the probe carrier's own
     /// current value during evaluation; `None` for genuinely new
     /// carriers). Returns `(value, support, voters)`.
+    #[inline]
     pub fn vote(
         &self,
-        key: &[AttrValue],
+        key: KeyRef<'_>,
         exclude: Option<ValueIdx>,
         threshold: f64,
     ) -> Option<(ValueIdx, usize, usize)> {
@@ -96,9 +160,10 @@ impl VoteTables {
     /// The group's plurality value (no threshold), leave-one-out — the
     /// "maximum support" answer when no value clears the confidence
     /// threshold.
+    #[inline]
     pub fn group_majority(
         &self,
-        key: &[AttrValue],
+        key: KeyRef<'_>,
         exclude: Option<ValueIdx>,
     ) -> Option<(ValueIdx, usize, usize)> {
         self.groups
@@ -113,59 +178,118 @@ impl VoteTables {
             .majority_with_support_excluding(exclude, 0.0)
             .map(|(v, _, _)| v)
     }
+
+    /// The groups as `(unpacked key, table)` pairs sorted by key — the
+    /// stable wire format. `codec` must be the layout the keys were packed
+    /// with; `len` is the key length (prefix tables store shorter keys
+    /// under the full layout's low bits).
+    pub fn unpacked_groups(
+        &self,
+        codec: &PackedKeyCodec,
+        len: usize,
+    ) -> Vec<(VoteKey, &FreqTable)> {
+        let mut pairs: Vec<(VoteKey, &FreqTable)> = match &self.groups {
+            GroupStore::Packed(map) => map
+                .iter()
+                .map(|(&k, t)| (codec.unpack(k, len), t))
+                .collect(),
+            GroupStore::Wide(map) => map.iter().map(|(k, t)| (k.to_vec(), t)).collect(),
+        };
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// Rebuilds a table set from `(unpacked key, table)` pairs under the
+    /// given layout — the inverse of [`VoteTables::unpacked_groups`].
+    pub fn from_unpacked_groups(
+        codec: &PackedKeyCodec,
+        pairs: Vec<(VoteKey, FreqTable)>,
+        overall: FreqTable,
+    ) -> Self {
+        let groups = if codec.fits_u64() {
+            GroupStore::Packed(
+                pairs
+                    .into_iter()
+                    .map(|(k, t)| (codec.pack(&k), t))
+                    .collect(),
+            )
+        } else {
+            GroupStore::Wide(
+                pairs
+                    .into_iter()
+                    .map(|(k, t)| (k.into_boxed_slice(), t))
+                    .collect(),
+            )
+        };
+        Self { groups, overall }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tables() -> VoteTables {
+    /// Packs through a two-attribute layout of cardinality 3 each.
+    fn codec() -> PackedKeyCodec {
+        PackedKeyCodec::new(&[3, 3])
+    }
+
+    fn tables() -> (PackedKeyCodec, VoteTables) {
+        let codec = codec();
         let mut t = VoteTables::new();
         for _ in 0..8 {
-            t.add(vec![0, 1], 10);
+            t.add_packed(codec.pack(&[0, 1]), 10);
         }
-        t.add(vec![0, 1], 20);
+        t.add_packed(codec.pack(&[0, 1]), 20);
         for _ in 0..3 {
-            t.add(vec![2, 2], 30);
+            t.add_packed(codec.pack(&[2, 2]), 30);
         }
-        t
+        (codec, t)
     }
 
     #[test]
     fn groups_are_keyed_exactly() {
-        let t = tables();
+        let (codec, t) = tables();
         assert_eq!(t.n_groups(), 2);
         assert_eq!(t.total(), 12);
-        assert!(t.group(&[0, 1]).is_some());
-        assert!(t.group(&[1, 0]).is_none(), "key order matters");
+        assert!(t.group(KeyRef::Packed(codec.pack(&[0, 1]))).is_some());
+        assert!(
+            t.group(KeyRef::Packed(codec.pack(&[1, 0]))).is_none(),
+            "key order matters"
+        );
     }
 
     #[test]
     fn vote_applies_threshold() {
-        let t = tables();
+        let (codec, t) = tables();
+        let k = KeyRef::Packed(codec.pack(&[0, 1]));
         // 8/9 ≈ 89% support for 10.
-        assert_eq!(t.vote(&[0, 1], None, 0.75), Some((10, 8, 9)));
-        assert_eq!(t.vote(&[0, 1], None, 0.95), None);
-        // Unknown key: no group to vote in.
-        assert_eq!(t.vote(&[9, 9], None, 0.5), None);
+        assert_eq!(t.vote(k, None, 0.75), Some((10, 8, 9)));
+        assert_eq!(t.vote(k, None, 0.95), None);
+        // Unknown key: no group to vote in (out-of-range levels collapse
+        // to the sentinel, which is never recorded).
+        let unknown = KeyRef::Packed(codec.pack(&[9, 9]));
+        assert_eq!(t.vote(unknown, None, 0.5), None);
     }
 
     #[test]
     fn leave_one_out_changes_the_outcome_at_the_margin() {
+        let codec = PackedKeyCodec::new(&[3]);
         let mut t = VoteTables::new();
         for _ in 0..3 {
-            t.add(vec![1], 5);
+            t.add_packed(codec.pack(&[1]), 5);
         }
-        t.add(vec![1], 7);
+        t.add_packed(codec.pack(&[1]), 7);
+        let k = KeyRef::Packed(codec.pack(&[1]));
         // Probing the carrier that holds the 7: remaining 3×5 → 100%.
-        assert_eq!(t.vote(&[1], Some(7), 0.75), Some((5, 3, 3)));
+        assert_eq!(t.vote(k, Some(7), 0.75), Some((5, 3, 3)));
         // Probing a 5-holder: 2×5 + 1×7 → 2/3 < 75%.
-        assert_eq!(t.vote(&[1], Some(5), 0.75), None);
+        assert_eq!(t.vote(k, Some(5), 0.75), None);
     }
 
     #[test]
     fn overall_majority_fallback() {
-        let t = tables();
+        let (_, t) = tables();
         assert_eq!(t.overall_majority(None), Some(10));
         // Excluding doesn't flip a clear majority.
         assert_eq!(t.overall_majority(Some(10)), Some(10));
@@ -176,11 +300,46 @@ mod tests {
         // With no dependent attributes, every observation lands in the
         // empty-key group — voting degenerates to a scope-wide majority
         // with threshold, which is the intended rule-book-like behavior.
+        let codec = PackedKeyCodec::new(&[]);
         let mut t = VoteTables::new();
         for _ in 0..9 {
-            t.add(vec![], 4);
+            t.add_packed(codec.pack(&[]), 4);
         }
-        t.add(vec![], 6);
-        assert_eq!(t.vote(&[], None, 0.75), Some((4, 9, 10)));
+        t.add_packed(codec.pack(&[]), 6);
+        assert_eq!(
+            t.vote(KeyRef::Packed(codec.pack(&[])), None, 0.75),
+            Some((4, 9, 10))
+        );
+    }
+
+    #[test]
+    fn wide_tables_mirror_packed_semantics() {
+        let mut t = VoteTables::new_wide();
+        assert!(t.is_wide());
+        for _ in 0..8 {
+            t.add_wide(&[0, 1], 10);
+        }
+        t.add_wide(&[0, 1], 20);
+        t.add_wide(&[2, 2], 30);
+        assert_eq!(t.n_groups(), 2);
+        assert_eq!(t.vote(KeyRef::Wide(&[0, 1]), None, 0.75), Some((10, 8, 9)));
+        assert_eq!(t.vote(KeyRef::Wide(&[9, 9]), None, 0.5), None);
+        assert_eq!(
+            t.group_majority(KeyRef::Wide(&[2, 2]), None),
+            Some((30, 1, 1))
+        );
+    }
+
+    #[test]
+    fn unpack_round_trip_preserves_tables() {
+        let (codec, t) = tables();
+        let pairs: Vec<(VoteKey, FreqTable)> = t
+            .unpacked_groups(&codec, 2)
+            .into_iter()
+            .map(|(k, table)| (k, table.clone()))
+            .collect();
+        assert_eq!(pairs[0].0, vec![0, 1], "pairs are sorted by unpacked key");
+        let back = VoteTables::from_unpacked_groups(&codec, pairs, t.overall().clone());
+        assert_eq!(back, t);
     }
 }

@@ -1,0 +1,162 @@
+//! Differential tests: the packed-key hot path (`cf::CfModel`) against the
+//! unpacked reference implementation (`legacy::LegacyCfModel`).
+//!
+//! The packed representation is supposed to be a pure re-encoding — every
+//! `Recommendation` (value, basis, support, voters) must be bit-identical
+//! to what the legacy path produces, for every parameter, both learner
+//! flavors, and leave-one-out on and off.
+
+use auric_core::legacy::LegacyCfModel;
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_model::{NetworkSnapshot, ParamKind};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+
+/// Compares the two models over every parameter, probing carriers and
+/// pairs at the given strides (1 = exhaustive).
+fn assert_equivalent(
+    snap: &NetworkSnapshot,
+    packed: &CfModel,
+    legacy: &LegacyCfModel,
+    carrier_stride: usize,
+    pair_stride: usize,
+) {
+    for def in snap.catalog.defs() {
+        let p = def.id;
+        assert_eq!(
+            packed.param(p).dependent,
+            legacy.param(p).dependent,
+            "{}: dependency sets diverge",
+            def.name
+        );
+        match def.kind {
+            ParamKind::Singular => {
+                for c in snap.carriers.iter().step_by(carrier_stride) {
+                    let key = legacy.param(p).key_for_carrier(&c.attrs);
+                    assert_eq!(
+                        packed.param(p).key_for_carrier(&c.attrs),
+                        key,
+                        "{}: carrier {} key diverges",
+                        def.name,
+                        c.id
+                    );
+                    let current = snap.config.value(p, c.id);
+                    for exclude in [None, Some(current)] {
+                        assert_eq!(
+                            packed.recommend_global(p, &key, exclude),
+                            legacy.recommend_global(p, &key, exclude),
+                            "{}: global diverges at carrier {} (exclude {exclude:?})",
+                            def.name,
+                            c.id
+                        );
+                    }
+                    for loo in [false, true] {
+                        assert_eq!(
+                            packed.recommend_local_singular(snap, p, c.id, loo),
+                            legacy.recommend_local_singular(snap, p, c.id, loo),
+                            "{}: local diverges at carrier {} (loo {loo})",
+                            def.name,
+                            c.id
+                        );
+                    }
+                }
+            }
+            ParamKind::Pairwise => {
+                for q in (0..snap.x2.n_pairs() as u32).step_by(pair_stride) {
+                    let (j, k) = snap.x2.pair(q);
+                    let key = legacy
+                        .param(p)
+                        .key_for_pair(&snap.carrier(j).attrs, &snap.carrier(k).attrs);
+                    assert_eq!(
+                        packed
+                            .param(p)
+                            .key_for_pair(&snap.carrier(j).attrs, &snap.carrier(k).attrs),
+                        key,
+                        "{}: pair {q} key diverges",
+                        def.name
+                    );
+                    let current = snap.config.pair_value(p, q);
+                    for exclude in [None, Some(current)] {
+                        assert_eq!(
+                            packed.recommend_global(p, &key, exclude),
+                            legacy.recommend_global(p, &key, exclude),
+                            "{}: global diverges at pair {q} (exclude {exclude:?})",
+                            def.name
+                        );
+                    }
+                    for loo in [false, true] {
+                        assert_eq!(
+                            packed.recommend_local_pair(snap, p, q, loo),
+                            legacy.recommend_local_pair(snap, p, q, loo),
+                            "{}: local diverges at pair {q} (loo {loo})",
+                            def.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_path_matches_legacy_exhaustively_on_a_noisy_tiny_network() {
+    let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let config = CfConfig::default();
+    let packed = CfModel::fit(snap, &scope, config);
+    let legacy = LegacyCfModel::fit(snap, &scope, config);
+    assert_equivalent(snap, &packed, &legacy, 1, 1);
+
+    // Impossible probe keys (levels past every cardinality) must fall
+    // through the chain identically: the packed path collapses them to
+    // the reserved sentinel, the legacy path simply never finds a group.
+    for def in snap.catalog.defs() {
+        let p = def.id;
+        let bogus: Vec<u16> = packed.param(p).dependent.iter().map(|_| u16::MAX).collect();
+        assert_eq!(
+            packed.recommend_global(p, &bogus, None),
+            legacy.recommend_global(p, &bogus, None),
+            "{}: bogus-key fallback diverges",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn packed_path_matches_legacy_on_a_seeded_medium_network() {
+    // The bench scale. Exhaustive probing would take minutes in debug
+    // builds, so probe a deterministic stride of carriers and pairs —
+    // every parameter, both learners, LoO on and off.
+    let net = generate(&NetScale::medium(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let config = CfConfig::default();
+    let packed = CfModel::fit(snap, &scope, config);
+    let legacy = LegacyCfModel::fit(snap, &scope, config);
+    assert_equivalent(snap, &packed, &legacy, 23, 101);
+}
+
+#[test]
+fn packed_path_matches_legacy_under_marginal_selection() {
+    // The marginal-selection ablation keeps every associated attribute, so
+    // pair-wise keys can exceed 64 bits — this is the wide-fallback path.
+    let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let config = CfConfig {
+        marginal_selection: true,
+        ..CfConfig::default()
+    };
+    let packed = CfModel::fit(snap, &scope, config);
+    let legacy = LegacyCfModel::fit(snap, &scope, config);
+    let wide = packed
+        .params()
+        .iter()
+        .filter(|pc| !pc.codec().fits_u64())
+        .count();
+    assert!(
+        wide > 0,
+        "expected at least one over-64-bit layout under marginal selection"
+    );
+    assert_equivalent(snap, &packed, &legacy, 3, 17);
+}

@@ -24,6 +24,6 @@ pub mod smartlaunch;
 pub use ems::{CarrierState, Ems, EmsSettings, PushError, PushOutcome};
 pub use mo::{ConfigChange, ConfigFile, InstanceDb, VendorTemplate};
 pub use smartlaunch::{
-    sample_campaign, sample_campaign_with_post_checks, CampaignReport, FalloutCause,
-    LaunchOutcome, LaunchPlan, LaunchPolicy, SmartLaunch, VendorConfigSource,
+    sample_campaign, sample_campaign_with_post_checks, CampaignReport, FalloutCause, LaunchOutcome,
+    LaunchPlan, LaunchPolicy, SmartLaunch, VendorConfigSource,
 };

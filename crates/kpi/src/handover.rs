@@ -24,7 +24,10 @@ const DROP_ABOVE_DB: f64 = 6.0;
 pub(crate) fn outcome_probs(hys_db: f64) -> (f64, f64) {
     if hys_db < PING_PONG_BELOW_DB {
         // Sharper below the floor: at 0 dB nearly every attempt bounces.
-        ((1.0 - hys_db / PING_PONG_BELOW_DB).clamp(0.0, 1.0) * 0.8, 0.02)
+        (
+            (1.0 - hys_db / PING_PONG_BELOW_DB).clamp(0.0, 1.0) * 0.8,
+            0.02,
+        )
     } else if hys_db > DROP_ABOVE_DB {
         let over = ((hys_db - DROP_ABOVE_DB) / 9.0).clamp(0.0, 1.0);
         (0.0, 0.2 + 0.6 * over)
@@ -106,14 +109,23 @@ mod tests {
         let model = crate::TrafficModel::default();
         let healthy = crate::simulate(&base, &model);
         let sick = crate::simulate(&zeroed, &model);
-        let pp = |r: &crate::KpiReport| -> usize {
-            r.per_carrier().iter().map(|k| k.ho_pingpong).sum()
+        // Compare ping-pong *rates*: at 0 dB the outcome model bounces 80%
+        // of attempts, so the sick rate is pinned near 0.8 regardless of
+        // how the generated network's own hysteresis values are spread
+        // (raw counts vary with the traffic draw).
+        let pp_rate = |r: &crate::KpiReport| -> f64 {
+            let pp: usize = r.per_carrier().iter().map(|k| k.ho_pingpong).sum();
+            let attempts: usize = r.per_carrier().iter().map(|k| k.ho_attempts).sum();
+            pp as f64 / attempts.max(1) as f64
         };
+        let (sick_rate, healthy_rate) = (pp_rate(&sick), pp_rate(&healthy));
         assert!(
-            pp(&sick) > 5 * pp(&healthy).max(1),
-            "zero hysteresis must ping-pong: sick {} vs healthy {}",
-            pp(&sick),
-            pp(&healthy)
+            sick_rate > 0.6,
+            "zero hysteresis must ping-pong most attempts: rate {sick_rate}"
+        );
+        assert!(
+            sick_rate > 2.0 * healthy_rate,
+            "sick rate {sick_rate} vs healthy rate {healthy_rate}"
         );
         assert!(sick.mean_health() < healthy.mean_health());
     }

@@ -77,9 +77,8 @@ impl CarrierKpi {
     /// attach hurt most, then dropped sessions, then sloppy mobility —
     /// with a congestion penalty near saturation.
     pub fn health(&self) -> f64 {
-        let mut h = 0.4 * self.accessibility()
-            + 0.3 * self.retainability()
-            + 0.3 * self.mobility_quality();
+        let mut h =
+            0.4 * self.accessibility() + 0.3 * self.retainability() + 0.3 * self.mobility_quality();
         if self.utilization() > 0.95 {
             h -= 0.1;
         }

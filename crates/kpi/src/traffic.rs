@@ -64,11 +64,19 @@ impl ConfigView {
     }
 
     pub fn s_freq_prio_of(&self, snapshot: &NetworkSnapshot, c: CarrierId) -> f64 {
-        self.concrete(snapshot, self.s_freq_prio, snapshot.config.value(self.s_freq_prio, c))
+        self.concrete(
+            snapshot,
+            self.s_freq_prio,
+            snapshot.config.value(self.s_freq_prio, c),
+        )
     }
 
     pub fn q_rx_lev_min_of(&self, snapshot: &NetworkSnapshot, c: CarrierId) -> f64 {
-        self.concrete(snapshot, self.q_rx_lev_min, snapshot.config.value(self.q_rx_lev_min, c))
+        self.concrete(
+            snapshot,
+            self.q_rx_lev_min,
+            snapshot.config.value(self.q_rx_lev_min, c),
+        )
     }
 
     pub fn p_max_of(&self, snapshot: &NetworkSnapshot, c: CarrierId) -> f64 {
@@ -76,7 +84,11 @@ impl ConfigView {
     }
 
     pub fn lb_threshold_of(&self, snapshot: &NetworkSnapshot, c: CarrierId) -> f64 {
-        self.concrete(snapshot, self.lb_threshold, snapshot.config.value(self.lb_threshold, c))
+        self.concrete(
+            snapshot,
+            self.lb_threshold,
+            snapshot.config.value(self.lb_threshold, c),
+        )
     }
 }
 
@@ -206,7 +218,14 @@ pub fn simulate(snapshot: &NetworkSnapshot, model: &TrafficModel) -> KpiReport {
         }
     }
 
-    run_handovers(snapshot, &view, model, &served_sessions, &mut kpis, &mut rng);
+    run_handovers(
+        snapshot,
+        &view,
+        model,
+        &served_sessions,
+        &mut kpis,
+        &mut rng,
+    );
     KpiReport::new(kpis)
 }
 
@@ -280,7 +299,9 @@ mod tests {
             .carrier;
         let mut snap2 = snap.clone();
         let max_idx = (snap2.catalog.def(q).range.n_values() - 1) as u16;
-        snap2.config.set_value(q, victim, max_idx, Provenance::Noise);
+        snap2
+            .config
+            .set_value(q, victim, max_idx, Provenance::Noise);
         let after = simulate(&snap2, &TrafficModel::default());
         let before = baseline.per_carrier()[victim.index()].served;
         let now = after.per_carrier()[victim.index()].served;

@@ -108,6 +108,19 @@ impl AttributeSchema {
         self.defs[a.index()].cardinality()
     }
 
+    /// Cardinality of attribute `a` as the level type — the per-position
+    /// radix a packed vote-key layout is built from. Attribute levels are
+    /// `u16` indices, so every cardinality fits.
+    #[inline]
+    pub fn radix(&self, a: AttrId) -> AttrValue {
+        let card = self.cardinality(a);
+        debug_assert!(
+            card <= AttrValue::MAX as usize,
+            "cardinality overflows the level type"
+        );
+        card as AttrValue
+    }
+
     /// Looks up an attribute by name.
     pub fn by_name(&self, name: &str) -> Option<AttrId> {
         self.defs
@@ -194,6 +207,15 @@ impl AttrVec {
     /// exact-match key used by the collaborative-filtering voter.
     pub fn project(&self, attrs: &[AttrId]) -> Vec<AttrValue> {
         attrs.iter().map(|&a| self.get(a)).collect()
+    }
+
+    /// Allocation-reusing companion to [`AttrVec::project`]: writes the
+    /// projection into `out` (cleared first). Hot loops that compare many
+    /// projected keys can keep one scratch buffer alive instead of
+    /// allocating per carrier.
+    pub fn project_into(&self, attrs: &[AttrId], out: &mut Vec<AttrValue>) {
+        out.clear();
+        out.extend(attrs.iter().map(|&a| self.get(a)));
     }
 }
 
@@ -342,6 +364,23 @@ mod tests {
         assert_eq!(v.project(&[AttrId(1)]), vec![1]);
         assert_eq!(v.project(&[AttrId(1), AttrId(0)]), vec![1, 2]);
         assert_eq!(v.project(&[]), Vec::<AttrValue>::new());
+    }
+
+    #[test]
+    fn project_into_reuses_the_buffer() {
+        let v = AttrVec::new(vec![2, 1]);
+        let mut buf = Vec::with_capacity(2);
+        v.project_into(&[AttrId(1), AttrId(0)], &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        v.project_into(&[AttrId(0)], &mut buf);
+        assert_eq!(buf, vec![2], "buffer is cleared between projections");
+    }
+
+    #[test]
+    fn radix_is_the_cardinality_as_a_level() {
+        let s = small_schema();
+        assert_eq!(s.radix(AttrId(0)), 3);
+        assert_eq!(s.radix(AttrId(1)) as usize, s.cardinality(AttrId(1)));
     }
 
     #[test]

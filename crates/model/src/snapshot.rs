@@ -166,8 +166,8 @@ mod tests {
     use crate::attrs::{AttrDef, AttrVec, AttributeSchema};
     use crate::carrier::{Band, Carrier, Enodeb, Market, Morphology, Point, Timezone, Vendor};
     use crate::params::{ParamCatalog, ParamDef, ParamFunction, ParamKind, ValueRange};
-    use crate::ParamId;
     use crate::x2::X2Graph;
+    use crate::ParamId;
 
     /// A hand-built minimal snapshot: one market, one eNodeB, two
     /// carriers, one X2 edge.

@@ -16,7 +16,9 @@
 //! - [`impurity`] — Gini impurity and entropy for the tree learners;
 //! - [`distance`] — the distance metrics of the k-NN learner;
 //! - [`freq`] — frequency counting and majority/mode helpers used by the
-//!   voting recommender.
+//!   voting recommender;
+//! - [`packed`] — mixed-radix packing of categorical keys into a `u64`
+//!   and the multiply-shift hasher the vote tables index with.
 
 pub mod chi2;
 pub mod contingency;
@@ -26,6 +28,7 @@ pub mod impurity;
 pub mod matrix;
 pub mod moments;
 pub mod onehot;
+pub mod packed;
 pub mod special;
 
 pub use chi2::{chi2_cdf, chi2_critical, chi2_p_value};
@@ -33,3 +36,4 @@ pub use contingency::ContingencyTable;
 pub use matrix::Matrix;
 pub use moments::{skewness, Skew};
 pub use onehot::OneHotEncoder;
+pub use packed::{FastHash, PackedKeyCodec};

@@ -1,0 +1,412 @@
+//! Mixed-radix packing of categorical keys into a single `u64`.
+//!
+//! The voting recommender groups carriers by an exact-match key over the
+//! dependent attributes. Representing that key as a `Vec<u16>` makes every
+//! group lookup hash a heap allocation and every key construction allocate;
+//! at leave-one-out sweep volume (every carrier × every parameter × every
+//! probe) that dominates the hot path. A [`PackedKeyCodec`] instead lays
+//! the key positions out as contiguous bit fields of a `u64`:
+//!
+//! - position `i` with cardinality `c_i` gets `ceil(log2(c_i + 1))` bits,
+//!   enough for the levels `0..c_i` *plus* one reserved sentinel level
+//!   `c_i` that out-of-range probe values (e.g. `u16::MAX`) collapse to.
+//!   Recorded observations are always in range, so a sentinel never equals
+//!   a recorded level and "unseen key" semantics are preserved exactly;
+//! - positions are packed low-to-high, so the group key of the *first*
+//!   `l` positions is just `key & prefix_mask(l)` — the hierarchical
+//!   backoff tables need no re-projection;
+//! - keys compare and hash as plain integers ([`FastHash`] below).
+//!
+//! When the total bit width exceeds 64 (possible only under the marginal
+//! dependency-selection ablation, which can keep twenty-plus attributes),
+//! the codec reports `fits_u64() == false` and callers fall back to a wide
+//! `Box<[u16]>` key representation; [`PackedKeyCodec::clamp`] applies the
+//! same sentinel collapse there so both representations agree on probe
+//! semantics.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Bit-field layout for packing one categorical key into a `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedKeyCodec {
+    /// Per-position cardinality; level `cards[i]` is the reserved sentinel.
+    cards: Vec<u16>,
+    /// Bit offset of each position, plus the total width as last entry.
+    shifts: Vec<u8>,
+    /// `masks[l]` selects the first `l` positions (`masks[n]` = all).
+    masks: Vec<u64>,
+    /// Total bits required; layouts over 64 bits do not fit a `u64`.
+    total_bits: u32,
+}
+
+/// Bits needed to store levels `0..=card` (the sentinel included).
+#[inline]
+fn field_width(card: u16) -> u32 {
+    (u16::BITS - card.leading_zeros()).max(1)
+}
+
+impl PackedKeyCodec {
+    /// Builds the layout for positions with the given cardinalities.
+    pub fn new(cards: &[u16]) -> Self {
+        let mut shifts = Vec::with_capacity(cards.len() + 1);
+        let mut total_bits = 0u32;
+        for &c in cards {
+            shifts.push(total_bits.min(64) as u8);
+            total_bits += field_width(c);
+        }
+        shifts.push(total_bits.min(64) as u8);
+        let fits = total_bits <= 64;
+        let masks = shifts
+            .iter()
+            .map(|&s| {
+                if !fits {
+                    0
+                } else if s >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << s) - 1
+                }
+            })
+            .collect();
+        Self {
+            cards: cards.to_vec(),
+            shifts,
+            masks,
+            total_bits,
+        }
+    }
+
+    /// Number of key positions.
+    pub fn n_positions(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Per-position cardinalities (the layout's defining input).
+    pub fn cards(&self) -> &[u16] {
+        &self.cards
+    }
+
+    /// Whether the whole key fits one `u64`.
+    #[inline]
+    pub fn fits_u64(&self) -> bool {
+        self.total_bits <= 64
+    }
+
+    /// Clamps a level to the position's range, collapsing every
+    /// out-of-range probe level to the reserved sentinel `cards[i]`.
+    #[inline]
+    pub fn clamp_level(&self, i: usize, v: u16) -> u16 {
+        if v >= self.cards[i] {
+            self.cards[i]
+        } else {
+            v
+        }
+    }
+
+    /// Packs the first `vals.len()` positions (`vals.len() <= n_positions`).
+    ///
+    /// # Panics
+    /// Debug-panics if the layout does not fit a `u64` or `vals` is longer
+    /// than the layout.
+    #[inline]
+    pub fn pack(&self, vals: &[u16]) -> u64 {
+        debug_assert!(self.fits_u64(), "packing a wide layout");
+        debug_assert!(vals.len() <= self.cards.len());
+        let mut key = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            key |= (self.clamp_level(i, v) as u64) << self.shifts[i];
+        }
+        key
+    }
+
+    /// Packs a full key reading position `i`'s level from `level(i)`.
+    #[inline]
+    pub fn pack_with(&self, mut level: impl FnMut(usize) -> u16) -> u64 {
+        debug_assert!(self.fits_u64(), "packing a wide layout");
+        let mut key = 0u64;
+        for i in 0..self.cards.len() {
+            key |= (self.clamp_level(i, level(i)) as u64) << self.shifts[i];
+        }
+        key
+    }
+
+    /// Unpacks the first `len` positions of a packed key.
+    pub fn unpack(&self, key: u64, len: usize) -> Vec<u16> {
+        debug_assert!(len <= self.cards.len());
+        (0..len)
+            .map(|i| {
+                let width = field_width(self.cards[i]);
+                ((key >> self.shifts[i]) & ((1u64 << width) - 1)) as u16
+            })
+            .collect()
+    }
+
+    /// The mask selecting the first `l` positions.
+    #[inline]
+    pub fn prefix_mask(&self, l: usize) -> u64 {
+        self.masks[l]
+    }
+
+    /// The packed key of the first `l` positions of `key` — equivalent to
+    /// re-projecting onto the prefix, without touching the attributes.
+    #[inline]
+    pub fn prefix(&self, key: u64, l: usize) -> u64 {
+        key & self.masks[l]
+    }
+
+    /// Sentinel-clamps an unpacked key for the wide (over-64-bit) fallback
+    /// representation, so out-of-range probe levels collapse identically
+    /// in both representations.
+    pub fn clamp(&self, vals: &[u16]) -> Vec<u16> {
+        debug_assert!(vals.len() <= self.cards.len());
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| self.clamp_level(i, v))
+            .collect()
+    }
+}
+
+/// A multiply-shift hasher for already-mixed integer keys.
+///
+/// Packed vote keys are small dense integers; SipHash (the `HashMap`
+/// default) spends more time per lookup than the whole equality scan it
+/// guards. One odd-constant multiply plus a xor-shift is enough to spread
+/// the low bits the hash map indexes with. Not DoS-resistant — keys come
+/// from the network snapshot, not an adversary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastHash;
+
+/// Hasher state for [`FastHash`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Multiply-shift: golden-ratio constant, then fold the high bits
+        // (where multiply mixes best) down into the index bits.
+        let h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u64 keys): FNV-1a style fold.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl BuildHasher for FastHash {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_in_range_keys() {
+        let codec = PackedKeyCodec::new(&[3, 1, 20, 5]);
+        assert!(codec.fits_u64());
+        let vals = [2u16, 0, 19, 4];
+        let key = codec.pack(&vals);
+        assert_eq!(codec.unpack(key, 4), vals);
+        assert_eq!(codec.unpack(key, 2), vals[..2]);
+    }
+
+    #[test]
+    fn prefix_mask_equals_prefix_packing() {
+        let codec = PackedKeyCodec::new(&[4, 7, 2, 30]);
+        let vals = [3u16, 6, 1, 29];
+        let key = codec.pack(&vals);
+        for l in 0..=vals.len() {
+            assert_eq!(codec.prefix(key, l), codec.pack(&vals[..l]), "prefix {l}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_levels_collapse_to_the_sentinel() {
+        let codec = PackedKeyCodec::new(&[3, 5]);
+        // Different impossible probe levels agree with each other…
+        assert_eq!(codec.pack(&[u16::MAX, 2]), codec.pack(&[3, 2]));
+        assert_eq!(codec.pack(&[100, 2]), codec.pack(&[u16::MAX, 2]));
+        // …but never with any real level.
+        for real in 0..3u16 {
+            assert_ne!(codec.pack(&[real, 2]), codec.pack(&[u16::MAX, 2]));
+        }
+    }
+
+    #[test]
+    fn empty_layout_packs_to_zero() {
+        let codec = PackedKeyCodec::new(&[]);
+        assert!(codec.fits_u64());
+        assert_eq!(codec.pack(&[]), 0);
+        assert_eq!(codec.unpack(0, 0), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn oversized_layouts_report_no_fit() {
+        // 13 positions × 6 bits (card 32 ⇒ levels 0..=32) = 78 bits.
+        let cards = vec![32u16; 13];
+        let codec = PackedKeyCodec::new(&cards);
+        assert!(!codec.fits_u64());
+        // Clamping still applies sentinel semantics for the wide fallback.
+        assert_eq!(codec.clamp(&[u16::MAX; 13]), vec![32u16; 13]);
+    }
+
+    #[test]
+    fn exact_64_bit_layout_fits() {
+        // 8 positions × 8 bits (card 255 ⇒ levels 0..=255 need 8 bits).
+        let cards = vec![255u16; 8];
+        let codec = PackedKeyCodec::new(&cards);
+        assert!(codec.fits_u64());
+        let vals: Vec<u16> = (0..8).map(|i| 31 * i).collect();
+        let key = codec.pack(&vals);
+        assert_eq!(codec.unpack(key, 8), vals);
+        assert_eq!(codec.prefix_mask(8), u64::MAX);
+    }
+
+    #[test]
+    fn distinct_keys_pack_distinctly() {
+        // Exhaustive over a small layout: packing is injective on the
+        // (sentinel-extended) level grid.
+        let codec = PackedKeyCodec::new(&[2, 3]);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..=2u16 {
+            for b in 0..=3u16 {
+                assert!(seen.insert(codec.pack(&[a, b])), "collision at {a},{b}");
+            }
+        }
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Reference bit count, computed independently of the codec.
+        fn expected_bits(cards: &[u16]) -> u32 {
+            cards
+                .iter()
+                .map(|&c| (u16::BITS - c.leading_zeros()).max(1))
+                .sum()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// pack → unpack returns the sentinel-clamped input for any
+            /// layout that fits, at every prefix length.
+            #[test]
+            fn pack_unpack_round_trips(spec in collection::vec((1u16..40, 0u16..80), 0..12)) {
+                let cards: Vec<u16> = spec.iter().map(|&(c, _)| c).collect();
+                let vals: Vec<u16> = spec.iter().map(|&(_, v)| v).collect();
+                let codec = PackedKeyCodec::new(&cards);
+                prop_assert!(codec.fits_u64(), "12 positions × ≤6 bits always fit");
+                let key = codec.pack(&vals);
+                let clamped = codec.clamp(&vals);
+                for l in 0..=vals.len() {
+                    prop_assert_eq!(codec.unpack(codec.prefix(key, l), l), &clamped[..l]);
+                }
+            }
+
+            /// Masking the packed key equals packing the projected prefix —
+            /// the property the backoff tables rely on.
+            #[test]
+            fn prefix_mask_equals_prefix_projection(
+                spec in collection::vec((1u16..300, 0u16..600), 0..9),
+            ) {
+                let cards: Vec<u16> = spec.iter().map(|&(c, _)| c).collect();
+                let vals: Vec<u16> = spec.iter().map(|&(_, v)| v).collect();
+                let codec = PackedKeyCodec::new(&cards);
+                prop_assert!(codec.fits_u64(), "9 positions × ≤9 bits always fit");
+                let key = codec.pack(&vals);
+                for l in 0..=vals.len() {
+                    prop_assert_eq!(codec.prefix(key, l), codec.pack(&vals[..l]));
+                }
+            }
+
+            /// `fits_u64` agrees with an independent width computation, and
+            /// wide layouts still clamp for the fallback representation.
+            #[test]
+            fn overflow_detection_matches_reference(
+                cards in collection::vec(1u16..2000, 0..24),
+            ) {
+                let codec = PackedKeyCodec::new(&cards);
+                prop_assert_eq!(codec.fits_u64(), expected_bits(&cards) <= 64);
+                let probe: Vec<u16> = cards.iter().map(|_| u16::MAX).collect();
+                let clamped = codec.clamp(&probe);
+                for (i, &c) in cards.iter().enumerate() {
+                    prop_assert_eq!(clamped[i], c, "sentinel at position {}", i);
+                }
+            }
+
+            /// A `u16::MAX` probe level packs to the same key as the
+            /// reserved sentinel and never collides with a real level.
+            #[test]
+            fn max_probe_level_collapses_to_the_sentinel(
+                cards in collection::vec(1u16..50, 1..10),
+                pos_seed in 0usize..1000,
+            ) {
+                let codec = PackedKeyCodec::new(&cards);
+                prop_assert!(codec.fits_u64());
+                let pos = pos_seed % cards.len();
+                let mut probe: Vec<u16> = cards.iter().map(|&c| c / 2).collect();
+                probe[pos] = u16::MAX;
+                let mut sentinel = probe.clone();
+                sentinel[pos] = cards[pos];
+                prop_assert_eq!(codec.pack(&probe), codec.pack(&sentinel));
+                for real in 0..cards[pos] {
+                    let mut other = probe.clone();
+                    other[pos] = real;
+                    prop_assert_ne!(codec.pack(&other), codec.pack(&probe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_hash_spreads_low_bits() {
+        // Sequential keys must not collide in the low bits the map uses.
+        let build = FastHash;
+        let mut low7 = std::collections::HashSet::new();
+        for k in 0u64..128 {
+            low7.insert(build.hash_one(k) & 0x7f);
+        }
+        assert!(
+            low7.len() > 64,
+            "only {} distinct low-bit patterns",
+            low7.len()
+        );
+    }
+}

@@ -79,7 +79,5 @@ fn main() {
             flipped += usize::from(plain.value != weighted.value);
         }
     }
-    println!(
-        "\n{flipped} of {compared} neighbor recommendations changed under KPI weighting"
-    );
+    println!("\n{flipped} of {compared} neighbor recommendations changed under KPI weighting");
 }

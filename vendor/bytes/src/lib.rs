@@ -1,0 +1,138 @@
+//! Offline vendored stand-in for `bytes`.
+//!
+//! [`Bytes`] and [`BytesMut`] backed by plain owned buffers. The real crate
+//! provides zero-copy reference counting; this workspace only needs a byte
+//! buffer it can build incrementally and freeze, so `Vec<u8>` semantics are
+//! sufficient.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Box<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Box::default())
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(bytes.into())
+    }
+
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes(bytes.into())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v.into_boxed_slice())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.into())
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0.into_boxed_slice())
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write access to a growable buffer (a narrow slice of `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_freeze() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(b"hello ");
+        buf.put_slice(b"world");
+        let frozen = buf.freeze();
+        assert_eq!(&frozen[..], b"hello world");
+        assert_eq!(frozen.len(), 11);
+        assert!(!frozen.is_empty());
+        assert_eq!(std::str::from_utf8(&frozen).unwrap(), "hello world");
+    }
+
+    #[test]
+    fn equality_between_buffers() {
+        let a = Bytes::copy_from_slice(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_ne!(a, Bytes::copy_from_slice(b"abd"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API shape
+//! this workspace's bench targets use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`Throughput`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! When the binary is invoked with `--bench` (what `cargo bench` passes),
+//! each benchmark is calibrated and timed over several samples and a
+//! mean/min/max summary is printed. Under `cargo test` (no `--bench` flag)
+//! each benchmark body runs once so the target stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark (across all samples).
+const TARGET_MEASURE: Duration = Duration::from_millis(600);
+
+/// Work-size hint used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Drives one benchmark body.
+pub struct Bencher<'a> {
+    /// Iterations to run per sample (1 in test mode).
+    iters: u64,
+    /// Accumulated elapsed time for this sample.
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `body` over this sample's iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        *self.elapsed += start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let bench_mode = args.iter().any(|a| a == "--bench");
+        // First free (non-flag) argument filters benchmark names, like
+        // criterion's substring filter.
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion { bench_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, 10, None, f);
+        self
+    }
+
+    /// Starts a named group whose settings apply to its benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn run<F>(&mut self, name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.should_run(name) {
+            return;
+        }
+        if !self.bench_mode {
+            // Test mode: execute once to check the benchmark still works.
+            let mut elapsed = Duration::ZERO;
+            f(&mut Bencher {
+                iters: 1,
+                elapsed: &mut elapsed,
+            });
+            println!("test-mode bench {name}: ok ({elapsed:?})");
+            return;
+        }
+        // Calibrate: time one iteration, then pick a per-sample iteration
+        // count aiming at TARGET_MEASURE across all samples.
+        let mut elapsed = Duration::ZERO;
+        f(&mut Bencher {
+            iters: 1,
+            elapsed: &mut elapsed,
+        });
+        let per_iter = elapsed.max(Duration::from_nanos(20));
+        let budget = TARGET_MEASURE.as_nanos() / sample_size.max(1) as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut elapsed = Duration::ZERO;
+            f(&mut Bencher {
+                iters,
+                elapsed: &mut elapsed,
+            });
+            samples.push(elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        let thru = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.0} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.0} B/s", n as f64 / mean)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {name}: mean {} (min {}, max {}, {} samples x {iters} iters){thru}",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.prefix);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run(&full, sample_size, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_apply_settings() {
+        let mut c = Criterion {
+            bench_mode: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function("fast", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            bench_mode: false,
+            filter: Some("needle".into()),
+        };
+        let mut runs = 0;
+        c.bench_function("haystack", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("a_needle_bench", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,538 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors a minimal, API-compatible subset of the serde
+//! facade it actually uses:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on structs, tuple structs and
+//!   enums (unit, tuple and struct variants), including the
+//!   `#[serde(with = "module")]` and `#[serde(skip)]` field attributes;
+//! - the `Serialize` / `Deserialize` / `Serializer` / `Deserializer`
+//!   traits as used by hand-written `with`-modules;
+//! - impls for the std types the workspace serializes.
+//!
+//! Unlike upstream serde's visitor architecture, this implementation
+//! round-trips through an owned [`Value`] tree. That is slower and less
+//! general, but it is simple, dependency-free, and exactly sufficient for
+//! the JSON (de)serialization this repository performs. The sibling
+//! `serde_json` vendored crate renders and parses [`Value`] as JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+
+/// A serialized value tree — the common interchange format between the
+/// `Serialize`/`Deserialize` traits and the JSON front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key/value pairs in insertion order (callers that need canonical
+    /// output sort before serializing, as the workspace's `with`-modules
+    /// do).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` if this is a map containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Seq(s) => s.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        DeError(format!("expected {expected}, got {}", got.type_name()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Error trait for deserializer error types (a narrow slice of
+/// `serde::de::Error`).
+pub trait Error: Sized + std::fmt::Display {
+    fn custom(msg: impl std::fmt::Display) -> Self;
+}
+
+impl Error for DeError {
+    fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError::custom(msg)
+    }
+}
+
+/// An error that cannot occur (serialization into a value tree is total).
+#[derive(Debug)]
+pub enum Impossible {}
+
+impl std::fmt::Display for Impossible {
+    fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {}
+    }
+}
+
+impl std::error::Error for Impossible {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// The value tree of `self` (total; this facade's serializers cannot
+    /// fail).
+    fn to_value(&self) -> Value;
+
+    /// serde-compatible entry point: hands the value tree to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink for a serialized [`Value`] (a narrow slice of
+/// `serde::Serializer`).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The serializer that `#[serde(with = "...")]` ser-functions receive:
+/// it simply yields the value tree.
+pub struct ValueSer;
+
+impl Serializer for ValueSer {
+    type Ok = Value;
+    type Error = Impossible;
+    fn serialize_value(self, v: Value) -> Result<Value, Impossible> {
+        Ok(v)
+    }
+}
+
+/// A type constructible from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// serde-compatible entry point: pulls the value tree out of `d`.
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        Self::from_value(&v).map_err(D::Error::custom)
+    }
+}
+
+/// A source of one [`Value`] (a narrow slice of `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// The deserializer that `#[serde(with = "...")]` de-functions receive.
+pub struct ValueDe<'de>(pub &'de Value);
+
+impl<'de> Deserializer<'de> for ValueDe<'de> {
+    type Error = DeError;
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Derive-support helper: the value of field `key` in map `v`.
+pub fn map_field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DeError> {
+    match v {
+        Value::Map(_) => v
+            .get(key)
+            .ok_or_else(|| DeError(format!("missing field `{key}`"))),
+        other => Err(DeError::mismatch("map", other)),
+    }
+}
+
+/// Derive-support helper: like [`map_field`] but tolerating absence
+/// (for `#[serde(default)]`-style semantics).
+pub fn map_field_opt<'a>(v: &'a Value, key: &str) -> Result<Option<&'a Value>, DeError> {
+    match v {
+        Value::Map(_) => Ok(v.get(key)),
+        other => Err(DeError::mismatch("map", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::mismatch("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 { Value::Int(*self as i64) } else { Value::UInt(*self as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::mismatch("integer", v))?;
+                <$t>::try_from(i).map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::mismatch("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::mismatch("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::mismatch("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::mismatch("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items).map_err(|_| DeError(format!("expected {N} elements, got {n}")))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$($idx,)+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected {expected}-tuple, got {} elements", items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::mismatch("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    /// Maps serialize as sequences of `[key, value]` pairs (the workspace
+    /// convention: JSON object keys must be strings, most keys here are
+    /// not). Iteration order is unspecified; callers needing canonical
+    /// output sort explicitly via `with`-modules.
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Convenience: any serializable value's tree (used by `serde_json::json!`).
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impl_round_trips() {
+        let v: Vec<(u16, usize)> = vec![(3, 1), (9, 2)];
+        let tree = v.to_value();
+        assert_eq!(Vec::<(u16, usize)>::from_value(&tree).unwrap(), v);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(5u32).to_value(), Value::UInt(5));
+    }
+
+    #[test]
+    fn index_by_key_and_position() {
+        let v = Value::Map(vec![(
+            "xs".into(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+        )]);
+        assert_eq!(v["xs"][1], Value::UInt(2));
+        assert_eq!(v["missing"], Value::Null);
+    }
+}

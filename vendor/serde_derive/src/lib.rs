@@ -1,0 +1,571 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Generates impls of the vendored value-tree `serde` traits
+//! (`Serialize::to_value` / `Deserialize::from_value`) by hand-parsing the
+//! item's token stream — no `syn`/`quote`, so the macro builds with only the
+//! standard proc-macro runtime.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields (`#[serde(with = "mod")]`, `#[serde(skip)]`,
+//!   `#[serde(default)]` honoured per field)
+//! - tuple structs: one field is transparent (newtype), N fields become a seq
+//! - unit structs
+//! - enums with unit, tuple and struct variants (externally tagged, matching
+//!   upstream serde's JSON representation)
+//!
+//! Generics are not supported; no derived type in this workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeOpts {
+    with: Option<String>,
+    skip: bool,
+    default: bool,
+}
+
+struct NamedField {
+    name: String,
+    opts: SerdeOpts,
+}
+
+enum Shape {
+    Named(Vec<NamedField>),
+    /// Tuple fields carry only per-field opts (names are positional).
+    Tuple(Vec<SerdeOpts>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes (docs, other derives' leftovers) and visibility.
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        }
+    }
+}
+
+/// Consumes attributes, folding any `#[serde(...)]` contents into opts.
+fn parse_field_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeOpts {
+    let mut opts = SerdeOpts::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        let group = match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if is_serde {
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                other => panic!("serde_derive: malformed #[serde(...)], got {other:?}"),
+            };
+            parse_serde_args(args, &mut opts);
+        }
+    }
+    opts
+}
+
+fn parse_serde_args(args: TokenStream, opts: &mut SerdeOpts) {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        i += 1;
+        let has_value = matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if has_value {
+            i += 1;
+            match toks.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    i += 1;
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde_derive: expected literal after `{key} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match key.as_str() {
+            "with" => opts.with = Some(value.expect("serde_derive: `with` needs a value")),
+            "skip" => opts.skip = true,
+            "default" => opts.default = true,
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+/// Skips a type (or any expression) up to a top-level `,`, tracking `<...>`
+/// nesting so commas inside generic arguments don't split fields.
+fn skip_to_field_sep(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let opts = parse_field_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_to_field_sep(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(NamedField { name, opts });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<SerdeOpts> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let opts = parse_field_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        skip_to_field_sep(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(opts);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Optional explicit discriminant: `= <expr>` up to the next comma.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_to_field_sep(&toks, &mut i);
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_field_expr(access: &str, opts: &SerdeOpts) -> String {
+    match &opts.with {
+        Some(path) => format!(
+            "match {path}::serialize(&{access}, ::serde::ValueSer) {{ \
+               Ok(v) => v, Err(e) => match e {{}} }}"
+        ),
+        None => format!("::serde::Serialize::to_value(&{access})"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut pushes = String::new();
+                    for f in fields {
+                        if f.opts.skip {
+                            continue;
+                        }
+                        let expr = ser_field_expr(&format!("self.{}", f.name), &f.opts);
+                        pushes.push_str(&format!(
+                            "entries.push((\"{}\".to_string(), {expr}));\n",
+                            f.name
+                        ));
+                    }
+                    format!(
+                        "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(entries)"
+                    )
+                }
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    // Newtype struct: transparent, like upstream serde.
+                    ser_field_expr("self.0", &fields[0])
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, opts)| ser_field_expr(&format!("self.{idx}"), opts))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            ser_field_expr("*f0", &fields[0])
+                        } else {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, o)| ser_field_expr(&format!("*f{i}"), o))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binders}) => ::serde::Value::Map(vec![\
+                               (\"{vname}\".to_string(), {payload})]),\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            if f.opts.skip {
+                                continue;
+                            }
+                            let expr = ser_field_expr(&format!("*{}", f.name), &f.opts);
+                            pushes.push_str(&format!(
+                                "entries.push((\"{}\".to_string(), {expr}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{\n\
+                               let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                               {pushes}\
+                               ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                                   ::serde::Value::Map(entries))])\n\
+                             }}\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression deserializing one value reference (`&::serde::Value`) into a
+/// field, honouring `with`.
+fn de_value_expr(value_ref: &str, opts: &SerdeOpts) -> String {
+    match &opts.with {
+        Some(path) => format!("{path}::deserialize(::serde::ValueDe({value_ref}))?"),
+        None => format!("::serde::Deserialize::from_value({value_ref})?"),
+    }
+}
+
+/// Expression deserializing a named field out of the map value `v`.
+fn de_named_field_expr(field: &NamedField) -> String {
+    if field.opts.skip {
+        return "Default::default()".to_string();
+    }
+    if field.opts.default {
+        let inner = de_value_expr("fv", &field.opts);
+        return format!(
+            "match ::serde::map_field_opt(v, \"{}\")? {{ \
+               Some(fv) => {inner}, None => Default::default() }}",
+            field.name
+        );
+    }
+    de_value_expr(
+        &format!("::serde::map_field(v, \"{}\")?", field.name),
+        &field.opts,
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{}: {}", f.name, de_named_field_expr(f)))
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    format!("Ok({name}({}))", de_value_expr("v", &fields[0]))
+                }
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, o)| de_value_expr(&format!("&items[{i}]"), o))
+                        .collect();
+                    format!(
+                        "let items = match v {{ \
+                           ::serde::Value::Seq(items) => items, \
+                           other => return Err(::serde::DeError::mismatch(\"seq\", other)) }};\n\
+                         if items.len() != {n} {{ \
+                           return Err(::serde::DeError::custom(format!(\
+                             \"expected {n} elements for {name}, got {{}}\", items.len()))); }}\n\
+                         Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Unit => format!("let _ = v; Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for va in variants {
+                let vname = &va.name;
+                match &va.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        let expr = de_value_expr("payload", &fields[0]);
+                        payload_arms
+                            .push_str(&format!("\"{vname}\" => Ok({name}::{vname}({expr})),\n"));
+                    }
+                    Shape::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, o)| de_value_expr(&format!("&items[{i}]"), o))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                               let items = match payload {{ \
+                                 ::serde::Value::Seq(items) => items, \
+                                 other => return Err(::serde::DeError::mismatch(\"seq\", other)) }};\n\
+                               if items.len() != {n} {{ \
+                                 return Err(::serde::DeError::custom(format!(\
+                                   \"expected {n} elements for {name}::{vname}, got {{}}\", \
+                                   items.len()))); }}\n\
+                               Ok({name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                // Field lookups run against the payload map.
+                                let expr = de_named_field_expr(f).replace("(v, ", "(payload, ");
+                                format!("{}: {expr}", f.name)
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {payload_arms}\
+                                     other => Err(::serde::DeError::custom(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::mismatch(\"enum {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
