@@ -11,9 +11,13 @@
 //!    "configuration change implementation for some of the carriers
 //!    resulted in timeouts because of the very large number of
 //!    parameters" — so oversized batches can time out.
+//!
+//! The pipeline talks to the EMS through the [`EmsBackend`] trait so that
+//! the fault-injection layer ([`crate::fault`]) can wrap a real [`Ems`]
+//! and misbehave in controlled, seeded ways.
 
 use crate::mo::ConfigFile;
-use auric_model::CarrierId;
+use auric_model::{CarrierId, ParamId, ValueIdx};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -45,15 +49,37 @@ impl Default for EmsSettings {
 }
 
 /// Why a push failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PushError {
     /// The carrier is already live (off-band unlock): refusing to change
     /// it rather than risk a disruption.
     CarrierUnlocked,
-    /// The batch exceeded the EMS execution limit and timed out.
+    /// The batch exceeded the EMS execution limit (or its deadline under
+    /// injected latency) and timed out.
     ExecutionTimeout { attempted: usize, limit: usize },
     /// The carrier is not in the EMS inventory at all.
     UnknownCarrier,
+    /// The EMS dropped the request before applying anything (a transient
+    /// execution failure); nothing landed, so a retry is safe.
+    TransientFailure,
+    /// Only the first `applied` of `attempted` changes landed before the
+    /// EMS gave up — the carrier holds a torn prefix until the remainder
+    /// is re-pushed or the prefix is rolled back.
+    PartialApplication { applied: usize, attempted: usize },
+}
+
+impl PushError {
+    /// Whether retrying the (remaining) batch can plausibly succeed.
+    /// Lifecycle rejections (`CarrierUnlocked`, `UnknownCarrier`) are
+    /// permanent from the pipeline's point of view.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PushError::ExecutionTimeout { .. }
+                | PushError::TransientFailure
+                | PushError::PartialApplication { .. }
+        )
+    }
 }
 
 /// A successful push.
@@ -63,15 +89,96 @@ pub struct PushOutcome {
     pub parameters_changed: usize,
 }
 
-/// The element management system: tracks lifecycle state and accepts
-/// config files.
+/// Rolling audit of EMS activity: accepted work plus rejections broken
+/// out per [`PushError`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EmsAudit {
+    pub accepted_pushes: usize,
+    /// Total accepted payload bytes.
+    pub accepted_bytes: u64,
+    pub rejected_unlocked: usize,
+    pub rejected_timeout: usize,
+    pub rejected_unknown: usize,
+    pub rejected_transient: usize,
+    pub rejected_partial: usize,
+    /// Tripwire: pushes accepted while the carrier was `Unlocked`. The
+    /// EMS refuses these by construction, so this stays 0 unless a
+    /// backend wrapper corrupts the lifecycle; the invariant checker
+    /// treats any nonzero count as a violation.
+    pub unlocked_accepts: usize,
+}
+
+impl EmsAudit {
+    /// Total rejected pushes across all causes.
+    pub fn rejected_pushes(&self) -> usize {
+        self.rejected_unlocked
+            + self.rejected_timeout
+            + self.rejected_unknown
+            + self.rejected_transient
+            + self.rejected_partial
+    }
+
+    /// Records one rejection under the matching per-variant counter.
+    pub fn record_rejection(&mut self, e: &PushError) {
+        match e {
+            PushError::CarrierUnlocked => self.rejected_unlocked += 1,
+            PushError::ExecutionTimeout { .. } => self.rejected_timeout += 1,
+            PushError::UnknownCarrier => self.rejected_unknown += 1,
+            PushError::TransientFailure => self.rejected_transient += 1,
+            PushError::PartialApplication { .. } => self.rejected_partial += 1,
+        }
+    }
+
+    /// Element-wise sum of two audits (used to merge a fault layer's
+    /// overlay rejections into the wrapped EMS's audit).
+    pub fn merged(&self, other: &EmsAudit) -> EmsAudit {
+        EmsAudit {
+            accepted_pushes: self.accepted_pushes + other.accepted_pushes,
+            accepted_bytes: self.accepted_bytes + other.accepted_bytes,
+            rejected_unlocked: self.rejected_unlocked + other.rejected_unlocked,
+            rejected_timeout: self.rejected_timeout + other.rejected_timeout,
+            rejected_unknown: self.rejected_unknown + other.rejected_unknown,
+            rejected_transient: self.rejected_transient + other.rejected_transient,
+            rejected_partial: self.rejected_partial + other.rejected_partial,
+            unlocked_accepts: self.unlocked_accepts + other.unlocked_accepts,
+        }
+    }
+}
+
+/// What the SmartLaunch pipeline needs from an element manager. [`Ems`]
+/// is the well-behaved implementation; [`crate::fault::FaultInjector`]
+/// wraps any backend and injects seeded misbehavior.
+pub trait EmsBackend {
+    /// The behavior knobs (the pipeline reads the execution limit off
+    /// these to size sub-batches).
+    fn settings(&self) -> EmsSettings;
+    /// Registers a carrier in `Locked` state (integration complete).
+    fn register_locked(&mut self, c: CarrierId);
+    /// Re-locks a carrier for maintenance (takes it off-air).
+    fn lock(&mut self, c: CarrierId);
+    /// Unlocks a carrier (puts it on-air).
+    fn unlock(&mut self, c: CarrierId);
+    /// Current state of a carrier, if registered.
+    fn state(&self, c: CarrierId) -> Option<CarrierState>;
+    /// Pushes a rendered config file.
+    fn push(&mut self, file: &ConfigFile) -> Result<PushOutcome, PushError>;
+    /// The configuration value actually applied to `c` for `p`, if any
+    /// push ever set it.
+    fn applied_value(&self, c: CarrierId, p: ParamId) -> Option<ValueIdx>;
+    /// The audit counters, including any wrapper overlay.
+    fn audit(&self) -> EmsAudit;
+}
+
+/// The element management system: tracks lifecycle state, accepts config
+/// files, and remembers the configuration each accepted push applied.
 #[derive(Debug, Clone, Default)]
 pub struct Ems {
     settings: EmsSettings,
     states: HashMap<CarrierId, CarrierState>,
-    /// Audit log of accepted payload sizes (bytes), for diagnostics.
-    accepted_bytes: u64,
-    accepted_pushes: usize,
+    /// Configuration actually applied per carrier, parameter by
+    /// parameter (the "device state" consistency checks compare against).
+    applied: HashMap<CarrierId, HashMap<ParamId, ValueIdx>>,
+    audit: EmsAudit,
 }
 
 impl Ems {
@@ -79,9 +186,7 @@ impl Ems {
     pub fn new(settings: EmsSettings) -> Self {
         Self {
             settings,
-            states: HashMap::new(),
-            accepted_bytes: 0,
-            accepted_pushes: 0,
+            ..Self::default()
         }
     }
 
@@ -101,21 +206,42 @@ impl Ems {
         self.states.insert(c, CarrierState::Unlocked);
     }
 
+    /// Re-locks a carrier for maintenance. On a live carrier this is the
+    /// §5 "equivalent to a reboot" operation — the pipeline avoids it;
+    /// it exists for maintenance flows and lifecycle testing.
+    pub fn lock(&mut self, c: CarrierId) {
+        self.states.insert(c, CarrierState::Locked);
+    }
+
     /// Pushes a rendered config file. Enforces the lock requirement and
     /// the execution limit.
     pub fn push(&mut self, file: &ConfigFile) -> Result<PushOutcome, PushError> {
         match self.states.get(&file.carrier) {
-            None => Err(PushError::UnknownCarrier),
-            Some(CarrierState::Unlocked) => Err(PushError::CarrierUnlocked),
+            None => {
+                let e = PushError::UnknownCarrier;
+                self.audit.record_rejection(&e);
+                Err(e)
+            }
+            Some(CarrierState::Unlocked) => {
+                let e = PushError::CarrierUnlocked;
+                self.audit.record_rejection(&e);
+                Err(e)
+            }
             Some(CarrierState::Locked) => {
                 if file.n_changes > self.settings.max_executions_per_push {
-                    return Err(PushError::ExecutionTimeout {
+                    let e = PushError::ExecutionTimeout {
                         attempted: file.n_changes,
                         limit: self.settings.max_executions_per_push,
-                    });
+                    };
+                    self.audit.record_rejection(&e);
+                    return Err(e);
                 }
-                self.accepted_bytes += file.payload.len() as u64;
-                self.accepted_pushes += 1;
+                self.audit.accepted_bytes += file.payload.len() as u64;
+                self.audit.accepted_pushes += 1;
+                let slot = self.applied.entry(file.carrier).or_default();
+                for ch in &file.changes {
+                    slot.insert(ch.param, ch.value);
+                }
                 Ok(PushOutcome {
                     carrier: file.carrier,
                     parameters_changed: file.n_changes,
@@ -126,12 +252,46 @@ impl Ems {
 
     /// Total accepted pushes (audit).
     pub fn accepted_pushes(&self) -> usize {
-        self.accepted_pushes
+        self.audit.accepted_pushes
     }
 
     /// Total accepted payload bytes (audit).
     pub fn accepted_bytes(&self) -> u64 {
-        self.accepted_bytes
+        self.audit.accepted_bytes
+    }
+}
+
+impl EmsBackend for Ems {
+    fn settings(&self) -> EmsSettings {
+        self.settings
+    }
+
+    fn register_locked(&mut self, c: CarrierId) {
+        Ems::register_locked(self, c);
+    }
+
+    fn lock(&mut self, c: CarrierId) {
+        Ems::lock(self, c);
+    }
+
+    fn unlock(&mut self, c: CarrierId) {
+        Ems::unlock(self, c);
+    }
+
+    fn state(&self, c: CarrierId) -> Option<CarrierState> {
+        Ems::state(self, c)
+    }
+
+    fn push(&mut self, file: &ConfigFile) -> Result<PushOutcome, PushError> {
+        Ems::push(self, file)
+    }
+
+    fn applied_value(&self, c: CarrierId, p: ParamId) -> Option<ValueIdx> {
+        self.applied.get(&c).and_then(|m| m.get(&p)).copied()
+    }
+
+    fn audit(&self) -> EmsAudit {
+        self.audit
     }
 }
 
@@ -139,49 +299,65 @@ impl Ems {
 mod tests {
     use super::*;
     use crate::mo::{ConfigChange, InstanceDb, VendorTemplate};
-    use auric_model::Vendor;
+    use auric_model::{NetworkSnapshot, Vendor};
     use auric_netgen::{generate, NetScale, TuningKnobs};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
 
-    fn file(n_changes: usize) -> (auric_model::NetworkSnapshot, ConfigFile) {
-        let snap = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
-        let db = InstanceDb::build(&snap);
+    fn shared_snapshot() -> &'static NetworkSnapshot {
+        static SNAP: OnceLock<NetworkSnapshot> = OnceLock::new();
+        SNAP.get_or_init(|| generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot)
+    }
+
+    fn render(carrier: CarrierId, n_changes: usize) -> ConfigFile {
+        let snap = shared_snapshot();
+        let db = InstanceDb::build(snap);
         let changes: Vec<ConfigChange> = snap
             .catalog
             .singular_ids()
             .take(n_changes)
             .map(|p| ConfigChange { param: p, value: 1 })
             .collect();
-        let f = VendorTemplate {
+        VendorTemplate {
             vendor: Vendor::VendorA,
         }
-        .render(&snap, &db, CarrierId(0), &changes);
-        (snap, f)
+        .render(snap, &db, carrier, &changes)
+    }
+
+    fn file(n_changes: usize) -> ConfigFile {
+        render(CarrierId(0), n_changes)
     }
 
     #[test]
     fn locked_carrier_accepts_pushes() {
-        let (_, f) = file(3);
+        let f = file(3);
         let mut ems = Ems::new(EmsSettings::default());
         ems.register_locked(CarrierId(0));
         let out = ems.push(&f).unwrap();
         assert_eq!(out.parameters_changed, 3);
         assert_eq!(ems.accepted_pushes(), 1);
         assert!(ems.accepted_bytes() > 0);
+        // The applied state mirrors the accepted changes.
+        for ch in &f.changes {
+            assert_eq!(ems.applied_value(CarrierId(0), ch.param), Some(ch.value));
+        }
     }
 
     #[test]
     fn unlocked_carrier_refuses_pushes() {
-        let (_, f) = file(2);
+        let f = file(2);
         let mut ems = Ems::new(EmsSettings::default());
         ems.register_locked(CarrierId(0));
         ems.unlock(CarrierId(0));
         assert_eq!(ems.push(&f), Err(PushError::CarrierUnlocked));
         assert_eq!(ems.accepted_pushes(), 0);
+        assert_eq!(ems.audit().rejected_unlocked, 1);
+        assert_eq!(ems.applied_value(CarrierId(0), f.changes[0].param), None);
     }
 
     #[test]
     fn oversized_batches_time_out() {
-        let (_, f) = file(10);
+        let f = file(10);
         let mut ems = Ems::new(EmsSettings {
             max_executions_per_push: 5,
         });
@@ -193,13 +369,15 @@ mod tests {
                 limit: 5
             })
         );
+        assert_eq!(ems.audit().rejected_timeout, 1);
     }
 
     #[test]
     fn unknown_carriers_are_rejected() {
-        let (_, f) = file(1);
+        let f = file(1);
         let mut ems = Ems::new(EmsSettings::default());
         assert_eq!(ems.push(&f), Err(PushError::UnknownCarrier));
+        assert_eq!(ems.audit().rejected_unknown, 1);
     }
 
     #[test]
@@ -210,5 +388,126 @@ mod tests {
         assert_eq!(ems.state(CarrierId(7)), Some(CarrierState::Locked));
         ems.unlock(CarrierId(7));
         assert_eq!(ems.state(CarrierId(7)), Some(CarrierState::Unlocked));
+        ems.lock(CarrierId(7));
+        assert_eq!(ems.state(CarrierId(7)), Some(CarrierState::Locked));
+    }
+
+    #[test]
+    fn relocked_carriers_accept_pushes_again() {
+        let f = file(2);
+        let mut ems = Ems::new(EmsSettings::default());
+        ems.register_locked(CarrierId(0));
+        ems.unlock(CarrierId(0));
+        assert_eq!(ems.push(&f), Err(PushError::CarrierUnlocked));
+        ems.lock(CarrierId(0));
+        assert!(ems.push(&f).is_ok());
+    }
+
+    #[test]
+    fn audit_merge_adds_every_counter() {
+        let a = EmsAudit {
+            accepted_pushes: 1,
+            accepted_bytes: 10,
+            rejected_unlocked: 2,
+            rejected_timeout: 3,
+            rejected_unknown: 4,
+            rejected_transient: 5,
+            rejected_partial: 6,
+            unlocked_accepts: 0,
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.accepted_pushes, 2);
+        assert_eq!(m.accepted_bytes, 20);
+        assert_eq!(m.rejected_pushes(), 2 * a.rejected_pushes());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(PushError::TransientFailure.is_retryable());
+        assert!(PushError::ExecutionTimeout {
+            attempted: 9,
+            limit: 5
+        }
+        .is_retryable());
+        assert!(PushError::PartialApplication {
+            applied: 1,
+            attempted: 3
+        }
+        .is_retryable());
+        assert!(!PushError::CarrierUnlocked.is_retryable());
+        assert!(!PushError::UnknownCarrier.is_retryable());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Lifecycle state machine: under arbitrary interleavings of
+        /// register / lock / unlock / push, changes are never applied to
+        /// an `Unlocked` (or unregistered) carrier and the audit counters
+        /// stay consistent with the observed outcomes.
+        #[test]
+        fn lifecycle_never_configures_live_carriers(
+            ops in proptest::collection::vec((0u8..4, 0u32..5, 1usize..8), 1..80)
+        ) {
+            let mut ems = Ems::new(EmsSettings { max_executions_per_push: 5 });
+            // Reference model: plain per-carrier states + outcome tallies.
+            let mut model: std::collections::HashMap<CarrierId, CarrierState> =
+                std::collections::HashMap::new();
+            let mut model_applied: std::collections::HashMap<(CarrierId, ParamId), ValueIdx> =
+                std::collections::HashMap::new();
+            let mut accepted = 0usize;
+            let mut rejected = EmsAudit::default();
+            for &(op, c, n) in &ops {
+                let c = CarrierId(c);
+                match op {
+                    0 => { ems.register_locked(c); model.insert(c, CarrierState::Locked); }
+                    1 => { ems.lock(c); model.insert(c, CarrierState::Locked); }
+                    2 => { ems.unlock(c); model.insert(c, CarrierState::Unlocked); }
+                    _ => {
+                        let f = render(c, n);
+                        let res = ems.push(&f);
+                        match model.get(&c) {
+                            None => {
+                                prop_assert_eq!(res, Err(PushError::UnknownCarrier));
+                                rejected.rejected_unknown += 1;
+                            }
+                            Some(CarrierState::Unlocked) => {
+                                prop_assert_eq!(res, Err(PushError::CarrierUnlocked));
+                                rejected.rejected_unlocked += 1;
+                            }
+                            Some(CarrierState::Locked) if n > 5 => {
+                                prop_assert_eq!(
+                                    res,
+                                    Err(PushError::ExecutionTimeout { attempted: n, limit: 5 })
+                                );
+                                rejected.rejected_timeout += 1;
+                            }
+                            Some(CarrierState::Locked) => {
+                                prop_assert!(res.is_ok());
+                                accepted += 1;
+                                for ch in &f.changes {
+                                    model_applied.insert((c, ch.param), ch.value);
+                                }
+                            }
+                        }
+                        // The device state tracks accepted pushes exactly:
+                        // a refused push leaves it untouched.
+                        for ch in &f.changes {
+                            prop_assert_eq!(
+                                ems.applied_value(c, ch.param),
+                                model_applied.get(&(c, ch.param)).copied()
+                            );
+                        }
+                    }
+                }
+            }
+            let audit = ems.audit();
+            prop_assert_eq!(audit.accepted_pushes, accepted);
+            prop_assert_eq!(audit.rejected_unknown, rejected.rejected_unknown);
+            prop_assert_eq!(audit.rejected_unlocked, rejected.rejected_unlocked);
+            prop_assert_eq!(audit.rejected_timeout, rejected.rejected_timeout);
+            prop_assert_eq!(audit.rejected_transient, 0);
+            prop_assert_eq!(audit.rejected_partial, 0);
+            prop_assert_eq!(audit.unlocked_accepts, 0);
+        }
     }
 }

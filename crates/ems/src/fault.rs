@@ -1,0 +1,605 @@
+//! Deterministic fault injection for the EMS, and the pipeline
+//! invariants that must survive it.
+//!
+//! §5's production campaign lost 29 of 1251 launches to exactly two
+//! faults (off-band unlocks, execution timeouts). Real element managers
+//! misbehave in more ways than the paper's accounting names, so this
+//! module wraps any [`EmsBackend`] in a [`FaultInjector`] that — driven
+//! by an independent `ChaCha8Rng` stream per plan — injects:
+//!
+//! - **transient push failures** (the request is dropped, nothing lands),
+//! - **partial batch application** (only a prefix of the changes lands),
+//! - **dropped inventory entries** (registration silently fails, later
+//!   pushes see `UnknownCarrier`),
+//! - **spurious mid-flow unlocks** (the carrier goes live between the
+//!   pre-check and the push),
+//! - **latency-induced timeouts** (the push exceeds its deadline even
+//!   though the batch fits the execution limit).
+//!
+//! Every rate is independently configurable; a plan with all rates at
+//! zero is behaviorally identical to the bare backend. The
+//! [`InvariantChecker`] then audits a campaign trace against the
+//! properties no amount of injected misbehavior may break.
+
+use crate::ems::{CarrierState, EmsAudit, EmsBackend, EmsSettings, PushError, PushOutcome};
+use crate::mo::ConfigFile;
+use crate::smartlaunch::{CampaignReport, FalloutCause, LaunchOutcome, LaunchRecord};
+use auric_model::{CarrierId, ParamId, ValueIdx};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Independent per-fault probabilities, each applied per opportunity
+/// (per registration for `drop_inventory`, per push for the rest).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// The push request is dropped before execution; nothing lands.
+    pub transient_push: f64,
+    /// Only a random proper prefix of the batch lands (batches of ≥ 2).
+    pub partial_apply: f64,
+    /// The registration is silently lost; the carrier never enters the
+    /// inventory and later pushes see `UnknownCarrier`.
+    pub drop_inventory: f64,
+    /// The carrier is unlocked out from under the pipeline just before
+    /// the push reaches the EMS.
+    pub spurious_unlock: f64,
+    /// The push exceeds its deadline (latency, not batch size).
+    pub latency_timeout: f64,
+}
+
+impl FaultRates {
+    /// All rates zero — the injector becomes a transparent wrapper.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every fault at the same rate `r`.
+    pub fn uniform(r: f64) -> Self {
+        Self {
+            transient_push: r,
+            partial_apply: r,
+            drop_inventory: r,
+            spurious_unlock: r,
+            latency_timeout: r,
+        }
+    }
+}
+
+/// A seeded chaos schedule: the rates plus the RNG seed that makes the
+/// exact fault sequence reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rates: FaultRates,
+}
+
+impl FaultPlan {
+    /// A transparent plan (all rates zero).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            rates: FaultRates::none(),
+        }
+    }
+
+    /// Every fault at rate `r`, on the given seed.
+    pub fn uniform(seed: u64, r: f64) -> Self {
+        Self {
+            seed,
+            rates: FaultRates::uniform(r),
+        }
+    }
+}
+
+/// How often each fault actually fired (for chaos reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultCounts {
+    pub transient_failures: usize,
+    pub partial_applications: usize,
+    pub dropped_registrations: usize,
+    pub spurious_unlocks: usize,
+    pub latency_timeouts: usize,
+}
+
+impl FaultCounts {
+    /// Total injected faults.
+    pub fn total(&self) -> usize {
+        self.transient_failures
+            + self.partial_applications
+            + self.dropped_registrations
+            + self.spurious_unlocks
+            + self.latency_timeouts
+    }
+}
+
+/// Wraps an [`EmsBackend`] and injects the plan's faults. Injection is
+/// deterministic: the same plan over the same call sequence fires the
+/// same faults.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<B = crate::ems::Ems> {
+    inner: B,
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    /// Carriers whose registration the injector swallowed. Tracked here
+    /// (not in the inner inventory) so `unlock` on a dropped carrier
+    /// cannot resurrect it.
+    dropped: HashSet<CarrierId>,
+    /// Rejections the injector produced itself (they never reached the
+    /// inner EMS), merged into [`EmsBackend::audit`].
+    overlay: EmsAudit,
+    fired: FaultCounts,
+}
+
+impl<B: EmsBackend> FaultInjector<B> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: ChaCha8Rng::seed_from_u64(plan.seed),
+            dropped: HashSet::new(),
+            overlay: EmsAudit::default(),
+            fired: FaultCounts::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// How often each fault fired so far.
+    pub fn fired(&self) -> FaultCounts {
+        self.fired
+    }
+
+    fn reject(&mut self, e: PushError) -> Result<PushOutcome, PushError> {
+        self.overlay.record_rejection(&e);
+        Err(e)
+    }
+}
+
+impl<B: EmsBackend> EmsBackend for FaultInjector<B> {
+    fn settings(&self) -> EmsSettings {
+        self.inner.settings()
+    }
+
+    fn register_locked(&mut self, c: CarrierId) {
+        if self.rng.random_bool(self.plan.rates.drop_inventory) {
+            self.fired.dropped_registrations += 1;
+            self.dropped.insert(c);
+        } else {
+            self.dropped.remove(&c);
+            self.inner.register_locked(c);
+        }
+    }
+
+    fn lock(&mut self, c: CarrierId) {
+        if !self.dropped.contains(&c) {
+            self.inner.lock(c);
+        }
+    }
+
+    fn unlock(&mut self, c: CarrierId) {
+        if !self.dropped.contains(&c) {
+            self.inner.unlock(c);
+        }
+    }
+
+    fn state(&self, c: CarrierId) -> Option<CarrierState> {
+        if self.dropped.contains(&c) {
+            None
+        } else {
+            self.inner.state(c)
+        }
+    }
+
+    fn push(&mut self, file: &ConfigFile) -> Result<PushOutcome, PushError> {
+        if self.dropped.contains(&file.carrier) {
+            return self.reject(PushError::UnknownCarrier);
+        }
+        // Draw every fault up front so the RNG stream depends only on
+        // the call sequence, not on which fault fires first.
+        let r = self.plan.rates;
+        let spurious = self.rng.random_bool(r.spurious_unlock);
+        let latency = self.rng.random_bool(r.latency_timeout);
+        let transient = self.rng.random_bool(r.transient_push);
+        let partial = self.rng.random_bool(r.partial_apply);
+        if spurious {
+            self.fired.spurious_unlocks += 1;
+            self.inner.unlock(file.carrier);
+            // Fall through: the inner EMS refuses the push itself, which
+            // is exactly the real-world failure signature.
+        }
+        if latency {
+            self.fired.latency_timeouts += 1;
+            return self.reject(PushError::ExecutionTimeout {
+                attempted: file.n_changes,
+                limit: self.inner.settings().max_executions_per_push,
+            });
+        }
+        if transient {
+            self.fired.transient_failures += 1;
+            return self.reject(PushError::TransientFailure);
+        }
+        if partial && file.n_changes >= 2 && self.inner.state(file.carrier).is_some() {
+            let applied = self.rng.random_range(1..file.n_changes);
+            // The prefix genuinely lands on the device (through the inner
+            // EMS, so lock semantics still hold); the caller sees a
+            // partial-application error carrying how much landed.
+            return match self.inner.push(&file.prefix(applied)) {
+                Ok(_) => {
+                    self.fired.partial_applications += 1;
+                    self.reject(PushError::PartialApplication {
+                        applied,
+                        attempted: file.n_changes,
+                    })
+                }
+                // A lifecycle rejection wins: nothing landed.
+                Err(e) => Err(e),
+            };
+        }
+        self.inner.push(file)
+    }
+
+    fn applied_value(&self, c: CarrierId, p: ParamId) -> Option<ValueIdx> {
+        self.inner.applied_value(c, p)
+    }
+
+    fn audit(&self) -> EmsAudit {
+        self.inner.audit().merged(&self.overlay)
+    }
+}
+
+/// One violated pipeline invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum InvariantViolation {
+    /// The EMS accepted a push on an `Unlocked` carrier (tripwire).
+    UnlockedAccept { count: usize },
+    /// A launch reported as implemented left a parameter without its
+    /// recommended value on the device.
+    MissingChange { carrier: CarrierId, param: ParamId },
+    /// A launch reported as rolled back / fallen out left a recommended
+    /// value (or part of one — a torn prefix) on the device.
+    LeakedChange { carrier: CarrierId, param: ParamId },
+    /// A parameter ended at a value that is neither the vendor initial
+    /// nor the recommendation.
+    ForeignValue { carrier: CarrierId, param: ParamId },
+    /// The campaign report does not conserve launch counts.
+    CountMismatch {
+        field: &'static str,
+        expected: usize,
+        actual: usize,
+    },
+}
+
+/// Audits a campaign trace against the invariants that must hold no
+/// matter which faults were injected:
+///
+/// 1. no unlocked carrier ever accepted a push;
+/// 2. every launched carrier ends consistent — the vendor configuration
+///    (untouched or fully rolled back) or the fully-applied
+///    recommendation, never a torn prefix — except launches explicitly
+///    flagged [`FalloutCause::StuckRollback`], whose whole point is that
+///    the torn state is *reported*;
+/// 3. fall-out accounting conserves launch counts.
+pub struct InvariantChecker;
+
+impl InvariantChecker {
+    /// Checks a finished campaign. Returns every violation found (empty
+    /// means all invariants held).
+    pub fn check<B: EmsBackend>(
+        trace: &[LaunchRecord],
+        report: &CampaignReport,
+        ems: &B,
+    ) -> Vec<InvariantViolation> {
+        let mut v = Vec::new();
+
+        // (1) Lock discipline tripwire.
+        let audit = ems.audit();
+        if audit.unlocked_accepts > 0 {
+            v.push(InvariantViolation::UnlockedAccept {
+                count: audit.unlocked_accepts,
+            });
+        }
+
+        // (2) Per-carrier end-state consistency.
+        for rec in trace {
+            let implemented = matches!(rec.outcome, LaunchOutcome::ChangesImplemented { .. });
+            if matches!(
+                rec.outcome,
+                LaunchOutcome::Fallout {
+                    cause: FalloutCause::StuckRollback,
+                    ..
+                }
+            ) {
+                continue; // known-torn, and reported as such
+            }
+            for (ch, init) in rec.changes.iter().zip(&rec.vendor_initial) {
+                let applied = ems.applied_value(rec.carrier, ch.param);
+                if implemented {
+                    if applied != Some(ch.value) {
+                        v.push(InvariantViolation::MissingChange {
+                            carrier: rec.carrier,
+                            param: ch.param,
+                        });
+                    }
+                } else {
+                    // Rolled back, fallen out, or never attempted: the
+                    // device must show vendor state (explicitly restored
+                    // or never written).
+                    match applied {
+                        None => {}
+                        Some(val) if val == init.value => {}
+                        Some(val) if val == ch.value => {
+                            v.push(InvariantViolation::LeakedChange {
+                                carrier: rec.carrier,
+                                param: ch.param,
+                            });
+                        }
+                        Some(_) => {
+                            v.push(InvariantViolation::ForeignValue {
+                                carrier: rec.carrier,
+                                param: ch.param,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // (3) Conservation of launch counts.
+        let mut expect = CampaignReport::default();
+        for rec in trace {
+            expect.launched += 1;
+            match &rec.outcome {
+                LaunchOutcome::NoChangesNeeded => {}
+                LaunchOutcome::ChangesImplemented { .. } => {
+                    expect.changes_recommended += 1;
+                    expect.changes_implemented += 1;
+                }
+                LaunchOutcome::RolledBack { .. } => {
+                    expect.changes_recommended += 1;
+                    expect.changes_implemented += 1;
+                    expect.rollbacks += 1;
+                }
+                LaunchOutcome::Fallout { cause, .. } => {
+                    expect.changes_recommended += 1;
+                    match cause {
+                        FalloutCause::OffBandUnlock => expect.fallouts_off_band += 1,
+                        FalloutCause::EmsTimeout => expect.fallouts_timeout += 1,
+                        FalloutCause::PushRejected => expect.fallouts_push_rejected += 1,
+                        FalloutCause::UnknownCarrier => expect.fallouts_unknown_carrier += 1,
+                        FalloutCause::StuckRollback => expect.fallouts_stuck_rollback += 1,
+                    }
+                }
+            }
+        }
+        let checks: [(&'static str, usize, usize); 9] = [
+            ("launched", expect.launched, report.launched),
+            (
+                "changes_recommended",
+                expect.changes_recommended,
+                report.changes_recommended,
+            ),
+            (
+                "changes_implemented",
+                expect.changes_implemented,
+                report.changes_implemented,
+            ),
+            ("rollbacks", expect.rollbacks, report.rollbacks),
+            (
+                "fallouts_off_band",
+                expect.fallouts_off_band,
+                report.fallouts_off_band,
+            ),
+            (
+                "fallouts_timeout",
+                expect.fallouts_timeout,
+                report.fallouts_timeout,
+            ),
+            (
+                "fallouts_push_rejected",
+                expect.fallouts_push_rejected,
+                report.fallouts_push_rejected,
+            ),
+            (
+                "fallouts_unknown_carrier",
+                expect.fallouts_unknown_carrier,
+                report.fallouts_unknown_carrier,
+            ),
+            (
+                "fallouts_stuck_rollback",
+                expect.fallouts_stuck_rollback,
+                report.fallouts_stuck_rollback,
+            ),
+        ];
+        for (field, expected, actual) in checks {
+            if expected != actual {
+                v.push(InvariantViolation::CountMismatch {
+                    field,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        // The recommendation ledger must balance: every recommended
+        // change is implemented or accounted as exactly one fall-out.
+        let balanced = report.changes_implemented + report.fallouts();
+        if balanced != report.changes_recommended {
+            v.push(InvariantViolation::CountMismatch {
+                field: "recommended = implemented + fallouts",
+                expected: report.changes_recommended,
+                actual: balanced,
+            });
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ems::{Ems, EmsSettings};
+    use crate::mo::{ConfigChange, InstanceDb, VendorTemplate};
+    use auric_model::{NetworkSnapshot, Vendor};
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+    use std::sync::OnceLock;
+
+    fn shared_snapshot() -> &'static NetworkSnapshot {
+        static SNAP: OnceLock<NetworkSnapshot> = OnceLock::new();
+        SNAP.get_or_init(|| generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot)
+    }
+
+    fn render(carrier: CarrierId, n_changes: usize) -> ConfigFile {
+        let snap = shared_snapshot();
+        let db = InstanceDb::build(snap);
+        let changes: Vec<ConfigChange> = snap
+            .catalog
+            .singular_ids()
+            .take(n_changes)
+            .map(|p| ConfigChange { param: p, value: 1 })
+            .collect();
+        VendorTemplate {
+            vendor: Vendor::VendorA,
+        }
+        .render(snap, &db, carrier, &changes)
+    }
+
+    #[test]
+    fn zero_rate_injector_is_transparent() {
+        let f = render(CarrierId(0), 3);
+        let mut bare = Ems::new(EmsSettings::default());
+        let mut wrapped = FaultInjector::new(Ems::new(EmsSettings::default()), FaultPlan::none(9));
+        bare.register_locked(CarrierId(0));
+        wrapped.register_locked(CarrierId(0));
+        assert_eq!(bare.push(&f).is_ok(), wrapped.push(&f).is_ok());
+        assert_eq!(bare.audit(), wrapped.audit());
+        assert_eq!(wrapped.fired().total(), 0);
+    }
+
+    #[test]
+    fn transient_faults_fire_at_rate_one() {
+        let f = render(CarrierId(0), 2);
+        let plan = FaultPlan {
+            seed: 3,
+            rates: FaultRates {
+                transient_push: 1.0,
+                ..FaultRates::none()
+            },
+        };
+        let mut ems = FaultInjector::new(Ems::new(EmsSettings::default()), plan);
+        ems.register_locked(CarrierId(0));
+        assert_eq!(ems.push(&f), Err(PushError::TransientFailure));
+        assert_eq!(ems.audit().rejected_transient, 1);
+        assert_eq!(ems.inner().accepted_pushes(), 0);
+    }
+
+    #[test]
+    fn partial_application_lands_a_prefix() {
+        let f = render(CarrierId(0), 6);
+        let plan = FaultPlan {
+            seed: 5,
+            rates: FaultRates {
+                partial_apply: 1.0,
+                ..FaultRates::none()
+            },
+        };
+        let mut ems = FaultInjector::new(Ems::new(EmsSettings::default()), plan);
+        ems.register_locked(CarrierId(0));
+        let Err(PushError::PartialApplication { applied, attempted }) = ems.push(&f) else {
+            panic!("expected a partial application");
+        };
+        assert_eq!(attempted, 6);
+        assert!((1..6).contains(&applied));
+        // Exactly the prefix landed.
+        for (i, ch) in f.changes.iter().enumerate() {
+            let got = ems.applied_value(CarrierId(0), ch.param);
+            if i < applied {
+                assert_eq!(got, Some(ch.value));
+            } else {
+                assert_eq!(got, None);
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_registrations_surface_as_unknown_carrier() {
+        let f = render(CarrierId(0), 2);
+        let plan = FaultPlan {
+            seed: 1,
+            rates: FaultRates {
+                drop_inventory: 1.0,
+                ..FaultRates::none()
+            },
+        };
+        let mut ems = FaultInjector::new(Ems::new(EmsSettings::default()), plan);
+        ems.register_locked(CarrierId(0));
+        assert_eq!(ems.state(CarrierId(0)), None);
+        assert_eq!(ems.push(&f), Err(PushError::UnknownCarrier));
+        // Unlock must not resurrect a dropped carrier.
+        ems.unlock(CarrierId(0));
+        assert_eq!(ems.state(CarrierId(0)), None);
+    }
+
+    #[test]
+    fn spurious_unlocks_hit_the_inner_lock_check() {
+        let f = render(CarrierId(0), 2);
+        let plan = FaultPlan {
+            seed: 2,
+            rates: FaultRates {
+                spurious_unlock: 1.0,
+                ..FaultRates::none()
+            },
+        };
+        let mut ems = FaultInjector::new(Ems::new(EmsSettings::default()), plan);
+        ems.register_locked(CarrierId(0));
+        assert_eq!(ems.push(&f), Err(PushError::CarrierUnlocked));
+        assert_eq!(ems.state(CarrierId(0)), Some(CarrierState::Unlocked));
+    }
+
+    #[test]
+    fn latency_timeouts_fit_the_execution_limit() {
+        let f = render(CarrierId(0), 2);
+        let plan = FaultPlan {
+            seed: 4,
+            rates: FaultRates {
+                latency_timeout: 1.0,
+                ..FaultRates::none()
+            },
+        };
+        let mut ems = FaultInjector::new(Ems::new(EmsSettings::default()), plan);
+        ems.register_locked(CarrierId(0));
+        let err = ems.push(&f).unwrap_err();
+        assert!(matches!(
+            err,
+            PushError::ExecutionTimeout { attempted: 2, .. }
+        ));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut ems = FaultInjector::new(
+                Ems::new(EmsSettings::default()),
+                FaultPlan::uniform(seed, 0.4),
+            );
+            let mut log = Vec::new();
+            for i in 0..20u32 {
+                let c = CarrierId(i % 4);
+                ems.register_locked(c);
+                log.push(ems.push(&render(c, 3)));
+            }
+            (log, ems.fired())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0, "different seeds, different chaos");
+    }
+}

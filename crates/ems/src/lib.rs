@@ -10,20 +10,37 @@
 //! - [`ems`] — the element management system and carrier lifecycle:
 //!   lock/unlock semantics (changing lock-required parameters on a live
 //!   carrier would disrupt traffic), batch execution limits and the
-//!   timeouts they cause;
+//!   timeouts they cause, per-variant push audit counters, and the
+//!   [`EmsBackend`] trait the pipeline talks through;
+//! - [`fault`] — deterministic, seeded fault injection over any backend
+//!   (transient failures, partial batch application, dropped inventory,
+//!   spurious unlocks, latency timeouts) plus the [`InvariantChecker`]
+//!   that audits campaign traces for lifecycle/consistency/accounting
+//!   violations;
+//! - [`retry`] — bounded retries with exponential backoff on a simulated
+//!   clock, batch splitting under the execution limit, and the
+//!   transactional per-launch [`LaunchJournal`];
 //! - [`smartlaunch`] — the launch pipeline: pre-checks → Auric
 //!   recommendation → diff against the vendor's initial configuration →
 //!   push mismatches while still locked → unlock → post-check monitoring,
 //!   with the two §5 fall-out causes injected (premature off-band unlocks,
-//!   EMS execution timeouts). Its campaign report reproduces Table 5.
+//!   EMS execution timeouts), journaled rollback, and fall-out accounting
+//!   that survives injected faults. Its campaign report reproduces
+//!   Table 5.
 
 pub mod ems;
+pub mod fault;
 pub mod mo;
+pub mod retry;
 pub mod smartlaunch;
 
-pub use ems::{CarrierState, Ems, EmsSettings, PushError, PushOutcome};
+pub use ems::{CarrierState, Ems, EmsAudit, EmsBackend, EmsSettings, PushError, PushOutcome};
+pub use fault::{
+    FaultCounts, FaultInjector, FaultPlan, FaultRates, InvariantChecker, InvariantViolation,
+};
 pub use mo::{ConfigChange, ConfigFile, InstanceDb, VendorTemplate};
+pub use retry::{LaunchJournal, RetryPolicy, SimClock};
 pub use smartlaunch::{
     sample_campaign, sample_campaign_with_post_checks, CampaignReport, FalloutCause, LaunchOutcome,
-    LaunchPlan, LaunchPolicy, SmartLaunch, VendorConfigSource,
+    LaunchPlan, LaunchPolicy, LaunchRecord, SmartLaunch, VendorConfigSource,
 };

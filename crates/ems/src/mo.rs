@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One parameter change to implement on one carrier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConfigChange {
     pub param: ParamId,
     pub value: ValueIdx,
@@ -82,6 +82,10 @@ pub struct ConfigFile {
     pub vendor: Vendor,
     /// Number of parameter assignments in the payload.
     pub n_changes: usize,
+    /// The logical changes the payload encodes, in payload order. The EMS
+    /// uses these to track the configuration actually applied per carrier
+    /// (and the fault layer to model partial batch application).
+    pub changes: Vec<ConfigChange>,
     pub payload: Bytes,
 }
 
@@ -89,6 +93,23 @@ impl ConfigFile {
     /// The payload as UTF-8 (templates only emit ASCII).
     pub fn as_text(&self) -> &str {
         std::str::from_utf8(&self.payload).expect("templates emit ASCII")
+    }
+
+    /// The file truncated to its first `k` changes — what a partial batch
+    /// application leaves on the device. The payload is kept whole: the
+    /// EMS audits bytes per accepted request, not per applied change.
+    ///
+    /// # Panics
+    /// Panics if `k > n_changes`.
+    pub fn prefix(&self, k: usize) -> ConfigFile {
+        assert!(k <= self.n_changes, "prefix longer than the batch");
+        ConfigFile {
+            carrier: self.carrier,
+            vendor: self.vendor,
+            n_changes: k,
+            changes: self.changes[..k].to_vec(),
+            payload: self.payload.clone(),
+        }
     }
 }
 
@@ -162,6 +183,7 @@ impl VendorTemplate {
             carrier,
             vendor: self.vendor,
             n_changes: changes.len(),
+            changes: changes.to_vec(),
             payload: buf.freeze(),
         }
     }

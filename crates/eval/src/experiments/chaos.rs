@@ -1,0 +1,203 @@
+//! `ops-chaos` — fault-rate × retry-policy sweep over the SmartLaunch
+//! pipeline (ours; the paper only *counts* its two fall-out causes).
+//!
+//! Each cell replays the same launch campaign through a seeded
+//! [`FaultInjector`] at a uniform fault rate, under one of three retry
+//! postures: the paper-faithful one-shot pipeline, bounded retries with
+//! backoff, and retries plus batch splitting. Reported per cell:
+//! fall-outs by cause, launches recovered by the resilience layer, and
+//! the invariant-checker verdict (which must be clean everywhere).
+
+use crate::experiments::network;
+use crate::render::{pct, TextTable};
+use crate::{ExpOutput, RunOptions};
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_ems::{
+    sample_campaign_with_post_checks, Ems, EmsSettings, FaultInjector, FaultPlan, InvariantChecker,
+    LaunchPolicy, RetryPolicy, SmartLaunch, VendorConfigSource,
+};
+use auric_model::{CarrierId, NetworkSnapshot, ParamId, ValueIdx};
+use auric_netgen::tuning::singular_key;
+use auric_netgen::{LatentRule, NetScale};
+use serde_json::json;
+
+/// Vendor initial configuration derived from the latent engineering
+/// rules (same source as `table5`).
+struct RuleVendor<'a> {
+    snapshot: &'a NetworkSnapshot,
+    rules: &'a [LatentRule],
+}
+
+impl VendorConfigSource for RuleVendor<'_> {
+    fn initial_value(&self, carrier: CarrierId, param: ParamId) -> ValueIdx {
+        let rule = &self.rules[param.index()];
+        rule.value_for(&singular_key(rule, self.snapshot.carrier(carrier)))
+    }
+}
+
+const FAULT_RATES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
+
+fn policies() -> [(&'static str, RetryPolicy); 3] {
+    [
+        ("no-retry", RetryPolicy::none()),
+        ("retry", RetryPolicy::retrying()),
+        ("retry+split", RetryPolicy::resilient()),
+    ]
+}
+
+/// The chaos sweep.
+pub fn ops_chaos(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::small());
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let model = CfModel::fit(snap, &scope, CfConfig::default());
+    let vendor = RuleVendor {
+        snapshot: snap,
+        rules: &net.truth.rules,
+    };
+
+    // One campaign, replayed identically through every cell. The small
+    // execution limit (as in table5) makes oversized batches a real
+    // hazard, so the split policy has timeouts to recover.
+    let n_launches = 300.min(snap.n_carriers());
+    let plans = sample_campaign_with_post_checks(snap, n_launches, 0.05, 0.04, opts.seed ^ 0xC4A05);
+    let settings = EmsSettings {
+        max_executions_per_push: 9,
+    };
+
+    let mut table = TextTable::new(vec![
+        "fault rate",
+        "policy",
+        "recommended",
+        "implemented",
+        "recovered",
+        "off-band",
+        "timeout",
+        "rejected",
+        "unknown",
+        "stuck",
+        "violations",
+    ]);
+    let mut cells = Vec::new();
+    let mut total_violations = 0usize;
+    for (fi, &rate) in FAULT_RATES.iter().enumerate() {
+        for (pi, (policy_name, retry)) in policies().into_iter().enumerate() {
+            let plan = FaultPlan::uniform(
+                opts.seed ^ (0xFA_0715 + 31 * fi as u64 + 7 * pi as u64),
+                rate,
+            );
+            let injector = FaultInjector::new(Ems::new(settings), plan);
+            let mut pipeline =
+                SmartLaunch::with_backend(snap, &model, injector, LaunchPolicy::default(), retry);
+            let report = pipeline.run_campaign(&plans, &vendor);
+            let violations = InvariantChecker::check(&pipeline.trace, &report, &pipeline.ems);
+            total_violations += violations.len();
+            let fired = pipeline.ems.fired();
+            table.row(vec![
+                format!("{:.0}%", rate * 100.0),
+                policy_name.to_string(),
+                report.changes_recommended.to_string(),
+                format!(
+                    "{} ({}%)",
+                    report.changes_implemented,
+                    pct(report.implemented_rate())
+                ),
+                report.recovered.to_string(),
+                report.fallouts_off_band.to_string(),
+                report.fallouts_timeout.to_string(),
+                report.fallouts_push_rejected.to_string(),
+                report.fallouts_unknown_carrier.to_string(),
+                report.fallouts_stuck_rollback.to_string(),
+                violations.len().to_string(),
+            ]);
+            cells.push(json!({
+                "fault_rate": rate,
+                "policy": policy_name,
+                "launched": report.launched,
+                "changes_recommended": report.changes_recommended,
+                "changes_implemented": report.changes_implemented,
+                "recovered": report.recovered,
+                "rollbacks": report.rollbacks,
+                "fallouts": json!({
+                    "off_band": report.fallouts_off_band,
+                    "timeout": report.fallouts_timeout,
+                    "push_rejected": report.fallouts_push_rejected,
+                    "unknown_carrier": report.fallouts_unknown_carrier,
+                    "stuck_rollback": report.fallouts_stuck_rollback,
+                    "total": report.fallouts(),
+                }),
+                "faults_fired": json!({
+                    "transient": fired.transient_failures,
+                    "partial": fired.partial_applications,
+                    "dropped_registrations": fired.dropped_registrations,
+                    "spurious_unlocks": fired.spurious_unlocks,
+                    "latency_timeouts": fired.latency_timeouts,
+                }),
+                "backoff_ms": pipeline.elapsed_backoff_ms(),
+                "invariant_violations": violations.len(),
+            }));
+        }
+    }
+
+    let text = format!(
+        "ops-chaos — fault-injected SmartLaunch: fall-out vs recovery\n\
+         (uniform per-fault rate; same {n}-launch campaign replayed per cell;\n\
+         EMS execution limit {lim}; invariant checker runs on every cell)\n\n{t}\n\
+         total invariant violations: {v}",
+        n = plans.len(),
+        lim = settings.max_executions_per_push,
+        t = table.render(),
+        v = total_violations,
+    );
+    ExpOutput {
+        id: "ops-chaos".into(),
+        title: "ops-chaos — fault-rate × retry-policy resilience sweep".into(),
+        text,
+        json: json!({
+            "launches": plans.len(),
+            "max_executions_per_push": settings.max_executions_per_push,
+            "fault_rates": FAULT_RATES,
+            "cells": cells,
+            "total_invariant_violations": total_violations,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::TuningKnobs;
+
+    #[test]
+    fn chaos_sweep_shape_and_invariants() {
+        let opts = RunOptions {
+            scale: Some(NetScale::tiny()),
+            knobs: TuningKnobs::default(),
+            seed: 11,
+        };
+        let out = ops_chaos(&opts);
+        assert_eq!(out.json["total_invariant_violations"].as_u64(), Some(0));
+        let cells = out.json["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), FAULT_RATES.len() * 3);
+        for cell in cells {
+            let rec = cell["changes_recommended"].as_u64().unwrap();
+            let imp = cell["changes_implemented"].as_u64().unwrap();
+            let fall = cell["fallouts"]["total"].as_u64().unwrap();
+            assert_eq!(rec, imp + fall, "accounting conserves launches");
+        }
+        // At zero faults nothing injected can fall out: no rejected
+        // pushes, no unknown carriers, no stuck rollbacks — and the
+        // splitting policy also absorbs structural timeouts. Off-band
+        // unlocks remain (they are planned, not injected).
+        for cell in cells.iter().take(3) {
+            assert_eq!(cell["fallouts"]["push_rejected"].as_u64(), Some(0));
+            assert_eq!(cell["fallouts"]["unknown_carrier"].as_u64(), Some(0));
+            assert_eq!(cell["fallouts"]["stuck_rollback"].as_u64(), Some(0));
+        }
+        assert_eq!(
+            cells[2]["fallouts"]["timeout"].as_u64(),
+            Some(0),
+            "retry+split at zero faults absorbs structural timeouts"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! value counting.
 
 pub mod ablation;
+pub mod chaos;
 pub mod dataset;
 pub mod global_learners;
 pub mod local_learner;

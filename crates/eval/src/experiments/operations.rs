@@ -13,7 +13,9 @@ use crate::experiments::network;
 use crate::render::{pct, TextTable};
 use crate::{ExpOutput, RunOptions};
 use auric_core::{CfConfig, CfModel, Scope};
-use auric_ems::{sample_campaign_with_post_checks, EmsSettings, SmartLaunch, VendorConfigSource};
+use auric_ems::{
+    sample_campaign_with_post_checks, EmsBackend, EmsSettings, SmartLaunch, VendorConfigSource,
+};
 use auric_model::{CarrierId, NetworkSnapshot, ParamId, ValueIdx};
 use auric_netgen::tuning::singular_key;
 use auric_netgen::{LatentRule, NetScale};
@@ -61,6 +63,7 @@ pub fn table5(opts: &RunOptions) -> ExpOutput {
         },
     );
     let report = pipeline.run_campaign(&plans, &vendor);
+    let audit = pipeline.ems.audit();
 
     let mut table = TextTable::new(vec!["Quantity", "measured", "paper"]);
     table.row(vec![
@@ -131,6 +134,23 @@ pub fn table5(opts: &RunOptions) -> ExpOutput {
             "fallouts_timeout": report.fallouts_timeout,
             "parameters_changed": report.parameters_changed,
             "rollbacks": report.rollbacks,
+            // Extended accounting (zero in the paper-faithful default
+            // pipeline; populated under fault injection / retry policies).
+            "fallouts_push_rejected": report.fallouts_push_rejected,
+            "fallouts_unknown_carrier": report.fallouts_unknown_carrier,
+            "fallouts_stuck_rollback": report.fallouts_stuck_rollback,
+            "recovered": report.recovered,
+            // EMS-side audit: accepted work plus rejections per cause.
+            "audit": json!({
+                "accepted_pushes": audit.accepted_pushes,
+                "accepted_bytes": audit.accepted_bytes,
+                "rejected_pushes": audit.rejected_pushes(),
+                "rejected_unlocked": audit.rejected_unlocked,
+                "rejected_timeout": audit.rejected_timeout,
+                "rejected_unknown": audit.rejected_unknown,
+                "rejected_transient": audit.rejected_transient,
+                "rejected_partial": audit.rejected_partial,
+            }),
         }),
     }
 }
@@ -158,5 +178,22 @@ mod tests {
         // land (the Table 5 shape).
         let rate = out.json["recommended_rate"].as_f64().unwrap();
         assert!(rate < 0.8, "recommended rate {rate}");
+        // Audit consistency: one accepted push per implemented launch
+        // plus one revert push per rollback; rejections cover the
+        // fall-outs that reached the EMS (timeouts — off-band unlocks
+        // are refused before any push in the default pipeline).
+        let rollbacks = out.json["rollbacks"].as_u64().unwrap();
+        let audit = &out.json["audit"];
+        assert_eq!(
+            audit["accepted_pushes"].as_u64().unwrap(),
+            implemented + rollbacks
+        );
+        assert!(audit["accepted_bytes"].as_u64().unwrap() > 0 || implemented == 0);
+        assert_eq!(
+            audit["rejected_timeout"].as_u64().unwrap(),
+            out.json["fallouts_timeout"].as_u64().unwrap()
+        );
+        assert_eq!(audit["rejected_transient"].as_u64(), Some(0));
+        assert_eq!(audit["rejected_partial"].as_u64(), Some(0));
     }
 }

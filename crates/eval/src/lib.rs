@@ -23,6 +23,7 @@
 //! | `global-vs-local` | §4.3.2 — global vs local CF headline           |
 //! | `fig12`         | Fig. 12 — mismatch labeling shares               |
 //! | `table5`        | Table 5 — SmartLaunch campaign                   |
+//! | `ops-chaos`     | fault-rate × retry-policy resilience sweep (ours)|
 //! | `ablation-vote` | voting-threshold sweep (ours)                    |
 //! | `ablation-alpha`| significance-level sweep (ours)                  |
 //! | `ablation-hops` | locality-radius sweep (ours)                     |
@@ -67,7 +68,7 @@ pub struct ExpOutput {
 }
 
 /// The registry of experiment names, in presentation order.
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "table3",
     "fig2",
     "fig3",
@@ -78,6 +79,7 @@ pub const EXPERIMENTS: [&str; 14] = [
     "fig11",
     "fig12",
     "table5",
+    "ops-chaos",
     "ablation-vote",
     "ablation-alpha",
     "ablation-hops",
@@ -100,6 +102,7 @@ pub fn run_experiment(name: &str, opts: &RunOptions) -> Result<ExpOutput, String
         "fig11" => Ok(experiments::local_learner::fig11(opts)),
         "fig12" => Ok(experiments::mismatch_labels::fig12(opts)),
         "table5" => Ok(experiments::operations::table5(opts)),
+        "ops-chaos" => Ok(experiments::chaos::ops_chaos(opts)),
         "ablation-vote" => Ok(experiments::ablation::vote_threshold(opts)),
         "ablation-alpha" => Ok(experiments::ablation::alpha_sweep(opts)),
         "ablation-hops" => Ok(experiments::ablation::hops_sweep(opts)),

@@ -1,0 +1,262 @@
+//! Chaos suite: the SmartLaunch pipeline under seeded fault injection.
+//!
+//! Every test drives full campaigns through a [`FaultInjector`] and
+//! audits the result with the [`InvariantChecker`]. The properties under
+//! test:
+//!
+//! - a zero-rate fault plan is behaviorally identical to the bare EMS;
+//! - across ≥ 100 seeded fault plans no invariant is ever violated and
+//!   no injected fault can reach a panic;
+//! - the retry/batch-split policy recovers a nonzero fraction of the
+//!   fall-outs the paper-faithful pipeline would have taken;
+//! - chaos runs are deterministic per seed.
+
+use auric_repro::core::{CfConfig, CfModel, Scope};
+use auric_repro::ems::fault::{FaultPlan, FaultRates};
+use auric_repro::ems::{
+    sample_campaign_with_post_checks, Ems, EmsBackend, EmsSettings, FaultInjector,
+    InvariantChecker, LaunchPolicy, RetryPolicy, SmartLaunch, VendorConfigSource,
+};
+use auric_repro::model::{CarrierId, NetworkSnapshot, ParamId, ValueIdx};
+use auric_repro::netgen::{generate, NetScale, TuningKnobs};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+/// Vendor ships catalog defaults — maximal disagreement with Auric, so
+/// most launches carry changes and every fault has something to hit.
+struct DefaultVendor<'a>(&'a NetworkSnapshot);
+
+impl VendorConfigSource for DefaultVendor<'_> {
+    fn initial_value(&self, _carrier: CarrierId, param: ParamId) -> ValueIdx {
+        self.0.catalog.def(param).default
+    }
+}
+
+fn fixture() -> &'static (NetworkSnapshot, CfModel) {
+    static FIXTURE: OnceLock<(NetworkSnapshot, CfModel)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let scope = Scope::whole(&net.snapshot);
+        let model = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
+        (net.snapshot, model)
+    })
+}
+
+#[test]
+fn zero_fault_injector_matches_bare_ems_exactly() {
+    let (snap, model) = fixture();
+    let vendor = DefaultVendor(snap);
+    let plans = sample_campaign_with_post_checks(snap, 25, 0.1, 0.1, 3);
+    let settings = EmsSettings::default();
+
+    let mut bare = SmartLaunch::new(snap, model, settings);
+    let bare_report = bare.run_campaign(&plans, &vendor);
+
+    let injector = FaultInjector::new(Ems::new(settings), FaultPlan::none(99));
+    let mut wrapped = SmartLaunch::with_backend(
+        snap,
+        model,
+        injector,
+        LaunchPolicy::default(),
+        RetryPolicy::none(),
+    );
+    let wrapped_report = wrapped.run_campaign(&plans, &vendor);
+
+    assert_eq!(bare_report, wrapped_report);
+    assert_eq!(bare.trace, wrapped.trace);
+    assert_eq!(bare.ems.audit(), wrapped.ems.audit());
+    assert_eq!(wrapped.ems.fired().total(), 0);
+}
+
+#[test]
+fn invariants_hold_across_120_seeded_fault_plans() {
+    let (snap, model) = fixture();
+    let vendor = DefaultVendor(snap);
+    let mut max_total_faults = 0usize;
+    for seed in 0..120u64 {
+        // Independent random rates per plan, up to aggressive levels.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let rates = FaultRates {
+            transient_push: rng.random_range(0.0..0.5),
+            partial_apply: rng.random_range(0.0..0.5),
+            drop_inventory: rng.random_range(0.0..0.3),
+            spurious_unlock: rng.random_range(0.0..0.3),
+            latency_timeout: rng.random_range(0.0..0.5),
+        };
+        let retry = match seed % 3 {
+            0 => RetryPolicy::none(),
+            1 => RetryPolicy::retrying(),
+            _ => RetryPolicy::resilient(),
+        };
+        let plans = sample_campaign_with_post_checks(snap, 15, 0.1, 0.15, seed);
+        let injector = FaultInjector::new(
+            Ems::new(EmsSettings {
+                max_executions_per_push: 7,
+            }),
+            FaultPlan { seed, rates },
+        );
+        let mut pipeline =
+            SmartLaunch::with_backend(snap, model, injector, LaunchPolicy::default(), retry);
+        let report = pipeline.run_campaign(&plans, &vendor);
+        let violations = InvariantChecker::check(&pipeline.trace, &report, &pipeline.ems);
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: {violations:?} (report {report:?})"
+        );
+        assert_eq!(report.launched, plans.len());
+        max_total_faults = max_total_faults.max(pipeline.ems.fired().total());
+    }
+    assert!(
+        max_total_faults > 10,
+        "the sweep must actually inject faults (max fired {max_total_faults})"
+    );
+}
+
+#[test]
+fn retry_policy_recovers_timeout_fallouts() {
+    let (snap, model) = fixture();
+    let vendor = DefaultVendor(snap);
+    let plans = sample_campaign_with_post_checks(snap, 30, 0.0, 0.0, 17);
+    // A tight execution limit: the paper-faithful pipeline times out on
+    // every launch whose change set exceeds it.
+    let settings = EmsSettings {
+        max_executions_per_push: 2,
+    };
+
+    let mut faithful = SmartLaunch::new(snap, model, settings);
+    let base = faithful.run_campaign(&plans, &vendor);
+    assert!(
+        base.fallouts_timeout > 0,
+        "need timeout fall-outs to recover from"
+    );
+
+    let injector = FaultInjector::new(Ems::new(settings), FaultPlan::none(17));
+    let mut resilient = SmartLaunch::with_backend(
+        snap,
+        model,
+        injector,
+        LaunchPolicy::default(),
+        RetryPolicy::resilient(),
+    );
+    let report = resilient.run_campaign(&plans, &vendor);
+    assert_eq!(report.fallouts_timeout, 0, "batch splitting absorbs all");
+    assert!(
+        report.recovered >= base.fallouts_timeout,
+        "recovered {} < base timeouts {}",
+        report.recovered,
+        base.fallouts_timeout
+    );
+    assert_eq!(report.changes_implemented, report.changes_recommended);
+    let violations = InvariantChecker::check(&resilient.trace, &report, &resilient.ems);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn retries_beat_no_retries_under_transient_faults() {
+    let (snap, model) = fixture();
+    let vendor = DefaultVendor(snap);
+    let plans = sample_campaign_with_post_checks(snap, 30, 0.0, 0.0, 23);
+    let rates = FaultRates {
+        transient_push: 0.4,
+        partial_apply: 0.2,
+        latency_timeout: 0.2,
+        ..FaultRates::none()
+    };
+    let run = |retry: RetryPolicy| {
+        let injector = FaultInjector::new(
+            Ems::new(EmsSettings::default()),
+            FaultPlan { seed: 23, rates },
+        );
+        let mut pipeline =
+            SmartLaunch::with_backend(snap, model, injector, LaunchPolicy::default(), retry);
+        let report = pipeline.run_campaign(&plans, &vendor);
+        let violations = InvariantChecker::check(&pipeline.trace, &report, &pipeline.ems);
+        assert!(violations.is_empty(), "{violations:?}");
+        report
+    };
+    let without = run(RetryPolicy::none());
+    let with = run(RetryPolicy::retrying());
+    assert!(
+        with.changes_implemented > without.changes_implemented,
+        "retries {} ≤ no-retries {}",
+        with.changes_implemented,
+        without.changes_implemented
+    );
+    assert!(with.recovered > 0);
+    assert!(
+        with.fallouts() < without.fallouts(),
+        "retries must shrink the fall-out count"
+    );
+}
+
+#[test]
+fn stuck_rollbacks_and_unknown_carriers_are_reported_not_panicked() {
+    let (snap, model) = fixture();
+    let vendor = DefaultVendor(snap);
+    // Every post-check fails and the EMS constantly unlocks carriers
+    // mid-flow / loses registrations: the §5 pipeline would panic on the
+    // revert push or hit `unreachable!`.
+    let mut plans = sample_campaign_with_post_checks(snap, 25, 0.0, 1.0, 31);
+    for p in &mut plans {
+        p.post_check_failed = true;
+    }
+    let rates = FaultRates {
+        spurious_unlock: 0.6,
+        drop_inventory: 0.4,
+        ..FaultRates::none()
+    };
+    let injector = FaultInjector::new(
+        Ems::new(EmsSettings::default()),
+        FaultPlan { seed: 31, rates },
+    );
+    let mut pipeline = SmartLaunch::with_backend(
+        snap,
+        model,
+        injector,
+        LaunchPolicy::default(),
+        RetryPolicy::none(),
+    );
+    let report = pipeline.run_campaign(&plans, &vendor);
+    assert!(
+        report.fallouts_unknown_carrier > 0,
+        "dropped registrations must surface: {report:?}"
+    );
+    assert!(
+        report.fallouts_stuck_rollback > 0,
+        "stuck rollbacks must surface: {report:?}"
+    );
+    let violations = InvariantChecker::check(&pipeline.trace, &report, &pipeline.ems);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn chaos_campaigns_are_deterministic_per_seed() {
+    let (snap, model) = fixture();
+    let vendor = DefaultVendor(snap);
+    let plans = sample_campaign_with_post_checks(snap, 20, 0.1, 0.1, 41);
+    let run = |seed: u64| {
+        let injector = FaultInjector::new(
+            Ems::new(EmsSettings::default()),
+            FaultPlan::uniform(seed, 0.3),
+        );
+        let mut pipeline = SmartLaunch::with_backend(
+            snap,
+            model,
+            injector,
+            LaunchPolicy::default(),
+            RetryPolicy::resilient(),
+        );
+        let report = pipeline.run_campaign(&plans, &vendor);
+        (report, pipeline.trace)
+    };
+    let (report_a, trace_a) = run(5);
+    let (report_b, trace_b) = run(5);
+    assert_eq!(report_a, report_b);
+    assert_eq!(trace_a, trace_b);
+    let (report_c, _) = run(6);
+    assert_ne!(
+        report_a, report_c,
+        "different seeds should produce different chaos"
+    );
+}
