@@ -15,8 +15,9 @@ use std::time::Instant;
 
 use auric_bench::{local_loo_sweep, local_loo_sweep_legacy};
 use auric_core::legacy::LegacyCfModel;
-use auric_core::{CfConfig, CfModel, Scope};
+use auric_core::{fit_worker_threads, CfConfig, CfModel, FitOptions, Scope};
 use auric_netgen::{generate, NetScale, TuningKnobs};
+use auric_obs::Recorder;
 use serde_json::json;
 
 const REPS: usize = 3;
@@ -53,6 +54,34 @@ fn main() {
     eprintln!("bench_cf: timing fit ({REPS} reps each)...");
     let (fit_packed_s, packed) = best_of(|| CfModel::fit(snap, &scope, config));
     let (fit_legacy_s, legacy) = best_of(|| LegacyCfModel::fit(snap, &scope, config));
+    // The worker count `fit` actually uses — NOT the machine's total
+    // parallelism: fit clamps to the number of parameters.
+    let fit_threads = fit_worker_threads(snap.catalog.len());
+    eprintln!("bench_cf: timing single-thread fit ({REPS} reps)...");
+    let (fit_single_s, _) = best_of(|| {
+        CfModel::fit_with(
+            snap,
+            &scope,
+            config,
+            FitOptions {
+                threads: Some(1),
+                ..FitOptions::default()
+            },
+        )
+    });
+    eprintln!("bench_cf: timing fit with the recorder enabled ({REPS} reps)...");
+    let (fit_obs_s, _) = best_of(|| {
+        CfModel::fit_with(
+            snap,
+            &scope,
+            config,
+            FitOptions {
+                obs: Recorder::wall(),
+                threads: None,
+            },
+        )
+    });
+    let obs_overhead_pct = 100.0 * (fit_obs_s - fit_packed_s) / fit_packed_s;
 
     eprintln!("bench_cf: timing local leave-one-out sweep ({REPS} reps each)...");
     let (loo_packed_s, sum_packed) = best_of(|| local_loo_sweep(snap, &scope, &packed));
@@ -72,12 +101,16 @@ fn main() {
         "n_carriers": snap.n_carriers(),
         "n_pairs": snap.x2.n_pairs(),
         "n_params": snap.catalog.len(),
-        "threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "threads": fit_threads,
         "reps": REPS,
         "fit": json!({
             "legacy_s": fit_legacy_s,
             "packed_s": fit_packed_s,
             "speedup": fit_speedup,
+            "single_thread_s": fit_single_s,
+            "thread_speedup": fit_single_s / fit_packed_s,
+            "obs_enabled_s": fit_obs_s,
+            "obs_overhead_pct": obs_overhead_pct,
         }),
         "local_loo_sweep": json!({
             "legacy_s": loo_legacy_s,
@@ -90,7 +123,9 @@ fn main() {
     std::fs::write("BENCH_cf.json", &text).expect("write BENCH_cf.json");
     println!("{text}");
     eprintln!(
-        "bench_cf: fit {fit_speedup:.2}x, local LoO sweep {loo_speedup:.2}x \
-         (wrote BENCH_cf.json)"
+        "bench_cf: fit {fit_speedup:.2}x vs legacy ({fit_threads} threads, \
+         {ts:.2}x vs single-thread, obs overhead {obs_overhead_pct:+.1}%), \
+         local LoO sweep {loo_speedup:.2}x (wrote BENCH_cf.json)",
+        ts = fit_single_s / fit_packed_s,
     );
 }

@@ -82,5 +82,6 @@ pub fn bench_opts() -> auric_eval::RunOptions {
         scale: Some(NetScale::tiny()),
         knobs: TuningKnobs::default(),
         seed: 7,
+        ..Default::default()
     }
 }

@@ -16,10 +16,11 @@
 //! identical semantics; `legacy.rs` keeps the original unpacked
 //! implementation as the differential-testing oracle.
 
-use crate::dependency::{select_dependent, PredictorAttr, Side};
+use crate::dependency::{PredictorAttr, Side};
 use crate::scope::Scope;
 use crate::voting::{KeyRef, VoteKey, VoteTables};
 use auric_model::{AttrVec, CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind, ValueIdx};
+use auric_obs::Recorder;
 use auric_stats::freq::FreqTable;
 use auric_stats::packed::PackedKeyCodec;
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,18 @@ impl Default for CfConfig {
             marginal_selection: false,
         }
     }
+}
+
+/// Options for [`CfModel::fit_with`]: the observability recorder and an
+/// optional worker-thread override for the fit pool (mainly for honest
+/// single- vs multi-thread benchmarking).
+#[derive(Debug, Clone, Default)]
+pub struct FitOptions {
+    /// Where fit-time metrics land; [`Recorder::disabled`] costs nothing.
+    pub obs: Recorder,
+    /// Worker threads for the fit pool; `None` uses the machine default
+    /// (see [`fit_worker_threads`]).
+    pub threads: Option<usize>,
 }
 
 /// How a recommendation was produced — the fallback chain position.
@@ -209,6 +222,10 @@ pub struct CfModel {
     /// `(unpacked key, table)` pairs — packed integers never reach disk.
     #[serde(with = "model_serde")]
     params: Vec<ParamCf>,
+    /// Recommendation-time metrics sink. Disabled by default (and after
+    /// deserialization); attach one with [`CfModel::set_recorder`].
+    #[serde(skip)]
+    obs: Recorder,
 }
 
 impl CfModel {
@@ -222,11 +239,41 @@ impl CfModel {
     /// index order, so the fitted model is deterministic regardless of
     /// which worker fitted what.
     pub fn fit(snapshot: &NetworkSnapshot, scope: &Scope, config: CfConfig) -> Self {
+        Self::fit_with(snapshot, scope, config, FitOptions::default())
+    }
+
+    /// [`CfModel::fit`] with explicit [`FitOptions`]: fit-time metrics go
+    /// to `opts.obs` (which stays attached to the model so recommendation
+    /// metrics land there too), and `opts.threads` pins the pool width.
+    pub fn fit_with(
+        snapshot: &NetworkSnapshot,
+        scope: &Scope,
+        config: CfConfig,
+        opts: FitOptions,
+    ) -> Self {
+        let FitOptions { obs, threads } = opts;
         let n_params = snapshot.catalog.len();
-        let params = parallel_map(n_params, |i| {
-            fit_param(snapshot, scope, ParamId(i as u16), &config)
+        let span = obs.span("cf.fit");
+        let params = parallel_map_with(n_params, threads, |i| {
+            fit_param(snapshot, scope, ParamId(i as u16), &config, &obs)
         });
-        Self { config, params }
+        span.close();
+        Self {
+            config,
+            params,
+            obs,
+        }
+    }
+
+    /// Attaches (or detaches, with [`Recorder::disabled`]) the sink for
+    /// recommendation-time metrics: basis mix, vote support, backoff depth.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// The model's metrics recorder (disabled unless attached).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The fitted state of one parameter.
@@ -321,6 +368,9 @@ impl CfModel {
         let n = pc.dependent.len();
         let full = key_at(n);
         if let Some((value, support, voters)) = pc.tables.vote(full, exclude, self.config.support) {
+            self.obs.inc("cf.rec.basis.global_vote");
+            self.obs
+                .observe("cf.rec.support.global_vote", support as u64);
             return Recommendation {
                 value,
                 basis: Basis::GlobalVote,
@@ -329,6 +379,8 @@ impl CfModel {
             };
         }
         if let Some((value, support, voters)) = pc.tables.group_majority(full, exclude) {
+            self.obs.inc("cf.rec.basis.group_majority");
+            self.obs.observe("cf.rec.backoff_depth", 0);
             return Recommendation {
                 value,
                 basis: Basis::GroupMajority,
@@ -346,6 +398,8 @@ impl CfModel {
             let tables = &pc.prefix_tables[l];
             let ex = exclude.filter(|&v| tables.group(prefix).is_some_and(|g| g.count(v) > 0));
             if let Some((value, support, voters)) = tables.group_majority(prefix, ex) {
+                self.obs.inc("cf.rec.basis.group_majority");
+                self.obs.observe("cf.rec.backoff_depth", (n - l) as u64);
                 return Recommendation {
                     value,
                     basis: Basis::GroupMajority,
@@ -356,6 +410,7 @@ impl CfModel {
         }
         let overall_exclude = exclude.filter(|&v| pc.tables.overall().count(v) > 0);
         if let Some(value) = pc.tables.overall_majority(overall_exclude) {
+            self.obs.inc("cf.rec.basis.global_majority");
             return Recommendation {
                 value,
                 basis: Basis::GlobalMajority,
@@ -363,6 +418,7 @@ impl CfModel {
                 voters: 0,
             };
         }
+        self.obs.inc("cf.rec.basis.default");
         Recommendation {
             value: pc.default,
             basis: Basis::Default,
@@ -418,6 +474,9 @@ impl CfModel {
             if let Some((value, support, total)) =
                 table.majority_with_support_excluding(None, self.config.support)
             {
+                self.obs.inc("cf.rec.basis.local_vote");
+                self.obs
+                    .observe("cf.rec.support.local_vote", support as u64);
                 return Recommendation {
                     value,
                     basis: Basis::LocalVote,
@@ -437,6 +496,9 @@ impl CfModel {
             if let Some((value, support, total)) =
                 table.majority_with_support_excluding(None, self.config.support)
             {
+                self.obs.inc("cf.rec.basis.local_vote");
+                self.obs
+                    .observe("cf.rec.support.local_vote", support as u64);
                 return Recommendation {
                     value,
                     basis: Basis::LocalVote,
@@ -506,6 +568,9 @@ impl CfModel {
             if let Some((value, support, total)) =
                 table.majority_with_support_excluding(None, self.config.support)
             {
+                self.obs.inc("cf.rec.basis.local_vote");
+                self.obs
+                    .observe("cf.rec.support.local_vote", support as u64);
                 return Recommendation {
                     value,
                     basis: Basis::LocalVote,
@@ -537,6 +602,9 @@ impl CfModel {
             if let Some((value, support, total)) =
                 table.majority_with_support_excluding(None, self.config.support)
             {
+                self.obs.inc("cf.rec.basis.local_vote");
+                self.obs
+                    .observe("cf.rec.support.local_vote", support as u64);
                 return Recommendation {
                     value,
                     basis: Basis::LocalVote,
@@ -558,10 +626,29 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let n_threads = std::thread::available_parallelism()
+    parallel_map_with(n, None, job)
+}
+
+/// The worker-thread count [`CfModel::fit`] actually uses for `n_jobs`
+/// parallel jobs — exposed so benchmarks can report the real pool width
+/// instead of guessing from `available_parallelism`.
+pub fn fit_worker_threads(n_jobs: usize) -> usize {
+    std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(4)
-        .min(n.max(1));
+        .min(n_jobs.max(1))
+}
+
+/// [`parallel_map`] with an explicit thread override (`None` = machine
+/// default).
+pub(crate) fn parallel_map_with<T, F>(n: usize, threads: Option<usize>, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n_threads = threads
+        .unwrap_or_else(|| fit_worker_threads(n))
+        .clamp(1, n.max(1));
     if n_threads <= 1 {
         return (0..n).map(job).collect();
     }
@@ -598,12 +685,22 @@ fn fit_param(
     scope: &Scope,
     param: ParamId,
     config: &CfConfig,
+    obs: &Recorder,
 ) -> ParamCf {
+    let span = obs.span("cf.fit/param");
+    let dep_span = span.child("dependency");
     let dependent = if config.marginal_selection {
-        crate::dependency::select_dependent_marginal(snapshot, scope, param, config.alpha)
+        crate::dependency::select_dependent_marginal_with_obs(
+            snapshot,
+            scope,
+            param,
+            config.alpha,
+            obs,
+        )
     } else {
-        select_dependent(snapshot, scope, param, config.alpha)
+        crate::dependency::select_dependent_with_obs(snapshot, scope, param, config.alpha, obs)
     };
+    dep_span.close();
     let def = snapshot.catalog.def(param);
     let cards: Vec<u16> = dependent
         .iter()
@@ -628,11 +725,17 @@ fn fit_param(
     };
     if packed {
         let record = |pc: &mut ParamCf, key: u64, value: ValueIdx| {
+            // All tables were just built packed, so a shape mismatch here
+            // is impossible by construction.
             for l in 0..pc.prefix_tables.len() {
                 let prefix = pc.codec.prefix(key, l);
-                pc.prefix_tables[l].add_packed(prefix, value);
+                pc.prefix_tables[l]
+                    .add_packed(prefix, value)
+                    .expect("prefix tables built packed");
             }
-            pc.tables.add_packed(key, value);
+            pc.tables
+                .add_packed(key, value)
+                .expect("tables built packed");
         };
         match def.kind {
             ParamKind::Singular => {
@@ -669,9 +772,11 @@ fn fit_param(
     } else {
         let record = |pc: &mut ParamCf, key: &[u16], value: ValueIdx| {
             for l in 0..pc.prefix_tables.len() {
-                pc.prefix_tables[l].add_wide(&key[..l], value);
+                pc.prefix_tables[l]
+                    .add_wide(&key[..l], value)
+                    .expect("prefix tables built wide");
             }
-            pc.tables.add_wide(key, value);
+            pc.tables.add_wide(key, value).expect("tables built wide");
         };
         match def.kind {
             ParamKind::Singular => {
@@ -690,6 +795,10 @@ fn fit_param(
             }
         }
     }
+    obs.inc("cf.fit.params");
+    obs.add("cf.fit.groups", pc.tables.n_groups() as u64);
+    obs.observe("cf.fit.dependent_attrs", pc.dependent.len() as u64);
+    drop(span);
     pc
 }
 

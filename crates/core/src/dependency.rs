@@ -271,11 +271,30 @@ pub fn select_dependent(
     param: ParamId,
     alpha: f64,
 ) -> Vec<PredictorAttr> {
+    select_dependent_with_obs(
+        snapshot,
+        scope,
+        param,
+        alpha,
+        &auric_obs::Recorder::disabled(),
+    )
+}
+
+/// [`select_dependent`] with chi-square test counts recorded to `obs`
+/// (`cf.dep.marginal_tests` / `cf.dep.conditional_tests`).
+pub fn select_dependent_with_obs(
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    alpha: f64,
+    obs: &auric_obs::Recorder,
+) -> Vec<PredictorAttr> {
     let samples = collect_samples(snapshot, scope, param);
     if samples.values.is_empty() {
         return Vec::new();
     }
     // Rank the marginally significant candidates.
+    obs.add("cf.dep.marginal_tests", samples.candidates.len() as u64);
     let mut ranked: Vec<(usize, f64)> = (0..samples.candidates.len())
         .filter_map(|c| {
             let (stat, dependent) = marginal_test(&samples, c, alpha);
@@ -290,7 +309,13 @@ pub fn select_dependent(
     let mut selected: Vec<usize> = Vec::new();
     let mut strata = Strata::root(samples.values.len());
     for &(c, _) in &ranked {
-        if selected.is_empty() || conditional_test(&samples, c, &strata, alpha) {
+        let admit = if selected.is_empty() {
+            true
+        } else {
+            obs.inc("cf.dep.conditional_tests");
+            conditional_test(&samples, c, &strata, alpha)
+        };
+        if admit {
             strata.refine(&samples.levels[c]);
             selected.push(c);
         }
@@ -306,7 +331,25 @@ pub fn select_dependent_marginal(
     param: ParamId,
     alpha: f64,
 ) -> Vec<PredictorAttr> {
+    select_dependent_marginal_with_obs(
+        snapshot,
+        scope,
+        param,
+        alpha,
+        &auric_obs::Recorder::disabled(),
+    )
+}
+
+/// [`select_dependent_marginal`] with marginal test counts recorded.
+pub fn select_dependent_marginal_with_obs(
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    alpha: f64,
+    obs: &auric_obs::Recorder,
+) -> Vec<PredictorAttr> {
     let samples = collect_samples(snapshot, scope, param);
+    obs.add("cf.dep.marginal_tests", samples.candidates.len() as u64);
     (0..samples.candidates.len())
         .filter(|&c| marginal_test(&samples, c, alpha).1)
         .map(|c| samples.candidates[c])

@@ -77,9 +77,12 @@ pub fn recommend_singular(
                     }
                 }
             }
+            let obs = model.recorder();
+            obs.inc("cf.coldstart.total");
             let rec = if let Some((value, support, voters)) =
                 table.majority_with_support_excluding(None, model.config.support)
             {
+                obs.inc("cf.coldstart.local_vote");
                 Recommendation {
                     value,
                     basis: Basis::LocalVote,
@@ -87,6 +90,7 @@ pub fn recommend_singular(
                     voters,
                 }
             } else {
+                obs.inc("cf.coldstart.fallback");
                 model.recommend_global(p, &key, None)
             };
             explain(snapshot, model, p, &new_carrier.attrs, None, rec)
@@ -111,6 +115,18 @@ pub fn recommend_pairwise(
             let key = pc.key_for_pair(&new_carrier.attrs, dst);
             // Local vote over pairs sourced at the planned neighbors,
             // reading keys off the fitted pair column when available.
+            //
+            // Scanning only `pairs_from(n)` (pairs whose *source* is a
+            // planned neighbor) still covers both directions of every
+            // relation between planned neighbors: `X2Graph::from_edges`
+            // stores each undirected edge as two directed pairs, so the
+            // reverse pair (m, n) is enumerated when the scan reaches
+            // source `m` (`validate()` enforces this symmetry, and
+            // `pairwise_scan_covers_both_directions` below pins it).
+            // Pairs *into* a planned neighbor from a non-planned carrier
+            // are deliberately out of scope — their source is not part of
+            // the new carrier's planned neighborhood, mirroring
+            // `CfModel::recommend_local_pair`.
             let mut table = FreqTable::new();
             if pc.codec().fits_u64() {
                 let packed = pc.packed_for_pair(&new_carrier.attrs, dst);
@@ -144,9 +160,12 @@ pub fn recommend_pairwise(
                     }
                 }
             }
+            let obs = model.recorder();
+            obs.inc("cf.coldstart.total");
             let rec = if let Some((value, support, voters)) =
                 table.majority_with_support_excluding(None, model.config.support)
             {
+                obs.inc("cf.coldstart.local_vote");
                 Recommendation {
                     value,
                     basis: Basis::LocalVote,
@@ -154,6 +173,7 @@ pub fn recommend_pairwise(
                     voters,
                 }
             } else {
+                obs.inc("cf.coldstart.fallback");
                 model.recommend_global(p, &key, None)
             };
             explain(snapshot, model, p, &new_carrier.attrs, Some(dst), rec)
@@ -305,6 +325,45 @@ mod tests {
                 "{} off grid",
                 r.name
             );
+        }
+    }
+
+    /// Satellite audit for the pairwise local-vote scan: iterating only
+    /// `pairs_from(n)` over the planned neighbors must still reach *both*
+    /// directed pairs of every relation between planned neighbors,
+    /// because `X2Graph` stores each undirected edge as two directed
+    /// pairs. If pair storage ever became asymmetric, this test would
+    /// catch the silently missing reverse-direction voters.
+    #[test]
+    fn pairwise_scan_covers_both_directions() {
+        let (snap, _) = setup();
+        snap.x2
+            .validate()
+            .expect("X2 symmetry is a graph invariant");
+        let c = CarrierId(1);
+        let nc = clone_of(&snap, c);
+        assert!(nc.neighbors.len() >= 2, "need two planned neighbors");
+        let scanned: std::collections::HashSet<u32> = nc
+            .neighbors
+            .iter()
+            .flat_map(|&n| snap.x2.pairs_from(n))
+            .collect();
+        for &m in &nc.neighbors {
+            for &n in &nc.neighbors {
+                if m == n {
+                    continue;
+                }
+                // Either direction exists iff the edge exists, and then
+                // both directions are in the scanned set.
+                match (snap.x2.pair_idx(m, n), snap.x2.pair_idx(n, m)) {
+                    (Some(f), Some(r)) => {
+                        assert!(scanned.contains(&f), "forward pair {m}->{n} not scanned");
+                        assert!(scanned.contains(&r), "reverse pair {n}->{m} not scanned");
+                    }
+                    (None, None) => {}
+                    _ => panic!("asymmetric pair storage between {m} and {n}"),
+                }
+            }
         }
     }
 

@@ -38,12 +38,45 @@ enum GroupStore {
     Wide(HashMap<Box<[u16]>, FreqTable>),
 }
 
+/// The error returned when an observation's key representation does not
+/// match the table's storage (packed key into wide tables or vice versa).
+/// Within one fitted model the codec decides the representation up front,
+/// so mixing is a caller bug — but a *deserialized* model can legitimately
+/// disagree with a probe built against a different codec (e.g. a layout
+/// change between fit and probe), so the mismatch must not panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyShapeMismatch {
+    /// Whether the tables store wide keys.
+    pub tables_wide: bool,
+}
+
+impl std::fmt::Display for KeyShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (tables, key) = if self.tables_wide {
+            ("wide", "packed")
+        } else {
+            ("packed", "wide")
+        };
+        write!(
+            f,
+            "vote-key representation mismatch: {key} key into {tables} tables"
+        )
+    }
+}
+
+impl std::error::Error for KeyShapeMismatch {}
+
 impl GroupStore {
     fn get(&self, key: KeyRef<'_>) -> Option<&FreqTable> {
         match (self, key) {
             (GroupStore::Packed(map), KeyRef::Packed(k)) => map.get(&k),
             (GroupStore::Wide(map), KeyRef::Wide(k)) => map.get(k),
-            _ => unreachable!("vote-key representation mismatch"),
+            // A probe in the wrong representation can reach here through a
+            // deserialized model whose key layout changed between fit and
+            // probe. No group can match such a key, so the right answer is
+            // "no group" — the recommendation chain then degrades to the
+            // scope-wide fallbacks instead of panicking.
+            _ => None,
         }
     }
 }
@@ -90,18 +123,21 @@ impl VoteTables {
         matches!(self.groups, GroupStore::Wide(_))
     }
 
-    /// Records one observation of `value` under a packed `key`.
+    /// Records one observation of `value` under a packed `key`. Fails
+    /// without mutating anything if the tables store wide keys.
     #[inline]
-    pub fn add_packed(&mut self, key: u64, value: ValueIdx) {
+    pub fn add_packed(&mut self, key: u64, value: ValueIdx) -> Result<(), KeyShapeMismatch> {
         match &mut self.groups {
             GroupStore::Packed(map) => map.entry(key).or_default().add(value),
-            GroupStore::Wide(_) => unreachable!("packed add on wide tables"),
+            GroupStore::Wide(_) => return Err(KeyShapeMismatch { tables_wide: true }),
         }
         self.overall.add(value);
+        Ok(())
     }
 
-    /// Records one observation of `value` under a wide `key`.
-    pub fn add_wide(&mut self, key: &[u16], value: ValueIdx) {
+    /// Records one observation of `value` under a wide `key`. Fails
+    /// without mutating anything if the tables store packed keys.
+    pub fn add_wide(&mut self, key: &[u16], value: ValueIdx) -> Result<(), KeyShapeMismatch> {
         match &mut self.groups {
             GroupStore::Wide(map) => {
                 if let Some(t) = map.get_mut(key) {
@@ -112,9 +148,10 @@ impl VoteTables {
                     map.insert(key.into(), t);
                 }
             }
-            GroupStore::Packed(_) => unreachable!("wide add on packed tables"),
+            GroupStore::Packed(_) => return Err(KeyShapeMismatch { tables_wide: false }),
         }
         self.overall.add(value);
+        Ok(())
     }
 
     /// Number of distinct groups.
@@ -238,11 +275,11 @@ mod tests {
         let codec = codec();
         let mut t = VoteTables::new();
         for _ in 0..8 {
-            t.add_packed(codec.pack(&[0, 1]), 10);
+            t.add_packed(codec.pack(&[0, 1]), 10).unwrap();
         }
-        t.add_packed(codec.pack(&[0, 1]), 20);
+        t.add_packed(codec.pack(&[0, 1]), 20).unwrap();
         for _ in 0..3 {
-            t.add_packed(codec.pack(&[2, 2]), 30);
+            t.add_packed(codec.pack(&[2, 2]), 30).unwrap();
         }
         (codec, t)
     }
@@ -277,9 +314,9 @@ mod tests {
         let codec = PackedKeyCodec::new(&[3]);
         let mut t = VoteTables::new();
         for _ in 0..3 {
-            t.add_packed(codec.pack(&[1]), 5);
+            t.add_packed(codec.pack(&[1]), 5).unwrap();
         }
-        t.add_packed(codec.pack(&[1]), 7);
+        t.add_packed(codec.pack(&[1]), 7).unwrap();
         let k = KeyRef::Packed(codec.pack(&[1]));
         // Probing the carrier that holds the 7: remaining 3×5 → 100%.
         assert_eq!(t.vote(k, Some(7), 0.75), Some((5, 3, 3)));
@@ -303,9 +340,9 @@ mod tests {
         let codec = PackedKeyCodec::new(&[]);
         let mut t = VoteTables::new();
         for _ in 0..9 {
-            t.add_packed(codec.pack(&[]), 4);
+            t.add_packed(codec.pack(&[]), 4).unwrap();
         }
-        t.add_packed(codec.pack(&[]), 6);
+        t.add_packed(codec.pack(&[]), 6).unwrap();
         assert_eq!(
             t.vote(KeyRef::Packed(codec.pack(&[])), None, 0.75),
             Some((4, 9, 10))
@@ -317,10 +354,10 @@ mod tests {
         let mut t = VoteTables::new_wide();
         assert!(t.is_wide());
         for _ in 0..8 {
-            t.add_wide(&[0, 1], 10);
+            t.add_wide(&[0, 1], 10).unwrap();
         }
-        t.add_wide(&[0, 1], 20);
-        t.add_wide(&[2, 2], 30);
+        t.add_wide(&[0, 1], 20).unwrap();
+        t.add_wide(&[2, 2], 30).unwrap();
         assert_eq!(t.n_groups(), 2);
         assert_eq!(t.vote(KeyRef::Wide(&[0, 1]), None, 0.75), Some((10, 8, 9)));
         assert_eq!(t.vote(KeyRef::Wide(&[9, 9]), None, 0.5), None);
@@ -341,5 +378,125 @@ mod tests {
         assert_eq!(pairs[0].0, vec![0, 1], "pairs are sorted by unpacked key");
         let back = VoteTables::from_unpacked_groups(&codec, pairs, t.overall().clone());
         assert_eq!(back, t);
+    }
+
+    /// Regression: probing packed tables with a wide key (or vice versa)
+    /// used to hit `unreachable!`. It must instead behave like an unknown
+    /// key so the recommendation chain can fall back.
+    #[test]
+    fn representation_mismatch_probe_is_a_miss_not_a_panic() {
+        let (codec, packed) = tables();
+        assert_eq!(packed.group(KeyRef::Wide(&[0, 1])), None);
+        assert_eq!(packed.vote(KeyRef::Wide(&[0, 1]), None, 0.5), None);
+        assert_eq!(packed.group_majority(KeyRef::Wide(&[0, 1]), None), None);
+
+        let mut wide = VoteTables::new_wide();
+        wide.add_wide(&[0, 1], 10).unwrap();
+        let k = KeyRef::Packed(codec.pack(&[0, 1]));
+        assert_eq!(wide.group(k), None);
+        assert_eq!(wide.vote(k, None, 0.0), None);
+        assert_eq!(wide.group_majority(k, None), None);
+    }
+
+    /// Regression: a mismatched add must fail cleanly and leave both the
+    /// group store and the overall table untouched.
+    #[test]
+    fn representation_mismatch_add_is_an_error_without_side_effects() {
+        let (codec, mut packed) = tables();
+        let before = packed.clone();
+        assert_eq!(
+            packed.add_wide(&[0, 1], 10),
+            Err(KeyShapeMismatch { tables_wide: false })
+        );
+        assert_eq!(packed, before, "failed add must not touch overall totals");
+
+        let mut wide = VoteTables::new_wide();
+        let err = wide.add_packed(codec.pack(&[0, 1]), 10).unwrap_err();
+        assert_eq!(err, KeyShapeMismatch { tables_wide: true });
+        assert_eq!(wide.total(), 0);
+        assert_eq!(wide.n_groups(), 0);
+        assert!(err.to_string().contains("representation mismatch"));
+    }
+
+    mod packed_wide_differential {
+        //! Differential proptest suite: on any random key stream, packed
+        //! and wide tables must agree on every query surface and on the
+        //! sorted unpacked wire form.
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Mixed-radix decomposition of `raw` into an in-range key under
+        /// `cards` — the vendored proptest has no `prop_flat_map`, so the
+        /// layout-dependent key is derived from a free integer instead.
+        fn key_from_raw(cards: &[u16], raw: u64) -> Vec<u16> {
+            let mut rest = raw;
+            cards
+                .iter()
+                .map(|&c| {
+                    let digit = (rest % c as u64) as u16;
+                    rest /= c as u64;
+                    digit
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn packed_and_wide_tables_agree(
+                cards in collection::vec(2u16..6, 1..4),
+                raw_stream in collection::vec((0u64..1_000_000, 0u16..5), 1..40),
+            ) {
+                let codec = PackedKeyCodec::new(&cards);
+                prop_assert!(codec.fits_u64());
+                let stream: Vec<(Vec<u16>, ValueIdx)> = raw_stream
+                    .iter()
+                    .map(|&(raw, v)| (key_from_raw(&cards, raw), v))
+                    .collect();
+                let mut packed = VoteTables::new();
+                let mut wide = VoteTables::new_wide();
+                for (key, value) in &stream {
+                    packed.add_packed(codec.pack(key), *value).unwrap();
+                    wide.add_wide(key, *value).unwrap();
+                }
+                prop_assert_eq!(packed.n_groups(), wide.n_groups());
+                prop_assert_eq!(packed.total(), wide.total());
+
+                // Every observed key agrees across thresholds and
+                // leave-one-out exclusions. Excluding a value absent from
+                // the table is a contract violation (it panics), so each
+                // probe only excludes values actually recorded in that
+                // key's group.
+                for (key, value) in &stream {
+                    let pk = KeyRef::Packed(codec.pack(key));
+                    let wk = KeyRef::Wide(key);
+                    for exclude in [None, Some(*value)] {
+                        for threshold in [0.0, 0.5, 0.75, 1.0] {
+                            prop_assert_eq!(
+                                packed.vote(pk, exclude, threshold),
+                                wide.vote(wk, exclude, threshold),
+                                "vote key={:?} exclude={:?} threshold={}",
+                                key, exclude, threshold
+                            );
+                        }
+                        prop_assert_eq!(
+                            packed.group_majority(pk, exclude),
+                            wide.group_majority(wk, exclude)
+                        );
+                        prop_assert_eq!(
+                            packed.overall_majority(exclude),
+                            wide.overall_majority(exclude)
+                        );
+                    }
+                }
+
+                // Identical wire form: same sorted keys, same tables.
+                let len = cards.len();
+                let pw = packed.unpacked_groups(&codec, len);
+                let ww = wide.unpacked_groups(&codec, len);
+                prop_assert_eq!(pw, ww);
+            }
+        }
     }
 }

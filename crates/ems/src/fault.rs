@@ -25,6 +25,7 @@ use crate::ems::{CarrierState, EmsAudit, EmsBackend, EmsSettings, PushError, Pus
 use crate::mo::ConfigFile;
 use crate::smartlaunch::{CampaignReport, FalloutCause, LaunchOutcome, LaunchRecord};
 use auric_model::{CarrierId, ParamId, ValueIdx};
+use auric_obs::Recorder;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,9 @@ pub struct FaultInjector<B = crate::ems::Ems> {
     /// inner EMS), merged into [`EmsBackend::audit`].
     overlay: EmsAudit,
     fired: FaultCounts,
+    /// Per-variant injection counters (`ems.fault.*`). Disabled by
+    /// default.
+    obs: Recorder,
 }
 
 impl<B: EmsBackend> FaultInjector<B> {
@@ -141,7 +145,14 @@ impl<B: EmsBackend> FaultInjector<B> {
             dropped: HashSet::new(),
             overlay: EmsAudit::default(),
             fired: FaultCounts::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a metrics recorder (builder style).
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The wrapped backend.
@@ -173,6 +184,7 @@ impl<B: EmsBackend> EmsBackend for FaultInjector<B> {
     fn register_locked(&mut self, c: CarrierId) {
         if self.rng.random_bool(self.plan.rates.drop_inventory) {
             self.fired.dropped_registrations += 1;
+            self.obs.inc("ems.fault.drop_inventory");
             self.dropped.insert(c);
         } else {
             self.dropped.remove(&c);
@@ -213,12 +225,14 @@ impl<B: EmsBackend> EmsBackend for FaultInjector<B> {
         let partial = self.rng.random_bool(r.partial_apply);
         if spurious {
             self.fired.spurious_unlocks += 1;
+            self.obs.inc("ems.fault.spurious_unlock");
             self.inner.unlock(file.carrier);
             // Fall through: the inner EMS refuses the push itself, which
             // is exactly the real-world failure signature.
         }
         if latency {
             self.fired.latency_timeouts += 1;
+            self.obs.inc("ems.fault.latency_timeout");
             return self.reject(PushError::ExecutionTimeout {
                 attempted: file.n_changes,
                 limit: self.inner.settings().max_executions_per_push,
@@ -226,6 +240,7 @@ impl<B: EmsBackend> EmsBackend for FaultInjector<B> {
         }
         if transient {
             self.fired.transient_failures += 1;
+            self.obs.inc("ems.fault.transient_push");
             return self.reject(PushError::TransientFailure);
         }
         if partial && file.n_changes >= 2 && self.inner.state(file.carrier).is_some() {
@@ -236,6 +251,7 @@ impl<B: EmsBackend> EmsBackend for FaultInjector<B> {
             return match self.inner.push(&file.prefix(applied)) {
                 Ok(_) => {
                     self.fired.partial_applications += 1;
+                    self.obs.inc("ems.fault.partial_apply");
                     self.reject(PushError::PartialApplication {
                         applied,
                         attempted: file.n_changes,

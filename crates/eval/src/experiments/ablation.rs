@@ -12,10 +12,15 @@ use serde_json::json;
 
 /// Pooled micro-accuracy over per-market models — the same methodology
 /// the headline experiments use, so ablation numbers are comparable.
-fn per_market_accuracy(snapshot: &NetworkSnapshot, config: CfConfig, local: bool) -> f64 {
+fn per_market_accuracy(
+    snapshot: &NetworkSnapshot,
+    config: CfConfig,
+    local: bool,
+    obs: &auric_obs::Recorder,
+) -> f64 {
     let mut correct = 0usize;
     let mut total = 0usize;
-    for (scope, model) in fit_per_market(snapshot, config) {
+    for (scope, model) in fit_per_market(snapshot, config, obs) {
         let report = evaluate_cf(snapshot, &scope, &model, local);
         let t = report.total_values();
         correct += (report.micro_accuracy() * t as f64).round() as usize;
@@ -36,8 +41,8 @@ pub fn vote_threshold(opts: &RunOptions) -> ExpOutput {
             support,
             ..CfConfig::default()
         };
-        let local = per_market_accuracy(snap, config, true);
-        let global = per_market_accuracy(snap, config, false);
+        let local = per_market_accuracy(snap, config, true, &opts.obs);
+        let global = per_market_accuracy(snap, config, false, &opts.obs);
         table.row(vec![format!("{support:.2}"), pct(local), pct(global)]);
         rows.push(json!({"support": support, "local": local, "global": global}));
     }
@@ -64,10 +69,18 @@ pub fn alpha_sweep(opts: &RunOptions) -> ExpOutput {
             alpha,
             ..CfConfig::default()
         };
-        let local = per_market_accuracy(snap, config, true);
+        let local = per_market_accuracy(snap, config, true, &opts.obs);
         // Dependent-set size measured on the first market's fit.
         let scope = Scope::market(snap, snap.markets[0].id);
-        let model = CfModel::fit(snap, &scope, config);
+        let model = CfModel::fit_with(
+            snap,
+            &scope,
+            config,
+            auric_core::FitOptions {
+                obs: opts.obs.clone(),
+                threads: None,
+            },
+        );
         let mean_deps = model
             .params()
             .iter()
@@ -104,7 +117,7 @@ pub fn hops_sweep(opts: &RunOptions) -> ExpOutput {
             ..CfConfig::default()
         };
         // hops = 0 means the neighborhood is empty: pure global voting.
-        let acc = per_market_accuracy(snap, config, hops > 0);
+        let acc = per_market_accuracy(snap, config, hops > 0, &opts.obs);
         table.row(vec![hops.to_string(), pct(acc)]);
         rows.push(json!({"hops": hops, "accuracy": acc}));
     }
@@ -134,9 +147,17 @@ pub fn dependency_selection(opts: &RunOptions) -> ExpOutput {
             marginal_selection: marginal,
             ..CfConfig::default()
         };
-        let acc = per_market_accuracy(snap, config, true);
+        let acc = per_market_accuracy(snap, config, true, &opts.obs);
         let scope = Scope::market(snap, snap.markets[0].id);
-        let model = CfModel::fit(snap, &scope, config);
+        let model = CfModel::fit_with(
+            snap,
+            &scope,
+            config,
+            auric_core::FitOptions {
+                obs: opts.obs.clone(),
+                threads: None,
+            },
+        );
         let mean_deps = model
             .params()
             .iter()
@@ -168,6 +189,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 7,
+            ..Default::default()
         }
     }
 

@@ -11,7 +11,7 @@
 use crate::experiments::network;
 use crate::render::{pct, TextTable};
 use crate::{ExpOutput, RunOptions};
-use auric_core::{CfConfig, CfModel, Scope};
+use auric_core::{CfConfig, CfModel, FitOptions, Scope};
 use auric_ems::{
     sample_campaign_with_post_checks, Ems, EmsSettings, FaultInjector, FaultPlan, InvariantChecker,
     LaunchPolicy, RetryPolicy, SmartLaunch, VendorConfigSource,
@@ -50,7 +50,17 @@ pub fn ops_chaos(opts: &RunOptions) -> ExpOutput {
     let net = network(opts, NetScale::small());
     let snap = &net.snapshot;
     let scope = Scope::whole(snap);
-    let model = CfModel::fit(snap, &scope, CfConfig::default());
+    let fit_span = opts.obs.span("exp.ops-chaos/fit");
+    let model = CfModel::fit_with(
+        snap,
+        &scope,
+        CfConfig::default(),
+        FitOptions {
+            obs: opts.obs.clone(),
+            threads: None,
+        },
+    );
+    fit_span.close();
     let vendor = RuleVendor {
         snapshot: snap,
         rules: &net.truth.rules,
@@ -86,9 +96,10 @@ pub fn ops_chaos(opts: &RunOptions) -> ExpOutput {
                 opts.seed ^ (0xFA_0715 + 31 * fi as u64 + 7 * pi as u64),
                 rate,
             );
-            let injector = FaultInjector::new(Ems::new(settings), plan);
+            let injector = FaultInjector::new(Ems::new(settings), plan).with_obs(opts.obs.clone());
             let mut pipeline =
-                SmartLaunch::with_backend(snap, &model, injector, LaunchPolicy::default(), retry);
+                SmartLaunch::with_backend(snap, &model, injector, LaunchPolicy::default(), retry)
+                    .with_obs(opts.obs.clone());
             let report = pipeline.run_campaign(&plans, &vendor);
             let violations = InvariantChecker::check(&pipeline.trace, &report, &pipeline.ems);
             total_violations += violations.len();
@@ -174,6 +185,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 11,
+            ..Default::default()
         };
         let out = ops_chaos(&opts);
         assert_eq!(out.json["total_invariant_violations"].as_u64(), Some(0));

@@ -155,7 +155,15 @@ pub fn run_global_learners_filtered(
         .enumerate()
         .map(|(mi, &m)| {
             let scope = Scope::market(snap, m);
-            let cf = CfModel::fit(snap, &scope, CfConfig::default());
+            let cf = CfModel::fit_with(
+                snap,
+                &scope,
+                CfConfig::default(),
+                auric_core::FitOptions {
+                    obs: opts.obs.clone(),
+                    threads: None,
+                },
+            );
             let cf_report = evaluate_cf(snap, &scope, &cf, false);
             let param_ids: Vec<ParamId> = match params {
                 Some(ps) => ps.to_vec(),
@@ -326,6 +334,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 7,
+            ..Default::default()
         }
     }
 

@@ -15,7 +15,7 @@ use serde_json::json;
 pub fn global_vs_local(opts: &RunOptions) -> ExpOutput {
     let net = network(opts, NetScale::medium());
     let snap = &net.snapshot;
-    let models = fit_per_market(snap, CfConfig::default());
+    let models = fit_per_market(snap, CfConfig::default(), &opts.obs);
     let mut table = TextTable::new(vec!["Market", "global CF", "local CF", "gain"]);
     let mut rows = Vec::new();
     let mut pooled = (0usize, 0usize, 0usize); // correct_global, correct_local, total
@@ -80,7 +80,7 @@ pub fn fig11(opts: &RunOptions) -> ExpOutput {
     by_var.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let top4: Vec<_> = by_var.iter().take(4).map(|&(p, _)| p).collect();
 
-    let models = fit_per_market(snap, CfConfig::default());
+    let models = fit_per_market(snap, CfConfig::default(), &opts.obs);
     let mut charts = Vec::new();
     let mut text = String::from(
         "Fig. 11 — local-learner accuracy for the four most variable parameters\n\
@@ -124,6 +124,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 7,
+            ..Default::default()
         }
     }
 

@@ -14,7 +14,7 @@ use serde_json::json;
 pub fn fig12(opts: &RunOptions) -> ExpOutput {
     let net = network(opts, NetScale::medium());
     let snap = &net.snapshot;
-    let models = fit_per_market(snap, CfConfig::default());
+    let models = fit_per_market(snap, CfConfig::default(), &opts.obs);
     let mut total = auric_core::MismatchReport::default();
     for (scope, model) in &models {
         let r = analyze_mismatches(snap, scope, model);
@@ -81,6 +81,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 7,
+            ..Default::default()
         };
         let out = fig12(&opts);
         let u = out.json["update_learner"].as_f64().unwrap();

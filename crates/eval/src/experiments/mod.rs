@@ -12,9 +12,10 @@ pub mod operations;
 pub mod variability;
 
 use crate::RunOptions;
-use auric_core::{CfConfig, CfModel, Scope};
+use auric_core::{CfConfig, CfModel, FitOptions, Scope};
 use auric_model::{NetworkSnapshot, ParamId, ParamKind};
 use auric_netgen::{generate, GeneratedNetwork, NetScale};
+use auric_obs::Recorder;
 
 /// Generates the experiment network: the option override, else `default`.
 pub fn network(opts: &RunOptions, default: NetScale) -> GeneratedNetwork {
@@ -23,17 +24,29 @@ pub fn network(opts: &RunOptions, default: NetScale) -> GeneratedNetwork {
 }
 
 /// Fits one CF model per market (the paper's per-market methodology).
-/// Returned in market order.
-pub fn fit_per_market(snapshot: &NetworkSnapshot, config: CfConfig) -> Vec<(Scope, CfModel)> {
-    snapshot
+/// Returned in market order. Fit metrics land on `obs`, which stays
+/// attached to each model so recommendation metrics follow.
+pub fn fit_per_market(
+    snapshot: &NetworkSnapshot,
+    config: CfConfig,
+    obs: &Recorder,
+) -> Vec<(Scope, CfModel)> {
+    let span = obs.span("eval.fit_per_market");
+    let models = snapshot
         .markets
         .iter()
         .map(|m| {
             let scope = Scope::market(snapshot, m.id);
-            let model = CfModel::fit(snapshot, &scope, config);
+            let opts = FitOptions {
+                obs: obs.clone(),
+                threads: None,
+            };
+            let model = CfModel::fit_with(snapshot, &scope, config, opts);
             (scope, model)
         })
-        .collect()
+        .collect();
+    span.close();
+    models
 }
 
 /// Maps `f` over `0..n` in parallel, preserving order. The workhorse for
@@ -118,10 +131,11 @@ mod tests {
             scale: None,
             knobs: TuningKnobs::none(),
             seed: 3,
+            ..Default::default()
         };
         let net = network(&opts, NetScale::tiny());
         let snap = &net.snapshot;
-        let models = fit_per_market(snap, CfConfig::default());
+        let models = fit_per_market(snap, CfConfig::default(), &opts.obs);
         assert_eq!(models.len(), snap.markets.len());
         let distinct = distinct_network_wide(snap);
         assert_eq!(distinct.len(), snap.catalog.len());

@@ -12,7 +12,7 @@
 use crate::experiments::network;
 use crate::render::{pct, TextTable};
 use crate::{ExpOutput, RunOptions};
-use auric_core::{CfConfig, CfModel, Scope};
+use auric_core::{CfConfig, CfModel, FitOptions, Scope};
 use auric_ems::{
     sample_campaign_with_post_checks, EmsBackend, EmsSettings, SmartLaunch, VendorConfigSource,
 };
@@ -41,7 +41,17 @@ pub fn table5(opts: &RunOptions) -> ExpOutput {
     let net = network(opts, NetScale::medium());
     let snap = &net.snapshot;
     let scope = Scope::whole(snap);
-    let model = CfModel::fit(snap, &scope, CfConfig::default());
+    let fit_span = opts.obs.span("exp.table5/fit");
+    let model = CfModel::fit_with(
+        snap,
+        &scope,
+        CfConfig::default(),
+        FitOptions {
+            obs: opts.obs.clone(),
+            threads: None,
+        },
+    );
+    fit_span.close();
 
     // Campaign size: the paper launched 1251 carriers; cap by network
     // size. Off-band unlock probability and the EMS execution limit are
@@ -61,8 +71,11 @@ pub fn table5(opts: &RunOptions) -> ExpOutput {
         EmsSettings {
             max_executions_per_push: 9,
         },
-    );
+    )
+    .with_obs(opts.obs.clone());
+    let campaign_span = opts.obs.span("exp.table5/campaign");
     let report = pipeline.run_campaign(&plans, &vendor);
+    campaign_span.close();
     let audit = pipeline.ems.audit();
 
     let mut table = TextTable::new(vec!["Quantity", "measured", "paper"]);
@@ -166,6 +179,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 7,
+            ..Default::default()
         };
         let out = table5(&opts);
         let launched = out.json["launched"].as_u64().unwrap();

@@ -183,6 +183,7 @@ mod tests {
             scale: Some(NetScale::tiny()),
             knobs: TuningKnobs::default(),
             seed: 7,
+            ..Default::default()
         }
     }
 

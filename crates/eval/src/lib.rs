@@ -33,15 +33,20 @@ pub mod experiments;
 pub mod render;
 
 use auric_netgen::{NetScale, TuningKnobs};
+use auric_obs::Recorder;
 use serde::Serialize;
 
 /// Options shared by every experiment run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Scale override; `None` uses each experiment's own default.
     pub scale: Option<NetScale>,
     pub knobs: TuningKnobs,
     pub seed: u64,
+    /// Per-run metrics sink: stage spans, CF fit/recommendation metrics,
+    /// SmartLaunch counters. Disabled by default; pass
+    /// [`Recorder::deterministic`] for byte-reproducible reports.
+    pub obs: Recorder,
 }
 
 impl Default for RunOptions {
@@ -50,6 +55,7 @@ impl Default for RunOptions {
             scale: None,
             knobs: TuningKnobs::default(),
             seed: 7,
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -91,6 +97,13 @@ pub const EXPERIMENTS: [&str; 15] = [
 /// # Errors
 /// Returns an error string for unknown names.
 pub fn run_experiment(name: &str, opts: &RunOptions) -> Result<ExpOutput, String> {
+    let span = opts.obs.span(&format!("exp.{name}"));
+    let out = dispatch(name, opts);
+    span.close();
+    out
+}
+
+fn dispatch(name: &str, opts: &RunOptions) -> Result<ExpOutput, String> {
     match name {
         "table3" => Ok(experiments::dataset::table3(opts)),
         "fig2" => Ok(experiments::variability::fig2(opts)),

@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! auric-eval <experiment>... [--scale tiny|small|medium|full]
-//!            [--seed N] [--json DIR] [--list]
+//!            [--seed N] [--json DIR] [--obs] [--list]
 //! auric-eval all [--scale ...]
 //! ```
 //!
 //! Each experiment prints its report to stdout; with `--json DIR` the
-//! machine-readable result is written to `DIR/<id>.json` as well.
+//! machine-readable result is written to `DIR/<id>.json` as well. With
+//! `--obs` each experiment runs under a fresh deterministic recorder and
+//! its metrics report is written to `DIR/<id>.obs.json` (or printed when
+//! no `--json` directory is given); two runs at the same scale and seed
+//! produce byte-identical obs reports.
 
 use auric_eval::{run_experiment, RunOptions, EXPERIMENTS};
 use auric_netgen::NetScale;
+use auric_obs::Recorder;
 use std::process::ExitCode;
 
 fn usage() -> String {
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
     let mut names: Vec<String> = Vec::new();
     let mut opts = RunOptions::default();
     let mut json_dir: Option<String> = None;
+    let mut with_obs = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -74,6 +80,7 @@ fn main() -> ExitCode {
                 };
                 json_dir = Some(v.clone());
             }
+            "--obs" => with_obs = true,
             name => names.push(name.to_string()),
         }
     }
@@ -94,6 +101,11 @@ fn main() -> ExitCode {
 
     for name in &names {
         let started = std::time::Instant::now();
+        // A fresh recorder per experiment keeps each obs report
+        // self-contained; the manual clock makes it deterministic.
+        if with_obs {
+            opts.obs = Recorder::deterministic();
+        }
         match run_experiment(name, &opts) {
             Ok(out) => {
                 println!(
@@ -115,6 +127,18 @@ fn main() -> ExitCode {
                             eprintln!("cannot serialize {name}: {e}");
                             return ExitCode::FAILURE;
                         }
+                    }
+                }
+                if with_obs {
+                    let report = opts.obs.report_json();
+                    if let Some(dir) = &json_dir {
+                        let path = format!("{dir}/{}.obs.json", out.id);
+                        if let Err(e) = std::fs::write(&path, report) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    } else {
+                        println!("--- obs: {} ---\n{report}", out.id);
                     }
                 }
             }

@@ -1,0 +1,59 @@
+//! The observability reports of the eval driver must be deterministic:
+//! two runs of the same experiment at the same scale and seed, each with
+//! a fresh deterministic recorder, produce byte-identical obs JSON.
+//!
+//! A fast subset covers the instrumented layers — `table5` (CF fit plus
+//! the SmartLaunch/EMS campaign), `ops-chaos` (fault injection and
+//! retries), `global-vs-local` (per-market fits). The full 15-experiment
+//! sweep is exercised by `auric-eval all --obs` (see EXPERIMENTS.md);
+//! running it twice here would dominate the test suite.
+
+use auric_eval::{run_experiment, RunOptions};
+use auric_netgen::NetScale;
+use auric_obs::Recorder;
+
+fn obs_report(name: &str) -> String {
+    let opts = RunOptions {
+        scale: Some(NetScale::tiny()),
+        seed: 7,
+        obs: Recorder::deterministic(),
+        ..Default::default()
+    };
+    run_experiment(name, &opts).expect("experiment runs");
+    opts.obs.report_json()
+}
+
+#[test]
+fn obs_reports_are_byte_identical_across_runs() {
+    for name in ["table5", "ops-chaos", "global-vs-local"] {
+        let a = obs_report(name);
+        let b = obs_report(name);
+        assert_eq!(a, b, "{name}: obs reports differ between identical runs");
+
+        // Non-trivial: the per-experiment span and the CF fit counters
+        // must be present — an empty report would mean the layer was
+        // silently left uninstrumented.
+        assert!(
+            a.contains(&format!("\"exp.{name}\"")),
+            "{name}: missing experiment span in {a}"
+        );
+        assert!(
+            a.contains("\"cf.fit.params\""),
+            "{name}: missing CF fit counters in {a}"
+        );
+    }
+}
+
+#[test]
+fn disabled_recorder_reports_nothing() {
+    let opts = RunOptions {
+        scale: Some(NetScale::tiny()),
+        seed: 7,
+        ..Default::default()
+    };
+    run_experiment("global-vs-local", &opts).expect("experiment runs");
+    assert_eq!(
+        opts.obs.report_json(),
+        "{\n  \"counters\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}"
+    );
+}
