@@ -47,6 +47,12 @@ pub fn recommend_singular(
     model: &CfModel,
     new_carrier: &NewCarrier,
 ) -> Vec<ConfigRecommendation> {
+    let obs = model.recorder();
+    // Planned neighbors come from an external radio-planning tool; one
+    // that names a carrier the snapshot has never heard of must not take
+    // the whole recommendation down (it used to index out of bounds).
+    // Drop it from the vote and count the drop.
+    let neighbors = known_neighbors(snapshot, model, &new_carrier.neighbors);
     snapshot
         .catalog
         .singular_ids()
@@ -60,24 +66,26 @@ pub fn recommend_singular(
             if pc.codec().fits_u64() {
                 let packed = pc.packed_for_carrier(&new_carrier.attrs);
                 let col = pc.carrier_keys();
-                for &n in &new_carrier.neighbors {
+                for &n in &neighbors {
                     let nkey = match col {
-                        Some(col) => col[n.index()],
-                        None => pc.packed_for_carrier(&snapshot.carrier(n).attrs),
+                        // The fitted key column covers the fitting scope's
+                        // snapshot; a neighbor beyond it (fit on an older,
+                        // smaller network) is projected directly instead.
+                        Some(col) if n.index() < col.len() => col[n.index()],
+                        _ => pc.packed_for_carrier(&snapshot.carrier(n).attrs),
                     };
                     if nkey == packed {
                         table.add(snapshot.config.value(p, n));
                     }
                 }
             } else {
-                for &n in &new_carrier.neighbors {
+                for &n in &neighbors {
                     let nb = snapshot.carrier(n);
                     if pc.key_for_carrier(&nb.attrs) == key {
                         table.add(snapshot.config.value(p, n));
                     }
                 }
             }
-            let obs = model.recorder();
             obs.inc("cf.coldstart.total");
             let rec = if let Some((value, support, voters)) =
                 table.majority_with_support_excluding(None, model.config.support)
@@ -100,12 +108,23 @@ pub fn recommend_singular(
 
 /// Recommends every **pair-wise** parameter for the relation between a new
 /// carrier and one planned neighbor.
+///
+/// An out-of-range `neighbor` (a planning-tool reference the snapshot has
+/// never heard of) yields no recommendations — there is no relation to
+/// configure — and bumps the `cf.coldstart.unknown_neighbor` counter
+/// instead of panicking.
 pub fn recommend_pairwise(
     snapshot: &NetworkSnapshot,
     model: &CfModel,
     new_carrier: &NewCarrier,
     neighbor: CarrierId,
 ) -> Vec<ConfigRecommendation> {
+    let obs = model.recorder();
+    if neighbor.index() >= snapshot.n_carriers() {
+        obs.inc("cf.coldstart.unknown_neighbor");
+        return Vec::new();
+    }
+    let neighbors = known_neighbors(snapshot, model, &new_carrier.neighbors);
     let dst = &snapshot.carrier(neighbor).attrs;
     snapshot
         .catalog
@@ -122,7 +141,12 @@ pub fn recommend_pairwise(
             // stores each undirected edge as two directed pairs, so the
             // reverse pair (m, n) is enumerated when the scan reaches
             // source `m` (`validate()` enforces this symmetry, and
-            // `pairwise_scan_covers_both_directions` below pins it).
+            // `pairwise_scan_covers_both_directions` below pins it). A
+            // graph that nonetheless arrives asymmetric — deserialized
+            // from a foreign inventory export, say — must not poison the
+            // vote with unpaired directions: those pairs are skipped and
+            // counted (`cf.coldstart.asymmetric_pair`) rather than trusted
+            // or panicked over.
             // Pairs *into* a planned neighbor from a non-planned carrier
             // are deliberately out of scope — their source is not part of
             // the new carrier's planned neighborhood, mirroring
@@ -131,17 +155,19 @@ pub fn recommend_pairwise(
             if pc.codec().fits_u64() {
                 let packed = pc.packed_for_pair(&new_carrier.attrs, dst);
                 let col = pc.pair_keys();
-                for &n in &new_carrier.neighbors {
+                for &n in &neighbors {
                     for q in snapshot.x2.pairs_from(n) {
+                        let (a, b) = snapshot.x2.pair(q);
+                        if snapshot.x2.pair_idx(b, a).is_none() {
+                            obs.inc("cf.coldstart.asymmetric_pair");
+                            continue;
+                        }
                         let qkey = match col {
-                            Some(col) => col[q as usize],
-                            None => {
-                                let (a, b) = snapshot.x2.pair(q);
-                                pc.packed_for_pair(
-                                    &snapshot.carrier(a).attrs,
-                                    &snapshot.carrier(b).attrs,
-                                )
-                            }
+                            Some(col) if (q as usize) < col.len() => col[q as usize],
+                            _ => pc.packed_for_pair(
+                                &snapshot.carrier(a).attrs,
+                                &snapshot.carrier(b).attrs,
+                            ),
                         };
                         if qkey == packed {
                             table.add(snapshot.config.pair_value(p, q));
@@ -149,9 +175,13 @@ pub fn recommend_pairwise(
                     }
                 }
             } else {
-                for &n in &new_carrier.neighbors {
+                for &n in &neighbors {
                     for q in snapshot.x2.pairs_from(n) {
                         let (a, b) = snapshot.x2.pair(q);
+                        if snapshot.x2.pair_idx(b, a).is_none() {
+                            obs.inc("cf.coldstart.asymmetric_pair");
+                            continue;
+                        }
                         let qkey =
                             pc.key_for_pair(&snapshot.carrier(a).attrs, &snapshot.carrier(b).attrs);
                         if qkey == key {
@@ -160,7 +190,6 @@ pub fn recommend_pairwise(
                     }
                 }
             }
-            let obs = model.recorder();
             obs.inc("cf.coldstart.total");
             let rec = if let Some((value, support, voters)) =
                 table.majority_with_support_excluding(None, model.config.support)
@@ -177,6 +206,29 @@ pub fn recommend_pairwise(
                 model.recommend_global(p, &key, None)
             };
             explain(snapshot, model, p, &new_carrier.attrs, Some(dst), rec)
+        })
+        .collect()
+}
+
+/// Planned neighbors restricted to carriers the snapshot knows. Each
+/// dropped reference bumps `cf.coldstart.unknown_neighbor` — a planning
+/// tool handing over stale carrier ids loses those voters, not the whole
+/// recommendation.
+fn known_neighbors(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    planned: &[CarrierId],
+) -> Vec<CarrierId> {
+    let obs = model.recorder();
+    planned
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let known = n.index() < snapshot.n_carriers();
+            if !known {
+                obs.inc("cf.coldstart.unknown_neighbor");
+            }
+            known
         })
         .collect()
 }
@@ -365,6 +417,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unknown_planned_neighbor_is_dropped_not_fatal() {
+        // Regression: a planning tool handing over a carrier id the
+        // snapshot has never heard of used to index the key column out of
+        // bounds. The stale reference must lose its vote, not kill the
+        // recommendation.
+        let (snap, mut model) = setup();
+        model.set_recorder(auric_obs::Recorder::deterministic());
+        let mut nc = clone_of(&snap, CarrierId(0));
+        nc.neighbors.push(CarrierId(u32::MAX));
+        let recs = recommend_singular(&snap, &model, &nc);
+        assert_eq!(recs.len(), 39);
+        assert!(model.recorder().counter("cf.coldstart.unknown_neighbor") >= 1);
+
+        // A pair-wise recommendation *against* an unknown neighbor has no
+        // relation to configure: empty, counted, no panic.
+        let recs = recommend_pairwise(&snap, &model, &nc, CarrierId(u32::MAX));
+        assert!(recs.is_empty());
+        assert!(model.recorder().counter("cf.coldstart.unknown_neighbor") >= 2);
+    }
+
+    #[test]
+    fn asymmetric_pair_storage_is_skipped_not_fatal() {
+        // Regression: the pairwise scan trusted the undirected-edge
+        // invariant (every directed pair has its reverse). A graph
+        // deserialized from a foreign inventory export can violate it;
+        // unpaired directions must be skipped and counted, not voted on
+        // or panicked over. `from_edges` cannot build such a graph, so
+        // arrive the way the hostile data would: through serde.
+        let (mut snap, mut model) = setup();
+        model.set_recorder(auric_obs::Recorder::deterministic());
+        let n = snap.n_carriers();
+        // Carrier 0 lists 1 as a neighbor; 1 does not list 0 back.
+        let mut offsets = vec![1u32; n + 1];
+        offsets[0] = 0;
+        let json = format!(
+            "{{\"offsets\":{},\"adj\":[1]}}",
+            serde_json::to_string(&offsets).unwrap()
+        );
+        let g: auric_model::X2Graph = serde_json::from_str(&json).unwrap();
+        assert!(g.validate().is_err(), "graph must really be asymmetric");
+        snap.x2 = g;
+        let nc = NewCarrier {
+            attrs: snap.carrier(CarrierId(2)).attrs.clone(),
+            neighbors: vec![CarrierId(0)],
+        };
+        let recs = recommend_pairwise(&snap, &model, &nc, CarrierId(0));
+        assert_eq!(recs.len(), 26, "still a full recommendation set");
+        assert!(model.recorder().counter("cf.coldstart.asymmetric_pair") >= 1);
+        // The unpaired direction contributed no voters: nothing local.
+        assert!(recs.iter().all(|r| r.basis != Basis::LocalVote));
     }
 
     #[test]

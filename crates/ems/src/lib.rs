@@ -20,6 +20,14 @@
 //! - [`retry`] — bounded retries with exponential backoff on a simulated
 //!   clock, batch splitting under the execution limit, and the
 //!   transactional per-launch [`LaunchJournal`];
+//! - [`postcheck`] — the §4.3.3/§6 post-launch monitoring hook: a
+//!   [`PostCheck`] trait SmartLaunch consults after every successful
+//!   push. The default replays the plan's injected flag (paper-faithful
+//!   Table 5); `auric_kpi::KpiPostCheck` measures real simulated KPIs;
+//! - [`quarantine`] — the repeat-offender ledger: rolled-back changes
+//!   file offenses against their `(parameter, value)` pair, quarantined
+//!   pairs are suppressed from later campaign rounds, and entries expire
+//!   after a configurable number of rounds (the appeal);
 //! - [`smartlaunch`] — the launch pipeline: pre-checks → Auric
 //!   recommendation → diff against the vendor's initial configuration →
 //!   push mismatches while still locked → unlock → post-check monitoring,
@@ -31,6 +39,8 @@
 pub mod ems;
 pub mod fault;
 pub mod mo;
+pub mod postcheck;
+pub mod quarantine;
 pub mod retry;
 pub mod smartlaunch;
 
@@ -39,6 +49,8 @@ pub use fault::{
     FaultCounts, FaultInjector, FaultPlan, FaultRates, InvariantChecker, InvariantViolation,
 };
 pub use mo::{ConfigChange, ConfigFile, InstanceDb, VendorTemplate};
+pub use postcheck::{InjectedPostCheck, PostCheck, PostCheckContext, PostCheckVerdict};
+pub use quarantine::{Quarantine, QuarantineEntry, QuarantinePolicy};
 pub use retry::{LaunchJournal, RetryPolicy, SimClock};
 pub use smartlaunch::{
     sample_campaign, sample_campaign_with_post_checks, CampaignReport, FalloutCause, LaunchOutcome,

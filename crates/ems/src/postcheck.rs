@@ -1,0 +1,157 @@
+//! Post-launch KPI verdicts — the §4.3.3/§6 feedback hook.
+//!
+//! After SmartLaunch pushes a launch's changes, the engineers "carefully
+//! monitor ... the service performance impact of the change" and roll
+//! back on degradation. This module is that monitoring step as a trait:
+//! [`SmartLaunch`](crate::smartlaunch::SmartLaunch) consults its
+//! [`PostCheck`] once the push lands and, on a
+//! [`PostCheckVerdict::Degraded`] verdict, replays the launch journal to
+//! restore the vendor configuration and files the offending changes with
+//! the [`Quarantine`](crate::quarantine::Quarantine) ledger.
+//!
+//! Two implementations exist:
+//!
+//! - [`InjectedPostCheck`] (the default, `<dyn PostCheck>::none()`) has
+//!   no KPI opinion of its own — it replays the plan's injected
+//!   `post_check_failed` flag, preserving the paper-faithful Table 5
+//!   accounting bit for bit.
+//! - `KpiPostCheck` (in `auric-kpi`, which depends on this crate) runs
+//!   the deterministic traffic/handover simulator before and after the
+//!   change set and compares neighborhood mean health against a
+//!   degradation threshold — the production §6 loop.
+
+use crate::mo::ConfigChange;
+use crate::smartlaunch::LaunchPlan;
+use auric_model::NetworkSnapshot;
+
+/// Everything a post-check may inspect about one pushed launch.
+pub struct PostCheckContext<'c> {
+    /// The operating network the launch happened in.
+    pub snapshot: &'c NetworkSnapshot,
+    /// The launch plan (carrier id plus injected flags).
+    pub plan: &'c LaunchPlan,
+    /// The changes that actually landed on the carrier.
+    pub changes: &'c [ConfigChange],
+    /// The vendor initial value of each entry in `changes`, same order —
+    /// the configuration a rollback would restore.
+    pub vendor_initial: &'c [ConfigChange],
+}
+
+/// The monitoring verdict for one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PostCheckVerdict {
+    /// No unexpected performance impact; the changes stay.
+    Pass,
+    /// Post-launch KPIs degraded past the tolerance: roll back (§4.3.3).
+    Degraded {
+        /// Neighborhood mean health before the change set.
+        pre_health: f64,
+        /// Neighborhood mean health after it.
+        post_health: f64,
+    },
+}
+
+impl PostCheckVerdict {
+    /// True for [`PostCheckVerdict::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::Degraded { .. })
+    }
+
+    /// Health lost by the change set, `≥ 0` (zero for a pass).
+    pub fn health_drop(&self) -> f64 {
+        match self {
+            Self::Pass => 0.0,
+            Self::Degraded {
+                pre_health,
+                post_health,
+            } => (pre_health - post_health).max(0.0),
+        }
+    }
+}
+
+/// Post-launch monitoring: judge a launch after its changes landed.
+///
+/// Implementations may carry state (e.g. a working snapshot the KPI
+/// simulator mutates), hence `&mut self`. They must stay deterministic —
+/// campaign reports and obs output are byte-reproducible across runs.
+pub trait PostCheck {
+    /// Judges one pushed launch.
+    fn evaluate(&mut self, ctx: &PostCheckContext<'_>) -> PostCheckVerdict;
+}
+
+/// The paper-faithful default: no KPI measurement, the verdict replays
+/// the plan's injected §4.3.3 `post_check_failed` flag. With this check
+/// (and a disabled quarantine) the pipeline's behavior — and Table 5 —
+/// is exactly what it was before the feedback loop existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InjectedPostCheck;
+
+impl PostCheck for InjectedPostCheck {
+    fn evaluate(&mut self, ctx: &PostCheckContext<'_>) -> PostCheckVerdict {
+        if ctx.plan.post_check_failed {
+            // An injected failure carries no measurement; report the
+            // maximal drop so the obs histogram separates injected
+            // verdicts (1000‰) from measured ones.
+            PostCheckVerdict::Degraded {
+                pre_health: 1.0,
+                post_health: 0.0,
+            }
+        } else {
+            PostCheckVerdict::Pass
+        }
+    }
+}
+
+impl dyn PostCheck {
+    /// The default post-check — injected flags only, no KPI loop.
+    pub fn none() -> Box<dyn PostCheck> {
+        Box::new(InjectedPostCheck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_model::CarrierId;
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    #[test]
+    fn injected_check_replays_the_plan_flag() {
+        let snap = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
+        let mut check = InjectedPostCheck;
+        for failed in [false, true] {
+            let plan = LaunchPlan {
+                carrier: CarrierId(0),
+                off_band_unlock: false,
+                post_check_failed: failed,
+            };
+            let ctx = PostCheckContext {
+                snapshot: &snap,
+                plan: &plan,
+                changes: &[],
+                vendor_initial: &[],
+            };
+            let verdict = check.evaluate(&ctx);
+            assert_eq!(verdict.is_degraded(), failed);
+            assert_eq!(verdict.health_drop(), if failed { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn none_is_the_injected_check() {
+        let snap = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
+        let mut check = <dyn PostCheck>::none();
+        let plan = LaunchPlan {
+            carrier: CarrierId(1),
+            off_band_unlock: false,
+            post_check_failed: true,
+        };
+        let ctx = PostCheckContext {
+            snapshot: &snap,
+            plan: &plan,
+            changes: &[],
+            vendor_initial: &[],
+        };
+        assert!(check.evaluate(&ctx).is_degraded());
+    }
+}

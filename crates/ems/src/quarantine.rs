@@ -1,0 +1,269 @@
+//! The quarantine ledger: repeat-offender suppression for the §6 loop.
+//!
+//! When a launch's post-check degrades, rolling back fixes *that*
+//! carrier — but the model that produced the recommendation is still
+//! standing, and the next campaign round will recommend the same bad
+//! value again (it was learned from the data, not drawn at random). The
+//! ledger closes that half of the loop: every rolled-back change files an
+//! offense against its `(parameter, recommended value)` pair, and once a
+//! pair accumulates enough strikes it is quarantined — SmartLaunch
+//! suppresses it from future recommendations instead of re-pushing and
+//! re-rolling-back.
+//!
+//! Quarantine is not a life sentence. Each entry records the campaign
+//! round it was quarantined in and is released after
+//! [`QuarantinePolicy::expiry_rounds`] further rounds (the appeal): a
+//! value banned by one noisy round gets retried later, and re-offends
+//! from a clean slate. The default policy is
+//! [`QuarantinePolicy::disabled`], which never records or suppresses —
+//! the paper-faithful pipeline and Table 5 are untouched.
+
+use auric_core::Basis;
+use auric_model::{ParamId, ValueIdx};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Strike and expiry knobs for the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinePolicy {
+    /// Master switch; disabled ledgers record and suppress nothing.
+    pub enabled: bool,
+    /// Offenses (rolled-back launches carrying the pair) before the pair
+    /// is quarantined.
+    pub strikes: u32,
+    /// Campaign rounds a quarantined pair sits out before release.
+    pub expiry_rounds: u64,
+}
+
+impl QuarantinePolicy {
+    /// No recording, no suppression — the default.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            strikes: u32::MAX,
+            expiry_rounds: 0,
+        }
+    }
+
+    /// Two strikes, three-round quarantine: tight enough to stop a bad
+    /// rule within one campaign round, loose enough that a single noisy
+    /// verdict never suppresses anything.
+    pub fn standard() -> Self {
+        Self {
+            enabled: true,
+            strikes: 2,
+            expiry_rounds: 3,
+        }
+    }
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// One `(parameter, value)` pair's standing in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    pub param: ParamId,
+    pub value: ValueIdx,
+    /// Basis of the most recent offending recommendation — the §5
+    /// interpretability story extends to suppression: engineers see
+    /// *why* the bad value kept being recommended.
+    pub basis: Basis,
+    /// Offenses recorded so far.
+    pub strikes: u32,
+    /// Round the pair crossed the strike threshold; `None` while it is
+    /// still accumulating strikes below the threshold.
+    pub quarantined_at: Option<u64>,
+}
+
+/// The ledger itself. Owned by a
+/// [`SmartLaunch`](crate::smartlaunch::SmartLaunch) pipeline;
+/// `begin_round` is called once per campaign.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    policy: QuarantinePolicy,
+    /// Campaign-round clock; advanced by [`Self::begin_round`].
+    round: u64,
+    entries: HashMap<(ParamId, ValueIdx), QuarantineEntry>,
+}
+
+impl Quarantine {
+    /// A ledger under an explicit policy.
+    pub fn new(policy: QuarantinePolicy) -> Self {
+        Self {
+            policy,
+            round: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The inert default ledger.
+    pub fn disabled() -> Self {
+        Self::new(QuarantinePolicy::disabled())
+    }
+
+    pub fn policy(&self) -> QuarantinePolicy {
+        self.policy
+    }
+
+    /// Current campaign round (0 before the first `begin_round`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Advances the round clock and releases entries whose quarantine has
+    /// expired — the appeal. A pair quarantined in round `r` is
+    /// suppressed through round `r + expiry_rounds` and released (strikes
+    /// and all) at the start of the round after. Returns how many entries
+    /// were released.
+    pub fn begin_round(&mut self) -> usize {
+        self.round += 1;
+        let round = self.round;
+        let expiry = self.policy.expiry_rounds;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| match e.quarantined_at {
+            Some(at) => round <= at + expiry,
+            None => true,
+        });
+        before - self.entries.len()
+    }
+
+    /// Files one offense against `(param, value)` (a rolled-back launch
+    /// carried this recommended change). Returns `true` iff this offense
+    /// crossed the strike threshold and newly quarantined the pair.
+    /// A disabled ledger records nothing.
+    pub fn record_offense(&mut self, param: ParamId, value: ValueIdx, basis: Basis) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let round = self.round;
+        let entry = self
+            .entries
+            .entry((param, value))
+            .or_insert(QuarantineEntry {
+                param,
+                value,
+                basis,
+                strikes: 0,
+                quarantined_at: None,
+            });
+        entry.strikes += 1;
+        entry.basis = basis;
+        if entry.quarantined_at.is_none() && entry.strikes >= self.policy.strikes {
+            entry.quarantined_at = Some(round);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `(param, value)` is currently suppressed.
+    pub fn is_quarantined(&self, param: ParamId, value: ValueIdx) -> bool {
+        self.policy.enabled
+            && self
+                .entries
+                .get(&(param, value))
+                .is_some_and(|e| e.quarantined_at.is_some())
+    }
+
+    /// Number of pairs with at least one strike on file.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, sorted by `(param, value)` for deterministic
+    /// reporting (the backing map iterates in arbitrary order).
+    pub fn entries(&self) -> Vec<QuarantineEntry> {
+        let mut v: Vec<QuarantineEntry> = self.entries.values().copied().collect();
+        v.sort_by_key(|e| (e.param, e.value));
+        v
+    }
+}
+
+impl Default for Quarantine {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ParamId = ParamId(3);
+
+    #[test]
+    fn disabled_ledger_is_inert() {
+        let mut q = Quarantine::disabled();
+        q.begin_round();
+        assert!(!q.record_offense(P, 1, Basis::LocalVote));
+        assert!(!q.record_offense(P, 1, Basis::LocalVote));
+        assert!(!q.is_quarantined(P, 1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn strikes_accumulate_to_quarantine() {
+        let mut q = Quarantine::new(QuarantinePolicy::standard());
+        q.begin_round();
+        assert!(!q.record_offense(P, 4, Basis::LocalVote));
+        assert!(!q.is_quarantined(P, 4), "one strike is not enough");
+        assert!(q.record_offense(P, 4, Basis::LocalVote));
+        assert!(q.is_quarantined(P, 4));
+        // Further offenses don't re-report "newly quarantined".
+        assert!(!q.record_offense(P, 4, Basis::LocalVote));
+        // Other values of the same parameter are untouched.
+        assert!(!q.is_quarantined(P, 5));
+        assert_eq!(q.entries().len(), 1);
+        assert_eq!(q.entries()[0].strikes, 3);
+    }
+
+    #[test]
+    fn quarantine_expires_after_the_policy_rounds() {
+        let mut q = Quarantine::new(QuarantinePolicy {
+            enabled: true,
+            strikes: 1,
+            expiry_rounds: 2,
+        });
+        q.begin_round(); // round 1
+        assert!(q.record_offense(P, 7, Basis::GlobalVote));
+        assert!(q.is_quarantined(P, 7));
+        assert_eq!(q.begin_round(), 0); // round 2: still suppressed
+        assert!(q.is_quarantined(P, 7));
+        assert_eq!(q.begin_round(), 0); // round 3: last suppressed round
+        assert!(q.is_quarantined(P, 7));
+        assert_eq!(q.begin_round(), 1, "round 4 releases the entry");
+        assert!(!q.is_quarantined(P, 7));
+        // The appeal is a clean slate: the released pair is gone from the
+        // ledger and a re-offense counts as *newly* crossing the (1-strike)
+        // threshold, not as a continuation of the old record.
+        assert!(q.is_empty());
+        assert!(q.record_offense(P, 7, Basis::GlobalVote));
+        assert_eq!(q.entries()[0].strikes, 1);
+    }
+
+    #[test]
+    fn entries_are_sorted_for_reporting() {
+        let mut q = Quarantine::new(QuarantinePolicy {
+            enabled: true,
+            strikes: 1,
+            expiry_rounds: 9,
+        });
+        q.begin_round();
+        q.record_offense(ParamId(9), 2, Basis::Default);
+        q.record_offense(ParamId(1), 8, Basis::LocalVote);
+        q.record_offense(ParamId(1), 3, Basis::LocalVote);
+        let e = q.entries();
+        assert_eq!(
+            e.iter().map(|x| (x.param, x.value)).collect::<Vec<_>>(),
+            vec![(ParamId(1), 3), (ParamId(1), 8), (ParamId(9), 2)]
+        );
+    }
+}

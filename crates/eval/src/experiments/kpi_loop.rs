@@ -1,0 +1,330 @@
+//! `kpi_loop` — the closed §6 feedback loop, end to end (ours).
+//!
+//! The scenario Table 5's injected post-check flags cannot express: a bad
+//! engineering practice that the model *learned from the data*. We sweep
+//! a hostile `qRxLevMin` (the coverage gate at its maximum, -44 dBm)
+//! across one market's standing carriers and fit Auric on that poisoned
+//! network. Local voting now faithfully recommends the hostile value for
+//! every launch in the market — the data said so — and a pipeline without
+//! KPI feedback implements it, re-creating the coverage holes on every
+//! launched carrier.
+//!
+//! With the loop closed, the same campaign self-corrects:
+//!
+//! 1. [`KpiPostCheck`] simulates traffic before and after each change set
+//!    and flags the degradation;
+//! 2. SmartLaunch rolls the launch back to the vendor configuration
+//!    (PR-2's transactional journal);
+//! 3. the rolled-back `(parameter, value)` pairs accumulate strikes in
+//!    the [`Quarantine`] ledger and, once quarantined, are suppressed
+//!    from later launches without ever being pushed;
+//! 4. after the expiry rounds the pair is released (the appeal),
+//!    re-offends, and is re-quarantined — visible as a rollback resurgence
+//!    in the round table.
+//!
+//! Deterministic throughout: seeded generation, seeded traffic, seeded
+//! campaign; with `--obs` the metrics report is byte-identical across
+//! runs (CI diffs two of them).
+
+use crate::experiments::network;
+use crate::render::TextTable;
+use crate::{ExpOutput, RunOptions};
+use auric_core::{CfConfig, CfModel, FitOptions, Scope};
+use auric_ems::{
+    EmsSettings, LaunchOutcome, LaunchPlan, LaunchRecord, Quarantine, QuarantinePolicy,
+    SmartLaunch, VendorConfigSource,
+};
+use auric_kpi::{simulate, KpiPostCheck, TrafficModel};
+use auric_model::{CarrierId, NetworkSnapshot, ParamId, Provenance, ValueIdx};
+use auric_netgen::NetScale;
+use serde_json::json;
+
+/// Campaign rounds to run; with `EXPIRY_ROUNDS = 2` the quarantined pair
+/// is released at the start of round 4 and re-offends there.
+const ROUNDS: u64 = 4;
+const STRIKES: u32 = 2;
+const EXPIRY_ROUNDS: u64 = 2;
+/// Neighborhood mean-health drop a launch may cost before rollback.
+const DEGRADATION_THRESHOLD: f64 = 0.05;
+
+/// Vendor integrators configure launching carriers straight from the
+/// catalog defaults — the clean slate the rollback restores.
+struct DefaultVendor<'a> {
+    snapshot: &'a NetworkSnapshot,
+}
+
+impl VendorConfigSource for DefaultVendor<'_> {
+    fn initial_value(&self, _carrier: CarrierId, param: ParamId) -> ValueIdx {
+        self.snapshot.catalog.def(param).default
+    }
+}
+
+/// The network as the campaign left it: every launched carrier starts
+/// from the vendor (catalog-default) configuration, and only launches
+/// whose changes were *implemented and kept* retain them — rollbacks and
+/// suppressions leave the vendor values standing.
+fn operated(snap: &NetworkSnapshot, trace: &[LaunchRecord]) -> NetworkSnapshot {
+    let mut out = snap.clone();
+    for rec in trace {
+        for p in out.catalog.singular_ids() {
+            let d = out.catalog.def(p).default;
+            out.config.set_value(p, rec.carrier, d, Provenance::Noise);
+        }
+        if let LaunchOutcome::ChangesImplemented { .. } = rec.outcome {
+            for c in &rec.changes {
+                out.config
+                    .set_value(c.param, rec.carrier, c.value, Provenance::Noise);
+            }
+        }
+    }
+    out
+}
+
+/// Mean simulated health over `carriers`.
+fn mean_health(snap: &NetworkSnapshot, traffic: &TrafficModel, carriers: &[CarrierId]) -> f64 {
+    let report = simulate(snap, traffic).expect("generated catalog has the simulator parameters");
+    let sum: f64 = carriers
+        .iter()
+        .map(|&c| report.kpi(c).map_or(1.0, |k| k.health()))
+        .sum();
+    sum / carriers.len().max(1) as f64
+}
+
+/// One campaign round's accounting.
+struct RoundStats {
+    implemented: usize,
+    rollbacks: usize,
+    suppressed: usize,
+    quarantined_pairs: usize,
+    health: f64,
+}
+
+/// The closed-loop campaign (§6): poisoned market, KPI post-check,
+/// auto-rollback, quarantine with expiry.
+pub fn kpi_loop(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::tiny());
+    let mut snap = net.snapshot;
+
+    // The victims: one whole market's standing carriers.
+    let market = snap.markets[0].id;
+    let victims: Vec<CarrierId> = snap.carriers_in_market(market).to_vec();
+
+    // The poison: a bad engineering rule swept the coverage gate to its
+    // maximum across the market. The model will be fit on this.
+    let q = snap
+        .catalog
+        .by_name("qRxLevMin")
+        .expect("generated catalog has qRxLevMin");
+    let hostile = (snap.catalog.def(q).range.n_values() - 1) as ValueIdx;
+    for &c in &victims {
+        snap.config.set_value(q, c, hostile, Provenance::Noise);
+    }
+
+    let fit_span = opts.obs.span("exp.kpi_loop/fit");
+    let scope = Scope::whole(&snap);
+    let model = CfModel::fit_with(
+        &snap,
+        &scope,
+        CfConfig::default(),
+        FitOptions {
+            obs: opts.obs.clone(),
+            threads: None,
+        },
+    );
+    fit_span.close();
+
+    let vendor = DefaultVendor { snapshot: &snap };
+    let plans: Vec<LaunchPlan> = victims
+        .iter()
+        .map(|&c| LaunchPlan {
+            carrier: c,
+            off_band_unlock: false,
+            post_check_failed: false,
+        })
+        .collect();
+    let traffic = TrafficModel::default();
+
+    // Reference points: the poisoned network as-is, the recovery target
+    // (every victim relaunched on vendor defaults), and the open-loop arm
+    // (the same campaign with no KPI feedback — every learned change
+    // lands, hostile ones included).
+    let poisoned_health = mean_health(&snap, &traffic, &victims);
+    let all_defaults: Vec<LaunchRecord> = victims
+        .iter()
+        .map(|&c| LaunchRecord {
+            carrier: c,
+            changes: Vec::new(),
+            vendor_initial: Vec::new(),
+            outcome: LaunchOutcome::NoChangesNeeded,
+        })
+        .collect();
+    let vendor_health = mean_health(&operated(&snap, &all_defaults), &traffic, &victims);
+    let mut open_loop = SmartLaunch::new(
+        &snap,
+        &model,
+        EmsSettings {
+            max_executions_per_push: 9,
+        },
+    );
+    open_loop.run_campaign(&plans, &vendor);
+    let open_loop_health = mean_health(&operated(&snap, &open_loop.trace), &traffic, &victims);
+
+    // The closed loop: KPI post-check + quarantine, multiple rounds.
+    let mut pipeline = SmartLaunch::new(
+        &snap,
+        &model,
+        EmsSettings {
+            max_executions_per_push: 9,
+        },
+    )
+    .with_obs(opts.obs.clone())
+    .with_post_check(Box::new(KpiPostCheck::new(
+        &snap,
+        traffic,
+        DEGRADATION_THRESHOLD,
+    )))
+    .with_quarantine(Quarantine::new(QuarantinePolicy {
+        enabled: true,
+        strikes: STRIKES,
+        expiry_rounds: EXPIRY_ROUNDS,
+    }));
+
+    let span = opts.obs.span("exp.kpi_loop/campaign");
+    let mut rounds: Vec<RoundStats> = Vec::new();
+    let mut trace_start = 0usize;
+    let mut suppressed_before = 0usize;
+    for _ in 0..ROUNDS {
+        let report = pipeline.run_campaign(&plans, &vendor);
+        let trace = &pipeline.trace[trace_start..];
+        trace_start = pipeline.trace.len();
+        let health = mean_health(&operated(&snap, trace), &traffic, &victims);
+        rounds.push(RoundStats {
+            implemented: report.changes_implemented - report.rollbacks,
+            rollbacks: report.rollbacks,
+            suppressed: pipeline.suppressed_total - suppressed_before,
+            quarantined_pairs: pipeline
+                .quarantine
+                .entries()
+                .iter()
+                .filter(|e| e.quarantined_at.is_some())
+                .count(),
+            health,
+        });
+        suppressed_before = pipeline.suppressed_total;
+    }
+    span.close();
+
+    let mut table = TextTable::new(vec![
+        "Round",
+        "implemented",
+        "rolled back",
+        "suppressed",
+        "quarantined pairs",
+        "mean health",
+    ]);
+    for (i, r) in rounds.iter().enumerate() {
+        table.row(vec![
+            (i + 1).to_string(),
+            r.implemented.to_string(),
+            r.rollbacks.to_string(),
+            r.suppressed.to_string(),
+            r.quarantined_pairs.to_string(),
+            format!("{:.3}", r.health),
+        ]);
+    }
+    let text = format!(
+        "KPI feedback loop — poisoned market, auto-rollback and quarantine (§6)\n\
+         market 0: {} carriers, qRxLevMin swept to -44 dBm before fitting\n\n\
+         mean health  poisoned network:        {:.3}\n\
+         mean health  open loop (no feedback): {:.3}\n\
+         mean health  vendor defaults (target): {:.3}\n\n{}",
+        victims.len(),
+        poisoned_health,
+        open_loop_health,
+        vendor_health,
+        table.render()
+    );
+
+    ExpOutput {
+        id: "kpi_loop".into(),
+        title: "KPI feedback loop — auto-rollback + quarantine campaign".into(),
+        text,
+        json: json!({
+            "market_carriers": victims.len(),
+            "poisoned_health": poisoned_health,
+            "open_loop_health": open_loop_health,
+            "vendor_health": vendor_health,
+            "threshold": DEGRADATION_THRESHOLD,
+            "strikes": STRIKES,
+            "expiry_rounds": EXPIRY_ROUNDS,
+            "suppressed_total": pipeline.suppressed_total,
+            "rounds": rounds.iter().enumerate().map(|(i, r)| json!({
+                "round": i + 1,
+                "implemented": r.implemented,
+                "rollbacks": r.rollbacks,
+                "suppressed": r.suppressed,
+                "quarantined_pairs": r.quarantined_pairs,
+                "mean_health": r.health,
+            })).collect::<Vec<_>>(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_netgen::TuningKnobs;
+
+    #[test]
+    fn closed_loop_recovers_where_open_loop_degrades() {
+        let opts = RunOptions {
+            scale: Some(NetScale::tiny()),
+            knobs: TuningKnobs::default(),
+            seed: 7,
+            ..Default::default()
+        };
+        let out = kpi_loop(&opts);
+        let poisoned = out.json["poisoned_health"].as_f64().unwrap();
+        let open_loop = out.json["open_loop_health"].as_f64().unwrap();
+        let vendor = out.json["vendor_health"].as_f64().unwrap();
+        let rounds = out.json["rounds"].as_array().unwrap();
+        assert_eq!(rounds.len(), ROUNDS as usize);
+
+        // The poison is real: the open-loop campaign re-implements the
+        // learned hostile value and lands well below the vendor target.
+        assert!(
+            open_loop < vendor - 0.02,
+            "open loop {open_loop} vs vendor {vendor}"
+        );
+        assert!(poisoned < vendor - 0.02);
+
+        // Round 1: the KPI post-check catches the degradation and rolls
+        // back; the strike threshold then quarantines the pair, so later
+        // launches in the round are suppressed without a push.
+        let r1 = &rounds[0];
+        assert!(r1["rollbacks"].as_u64().unwrap() > 0, "no rollback: {r1:?}");
+        assert!(r1["quarantined_pairs"].as_u64().unwrap() > 0);
+        assert!(r1["suppressed"].as_u64().unwrap() > 0);
+
+        // Round 2 runs under quarantine: suppression instead of rollback.
+        let r2 = &rounds[1];
+        assert_eq!(r2["rollbacks"].as_u64().unwrap(), 0, "round 2: {r2:?}");
+        assert!(r2["suppressed"].as_u64().unwrap() > 0);
+
+        // The appeal: round 4 begins after the expiry, releases the pair,
+        // and the re-offense is caught (and re-quarantined) all over.
+        let r4 = &rounds[3];
+        assert!(
+            r4["rollbacks"].as_u64().unwrap() > 0,
+            "released pair must re-offend: {r4:?}"
+        );
+
+        // Every closed-loop round ends healthier than the open loop, and
+        // near the vendor target — the recovery the loop exists for.
+        for r in rounds {
+            let h = r["mean_health"].as_f64().unwrap();
+            assert!(h > open_loop + 0.02, "round health {h} vs open loop");
+            assert!(h > vendor - 0.05, "round health {h} vs vendor {vendor}");
+        }
+    }
+}

@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod dataset;
 pub mod global_learners;
+pub mod kpi_loop;
 pub mod local_learner;
 pub mod mismatch_labels;
 pub mod operations;

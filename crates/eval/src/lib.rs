@@ -24,6 +24,7 @@
 //! | `fig12`         | Fig. 12 — mismatch labeling shares               |
 //! | `table5`        | Table 5 — SmartLaunch campaign                   |
 //! | `ops-chaos`     | fault-rate × retry-policy resilience sweep (ours)|
+//! | `kpi_loop`      | §6 closed loop — KPI rollback + quarantine (ours)|
 //! | `ablation-vote` | voting-threshold sweep (ours)                    |
 //! | `ablation-alpha`| significance-level sweep (ours)                  |
 //! | `ablation-hops` | locality-radius sweep (ours)                     |
@@ -74,7 +75,7 @@ pub struct ExpOutput {
 }
 
 /// The registry of experiment names, in presentation order.
-pub const EXPERIMENTS: [&str; 15] = [
+pub const EXPERIMENTS: [&str; 16] = [
     "table3",
     "fig2",
     "fig3",
@@ -86,6 +87,7 @@ pub const EXPERIMENTS: [&str; 15] = [
     "fig12",
     "table5",
     "ops-chaos",
+    "kpi_loop",
     "ablation-vote",
     "ablation-alpha",
     "ablation-hops",
@@ -116,6 +118,7 @@ fn dispatch(name: &str, opts: &RunOptions) -> Result<ExpOutput, String> {
         "fig12" => Ok(experiments::mismatch_labels::fig12(opts)),
         "table5" => Ok(experiments::operations::table5(opts)),
         "ops-chaos" => Ok(experiments::chaos::ops_chaos(opts)),
+        "kpi_loop" => Ok(experiments::kpi_loop::kpi_loop(opts)),
         "ablation-vote" => Ok(experiments::ablation::vote_threshold(opts)),
         "ablation-alpha" => Ok(experiments::ablation::alpha_sweep(opts)),
         "ablation-hops" => Ok(experiments::ablation::hops_sweep(opts)),

@@ -4,7 +4,8 @@
 //!
 //! A fast subset covers the instrumented layers — `table5` (CF fit plus
 //! the SmartLaunch/EMS campaign), `ops-chaos` (fault injection and
-//! retries), `global-vs-local` (per-market fits). The full 15-experiment
+//! retries), `global-vs-local` (per-market fits), `kpi_loop` (the KPI
+//! post-check, rollback and quarantine counters). The full 16-experiment
 //! sweep is exercised by `auric-eval all --obs` (see EXPERIMENTS.md);
 //! running it twice here would dominate the test suite.
 
@@ -25,7 +26,7 @@ fn obs_report(name: &str) -> String {
 
 #[test]
 fn obs_reports_are_byte_identical_across_runs() {
-    for name in ["table5", "ops-chaos", "global-vs-local"] {
+    for name in ["table5", "ops-chaos", "global-vs-local", "kpi_loop"] {
         let a = obs_report(name);
         let b = obs_report(name);
         assert_eq!(a, b, "{name}: obs reports differ between identical runs");
@@ -41,6 +42,21 @@ fn obs_reports_are_byte_identical_across_runs() {
             a.contains("\"cf.fit.params\""),
             "{name}: missing CF fit counters in {a}"
         );
+
+        // The feedback-loop experiment must surface its verdict,
+        // rollback and quarantine counters.
+        if name == "kpi_loop" {
+            for counter in [
+                "\"ems.postcheck.degraded\"",
+                "\"ems.postcheck.pass\"",
+                "\"ems.quarantine.suppressed\"",
+                "\"ems.quarantine.added\"",
+                "\"ems.quarantine.released\"",
+                "\"ems.rollback.total\"",
+            ] {
+                assert!(a.contains(counter), "{name}: missing {counter}");
+            }
+        }
     }
 }
 

@@ -107,8 +107,8 @@ mod tests {
             zeroed.config.set_pair_value(hys, q, 0, Provenance::Noise);
         }
         let model = crate::TrafficModel::default();
-        let healthy = crate::simulate(&base, &model);
-        let sick = crate::simulate(&zeroed, &model);
+        let healthy = crate::simulate(&base, &model).unwrap();
+        let sick = crate::simulate(&zeroed, &model).unwrap();
         // Compare ping-pong *rates*: at 0 dB the outcome model bounces 80%
         // of attempts, so the sick rate is pinned near 0.8 regardless of
         // how the generated network's own hysteresis values are spread

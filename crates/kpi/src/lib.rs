@@ -30,9 +30,13 @@
 //! — so configuration quality becomes observable, exactly what the §6
 //! extension needs.
 
+pub mod error;
 pub mod handover;
+pub mod postcheck;
 pub mod report;
 pub mod traffic;
 
+pub use error::MissingParameter;
+pub use postcheck::KpiPostCheck;
 pub use report::{CarrierKpi, KpiReport};
 pub use traffic::{simulate, TrafficModel};

@@ -1,0 +1,297 @@
+//! The production post-check: judge a launch by simulating service
+//! performance before and after its change set (§4.3.3/§6).
+//!
+//! For every pushed launch the check runs the deterministic
+//! traffic/handover simulator twice on a private working copy of the
+//! network — once with the carrier on its vendor-initial configuration,
+//! once with the recommended changes applied — and compares the mean
+//! [`health`](crate::report::CarrierKpi::health) of the carrier's
+//! *neighborhood* (the carrier plus its X2 neighbors). The neighborhood
+//! matters: a carrier whose coverage gate was configured hostile sheds
+//! its traffic onto co-face and adjacent layers, so the damage shows up
+//! on the neighbors as congestion and blocking, not only on the carrier
+//! itself.
+//!
+//! Determinism: the simulator is seeded by the [`TrafficModel`], both
+//! runs use the same seed (a paired comparison), and the working copy is
+//! restored after every evaluation — each launch is judged against the
+//! same baseline network, independent of evaluation order.
+
+use crate::error::MissingParameter;
+use crate::report::KpiReport;
+use crate::traffic::{simulate, TrafficModel};
+use auric_ems::{PostCheck, PostCheckContext, PostCheckVerdict};
+use auric_model::{CarrierId, NetworkSnapshot, Provenance};
+
+/// KPI-driven post-launch monitoring for
+/// [`SmartLaunch`](auric_ems::SmartLaunch).
+pub struct KpiPostCheck {
+    /// Private working copy the simulator runs on; mutated during an
+    /// evaluation and restored before it returns.
+    work: NetworkSnapshot,
+    model: TrafficModel,
+    /// Maximum tolerated drop in neighborhood mean health before the
+    /// verdict is `Degraded`.
+    threshold: f64,
+}
+
+impl KpiPostCheck {
+    /// A check over a copy of `snapshot`, flagging degradation when the
+    /// launch costs the neighborhood more than `threshold` mean health.
+    pub fn new(snapshot: &NetworkSnapshot, model: TrafficModel, threshold: f64) -> Self {
+        Self {
+            work: snapshot.clone(),
+            model,
+            threshold,
+        }
+    }
+
+    /// Health of the launched carrier's neighborhood: the carrier itself
+    /// carries half the weight (it is the subject of the launch), its X2
+    /// neighbors share the other half. Carriers the report does not cover
+    /// are skipped; with no evidence at all the neighborhood reads as
+    /// healthy — no evidence, no verdict.
+    fn neighborhood_health(&self, report: &KpiReport, carrier: CarrierId) -> f64 {
+        let own = report.kpi(carrier).map(|k| k.health());
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &c in self.work.x2.neighbors(carrier) {
+            if let Some(k) = report.kpi(c) {
+                sum += k.health();
+                n += 1;
+            }
+        }
+        match (own, n) {
+            (Some(o), 0) => o,
+            (Some(o), n) => 0.5 * o + 0.5 * (sum / n as f64),
+            (None, 0) => 1.0,
+            (None, n) => sum / n as f64,
+        }
+    }
+
+    /// Simulates the working copy; `Err` means the catalog lacks a
+    /// simulator parameter and no verdict is possible.
+    fn run(&self) -> Result<KpiReport, MissingParameter> {
+        simulate(&self.work, &self.model)
+    }
+}
+
+impl PostCheck for KpiPostCheck {
+    fn evaluate(&mut self, ctx: &PostCheckContext<'_>) -> PostCheckVerdict {
+        let carrier = ctx.plan.carrier;
+        if carrier.index() >= self.work.n_carriers() {
+            // The working copy does not know this carrier; no evidence.
+            return PostCheckVerdict::Pass;
+        }
+        // Save the working copy's values so the evaluation leaves no
+        // residue (each launch is judged against the same baseline).
+        let saved: Vec<(auric_model::ParamId, auric_model::ValueIdx)> = ctx
+            .changes
+            .iter()
+            .map(|c| (c.param, self.work.config.value(c.param, carrier)))
+            .collect();
+        let restore = |work: &mut NetworkSnapshot| {
+            for &(p, v) in &saved {
+                work.config.set_value(p, carrier, v, Provenance::Noise);
+            }
+        };
+
+        // Pre-launch: the carrier on its vendor-initial configuration.
+        for c in ctx.vendor_initial {
+            self.work
+                .config
+                .set_value(c.param, carrier, c.value, Provenance::Noise);
+        }
+        let pre = match self.run() {
+            Ok(r) => r,
+            Err(_) => {
+                // A catalog without the simulator's parameters cannot
+                // produce KPI evidence; degrade gracefully to a pass
+                // rather than aborting the campaign.
+                restore(&mut self.work);
+                return PostCheckVerdict::Pass;
+            }
+        };
+
+        // Post-launch: the recommended changes applied.
+        for c in ctx.changes {
+            self.work
+                .config
+                .set_value(c.param, carrier, c.value, Provenance::Noise);
+        }
+        let post = match self.run() {
+            Ok(r) => r,
+            Err(_) => {
+                restore(&mut self.work);
+                return PostCheckVerdict::Pass;
+            }
+        };
+
+        let pre_health = self.neighborhood_health(&pre, carrier);
+        let post_health = self.neighborhood_health(&post, carrier);
+        restore(&mut self.work);
+
+        if pre_health - post_health > self.threshold {
+            PostCheckVerdict::Degraded {
+                pre_health,
+                post_health,
+            }
+        } else {
+            PostCheckVerdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auric_ems::{ConfigChange, LaunchPlan};
+    use auric_netgen::{generate, NetScale, TuningKnobs};
+
+    fn setup() -> NetworkSnapshot {
+        generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot
+    }
+
+    fn plan(carrier: CarrierId) -> LaunchPlan {
+        LaunchPlan {
+            carrier,
+            off_band_unlock: false,
+            post_check_failed: false,
+        }
+    }
+
+    /// A busy carrier whose coverage gate, when poisoned, visibly hurts
+    /// its neighborhood.
+    fn busy_carrier(snap: &NetworkSnapshot) -> CarrierId {
+        let report = simulate(snap, &TrafficModel::default()).unwrap();
+        report
+            .per_carrier()
+            .iter()
+            .find(|k| k.served >= 8)
+            .expect("some busy carrier exists")
+            .carrier
+    }
+
+    #[test]
+    fn hostile_coverage_gate_is_degraded_and_sane_change_passes() {
+        // The scenario the loop exists to catch: a campaign has already
+        // pushed a hostile qRxLevMin onto this face's other carriers, and
+        // the launch under judgment pushes the same value onto the last
+        // carrier still covering the face. Pre (carrier on its vendor
+        // value) the face is served; post (carrier hostile too) every
+        // session on the face hits a coverage hole.
+        let snap = setup();
+        let q = snap.catalog.by_name("qRxLevMin").unwrap();
+        let carrier = busy_carrier(&snap);
+        let vendor_default = snap.catalog.def(q).default;
+        let hostile = (snap.catalog.def(q).range.n_values() - 1) as u16;
+
+        let mut poisoned = snap.clone();
+        let face = poisoned.carrier(carrier).face;
+        let enb = poisoned.carrier(carrier).enodeb;
+        let face_carriers: Vec<CarrierId> = poisoned.enodebs[enb.index()]
+            .carriers
+            .iter()
+            .copied()
+            .filter(|&c| poisoned.carrier(c).face == face)
+            .collect();
+        for &c in &face_carriers {
+            poisoned
+                .config
+                .set_value(q, c, hostile, auric_model::Provenance::Noise);
+        }
+
+        let mut check = KpiPostCheck::new(&poisoned, TrafficModel::default(), 0.05);
+        let changes = [ConfigChange {
+            param: q,
+            value: hostile,
+        }];
+        let vendor_initial = [ConfigChange {
+            param: q,
+            value: vendor_default,
+        }];
+        let ctx = PostCheckContext {
+            snapshot: &poisoned,
+            plan: &plan(carrier),
+            changes: &changes,
+            vendor_initial: &vendor_initial,
+        };
+        let verdict = check.evaluate(&ctx);
+        assert!(
+            verdict.is_degraded(),
+            "raising qRxLevMin to -44 dBm on the last covering carrier must degrade: {verdict:?}"
+        );
+        assert!(verdict.health_drop() > 0.05, "{verdict:?}");
+
+        // Re-launching the vendor value itself (a no-op change set) passes
+        // — and proves the working copy was restored: the verdict is
+        // evaluated against the same baseline as the first call.
+        let noop = [ConfigChange {
+            param: q,
+            value: vendor_default,
+        }];
+        let ctx = PostCheckContext {
+            snapshot: &poisoned,
+            plan: &plan(carrier),
+            changes: &noop,
+            vendor_initial: &noop,
+        };
+        assert_eq!(check.evaluate(&ctx), PostCheckVerdict::Pass);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_residue_free() {
+        let snap = setup();
+        let q = snap.catalog.by_name("qRxLevMin").unwrap();
+        let carrier = busy_carrier(&snap);
+        let hostile = (snap.catalog.def(q).range.n_values() - 1) as u16;
+        let changes = [ConfigChange {
+            param: q,
+            value: hostile,
+        }];
+        let vendor_initial = [ConfigChange {
+            param: q,
+            value: snap.catalog.def(q).default,
+        }];
+        let ctx = PostCheckContext {
+            snapshot: &snap,
+            plan: &plan(carrier),
+            changes: &changes,
+            vendor_initial: &vendor_initial,
+        };
+        let mut check = KpiPostCheck::new(&snap, TrafficModel::default(), 0.05);
+        let a = check.evaluate(&ctx);
+        let b = check.evaluate(&ctx);
+        assert_eq!(a, b, "same launch, same working copy, same verdict");
+    }
+
+    #[test]
+    fn unknown_carrier_and_missing_parameters_pass_instead_of_panicking() {
+        let snap = setup();
+        let q = snap.catalog.by_name("qRxLevMin").unwrap();
+        let mut check = KpiPostCheck::new(&snap, TrafficModel::default(), 0.05);
+        // Carrier the working copy has never heard of.
+        let ctx = PostCheckContext {
+            snapshot: &snap,
+            plan: &plan(CarrierId(u32::MAX)),
+            changes: &[],
+            vendor_initial: &[],
+        };
+        assert_eq!(check.evaluate(&ctx), PostCheckVerdict::Pass);
+
+        // Catalog without the simulator's parameters: no KPI evidence,
+        // graceful pass (the MissingParameter path).
+        let mut gutted = snap.clone();
+        let mut defs = gutted.catalog.defs().to_vec();
+        defs[q.index()].name = "qRxLevMinLegacy".into();
+        gutted.catalog = auric_model::ParamCatalog::new(defs);
+        let mut check = KpiPostCheck::new(&gutted, TrafficModel::default(), 0.05);
+        let ctx = PostCheckContext {
+            snapshot: &gutted,
+            plan: &plan(CarrierId(0)),
+            changes: &[],
+            vendor_initial: &[],
+        };
+        assert_eq!(check.evaluate(&ctx), PostCheckVerdict::Pass);
+    }
+}

@@ -103,9 +103,12 @@ impl KpiReport {
         &self.per_carrier
     }
 
-    /// The KPI record of one carrier.
-    pub fn kpi(&self, c: CarrierId) -> &CarrierKpi {
-        &self.per_carrier[c.index()]
+    /// The KPI record of one carrier, or `None` if the report does not
+    /// cover it. The feedback loop queries reports for carriers a
+    /// simulation round may not have covered, so an out-of-range id is
+    /// an answerable question — not an index panic.
+    pub fn kpi(&self, c: CarrierId) -> Option<&CarrierKpi> {
+        self.per_carrier.get(c.index())
     }
 
     /// Mean health over all carriers.
@@ -206,7 +209,101 @@ mod tests {
         let report = KpiReport::new(vec![kpi(0), bad]);
         assert_eq!(report.unhealthy(0.9), vec![CarrierId(1)]);
         assert!(report.mean_health() < 1.0);
-        assert_eq!(report.kpi(CarrierId(0)).health(), 1.0);
+        assert_eq!(report.kpi(CarrierId(0)).unwrap().health(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_carrier_lookup_returns_none() {
+        // Regression: `kpi()` used to index unchecked and panic.
+        let report = KpiReport::new(vec![kpi(0), kpi(1)]);
+        assert!(report.kpi(CarrierId(1)).is_some());
+        assert!(report.kpi(CarrierId(2)).is_none());
+        assert!(report.kpi(CarrierId(u32::MAX)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_carrier_has_zero_utilization() {
+        let mut k = CarrierKpi::new(CarrierId(0), 0);
+        k.served = 5; // pathological, but must not divide by zero
+        assert_eq!(k.utilization(), 0.0);
+        assert!((0.0..=1.0).contains(&k.health()));
+    }
+
+    #[test]
+    fn zero_attempt_and_zero_served_carriers_score_neutral() {
+        // Nothing observed ⇒ nothing wrong, on every component.
+        let k = kpi(0);
+        assert_eq!(k.accessibility(), 1.0);
+        assert_eq!(k.retainability(), 1.0);
+        assert_eq!(k.mobility_quality(), 1.0);
+        // Drops with zero served sessions must not blow up either.
+        let mut weird = kpi(1);
+        weird.ho_drops = 3;
+        assert_eq!(weird.retainability(), 1.0);
+        assert!((0.0..=1.0).contains(&weird.health()));
+    }
+
+    #[test]
+    fn congestion_penalty_boundary_is_exclusive() {
+        // utilization() == 0.95 exactly: no penalty (strictly greater).
+        let mut at = kpi(0);
+        at.attempts = 95;
+        at.served = 95;
+        assert_eq!(at.utilization(), 0.95);
+        assert_eq!(at.health(), 1.0);
+        // One session over the line: the 0.1 penalty applies.
+        let mut over = kpi(0);
+        over.attempts = 96;
+        over.served = 96;
+        assert!(over.utilization() > 0.95);
+        assert!((over.health() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unhealthy_threshold_is_exclusive() {
+        // health() == threshold must NOT be on the watch list (< is
+        // strict); just below must be.
+        let healthy = kpi(0); // health 1.0
+        let mut below = kpi(1);
+        below.attempts = 100;
+        below.blocked = 10; // accessibility 0.9 → health 0.96
+        let report = KpiReport::new(vec![healthy, below]);
+        let h = below.health();
+        assert_eq!(report.unhealthy(h), Vec::<CarrierId>::new());
+        assert_eq!(report.unhealthy(h + 1e-9), vec![CarrierId(1)]);
+        assert_eq!(report.unhealthy(1.0), vec![CarrierId(1)]);
+    }
+
+    proptest::proptest! {
+        /// `health()` is a score, not a measurement: whatever garbage the
+        /// counters hold (blocked > attempts, drops > served, served >
+        /// capacity), it stays in the unit interval.
+        #[test]
+        fn health_is_always_in_unit_interval(
+            capacity in 0usize..500,
+            attempts in 0usize..1000,
+            served in 0usize..1000,
+            blocked in 0usize..2000,
+            ho_attempts in 0usize..500,
+            ho_success in 0usize..500,
+            ho_pingpong in 0usize..500,
+            ho_drops in 0usize..1000,
+        ) {
+            let k = CarrierKpi {
+                carrier: CarrierId(0),
+                capacity,
+                attempts,
+                served,
+                blocked,
+                ho_attempts,
+                ho_success,
+                ho_pingpong,
+                ho_drops,
+            };
+            let h = k.health();
+            proptest::prop_assert!((0.0..=1.0).contains(&h), "health {h} from {k:?}");
+            proptest::prop_assert!(k.utilization() >= 0.0);
+        }
     }
 
     #[test]

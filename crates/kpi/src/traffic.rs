@@ -2,6 +2,7 @@
 //! gate them by coverage, steer them to high-priority layers first, and
 //! spill over when a layer crosses its load-balancing threshold.
 
+use crate::error::MissingParameter;
 use crate::handover::run_handovers;
 use crate::report::{CarrierKpi, KpiReport};
 use auric_model::{Band, CarrierId, NetworkSnapshot, ValueIdx};
@@ -43,20 +44,24 @@ pub(crate) struct ConfigView {
 }
 
 impl ConfigView {
-    pub fn resolve(snapshot: &NetworkSnapshot) -> Self {
-        let get = |name: &str| {
+    /// Resolves the five simulator parameters by name. A catalog that
+    /// lacks one yields a typed [`MissingParameter`] error — not a panic:
+    /// the KPI feedback loop must degrade (skip the verdict), not abort
+    /// the campaign.
+    pub fn resolve(snapshot: &NetworkSnapshot) -> Result<Self, MissingParameter> {
+        let get = |name: &'static str| {
             snapshot
                 .catalog
                 .by_name(name)
-                .unwrap_or_else(|| panic!("standard catalog is missing {name}"))
+                .ok_or(MissingParameter { name })
         };
-        Self {
-            s_freq_prio: get("sFreqPrio"),
-            q_rx_lev_min: get("qRxLevMin"),
-            p_max: get("pMax"),
-            lb_threshold: get("lbCapacityThreshold"),
-            hys_a3: get("hysA3Offset"),
-        }
+        Ok(Self {
+            s_freq_prio: get("sFreqPrio")?,
+            q_rx_lev_min: get("qRxLevMin")?,
+            p_max: get("pMax")?,
+            lb_threshold: get("lbCapacityThreshold")?,
+            hys_a3: get("hysA3Offset")?,
+        })
     }
 
     fn concrete(&self, snapshot: &NetworkSnapshot, p: auric_model::ParamId, v: ValueIdx) -> f64 {
@@ -124,8 +129,15 @@ fn draw_radius_km(m: auric_model::Morphology) -> f64 {
 
 /// Runs the full simulation: traffic placement + layer management, then
 /// handovers, returning per-carrier KPIs.
-pub fn simulate(snapshot: &NetworkSnapshot, model: &TrafficModel) -> KpiReport {
-    let view = ConfigView::resolve(snapshot);
+///
+/// # Errors
+/// [`MissingParameter`] if the snapshot's catalog lacks one of the
+/// parameters the simulator reads.
+pub fn simulate(
+    snapshot: &NetworkSnapshot,
+    model: &TrafficModel,
+) -> Result<KpiReport, MissingParameter> {
+    let view = ConfigView::resolve(snapshot)?;
     let mut rng = ChaCha8Rng::seed_from_u64(model.seed ^ 0x6B70_6901);
     let mut kpis: Vec<CarrierKpi> = snapshot
         .carriers
@@ -182,6 +194,24 @@ pub fn simulate(snapshot: &NetworkSnapshot, model: &TrafficModel) -> KpiReport {
                         band(a).cmp(&band(b)).then(a.cmp(&b))
                     })
             });
+            if candidates.is_empty() {
+                // Coverage hole: no carrier on this face admits the user.
+                // Charge an attempt + block to every carrier on the face —
+                // their configuration (`qRxLevMin`/`pMax`) created the hole.
+                // Without this the session would vanish silently and a
+                // hostile coverage gate would *look* healthy (zero
+                // attempts ⇒ accessibility 1.0), blinding the §4.3.3
+                // post-check to exactly the misconfigurations it exists
+                // to catch.
+                for &cid in enb.carriers.iter() {
+                    if snapshot.carrier(cid).face == face {
+                        let k = &mut kpis[cid.index()];
+                        k.attempts += 1;
+                        k.blocked += 1;
+                    }
+                }
+                continue;
+            }
             // Every eligible carrier sees the attempt (admission counter).
             for &cid in &candidates {
                 kpis[cid.index()].attempts += 1;
@@ -226,7 +256,7 @@ pub fn simulate(snapshot: &NetworkSnapshot, model: &TrafficModel) -> KpiReport {
         &mut kpis,
         &mut rng,
     );
-    KpiReport::new(kpis)
+    Ok(KpiReport::new(kpis))
 }
 
 #[cfg(test)]
@@ -254,17 +284,17 @@ mod tests {
     fn simulation_is_deterministic() {
         let snap = snapshot();
         let model = TrafficModel::default();
-        let a = simulate(&snap, &model);
-        let b = simulate(&snap, &model);
+        let a = simulate(&snap, &model).unwrap();
+        let b = simulate(&snap, &model).unwrap();
         assert_eq!(a, b);
-        let c = simulate(&snap, &TrafficModel { seed: 8, ..model });
+        let c = simulate(&snap, &TrafficModel { seed: 8, ..model }).unwrap();
         assert_ne!(a, c, "different seeds produce different traffic");
     }
 
     #[test]
     fn default_configuration_serves_most_traffic() {
         let snap = snapshot();
-        let report = simulate(&snap, &TrafficModel::default());
+        let report = simulate(&snap, &TrafficModel::default()).unwrap();
         let served: usize = report.per_carrier().iter().map(|k| k.served).sum();
         let attempts_sessions = served
             + report
@@ -289,7 +319,7 @@ mod tests {
         // its served load collapses relative to the baseline.
         let snap = snapshot();
         let q = snap.catalog.by_name("qRxLevMin").unwrap();
-        let baseline = simulate(&snap, &TrafficModel::default());
+        let baseline = simulate(&snap, &TrafficModel::default()).unwrap();
         // Pick a victim that actually serves traffic at baseline.
         let victim = baseline
             .per_carrier()
@@ -302,7 +332,7 @@ mod tests {
         snap2
             .config
             .set_value(q, victim, max_idx, Provenance::Noise);
-        let after = simulate(&snap2, &TrafficModel::default());
+        let after = simulate(&snap2, &TrafficModel::default()).unwrap();
         let before = baseline.per_carrier()[victim.index()].served;
         let now = after.per_carrier()[victim.index()].served;
         assert!(
@@ -318,7 +348,7 @@ mod tests {
         // because every co-face carrier now beats it.
         let snap = snapshot();
         let p = snap.catalog.by_name("sFreqPrio").unwrap();
-        let baseline = simulate(&snap, &TrafficModel::default());
+        let baseline = simulate(&snap, &TrafficModel::default()).unwrap();
         // Pick a carrier on a face with at least 2 carriers.
         let victim = snap
             .carriers
@@ -337,11 +367,67 @@ mod tests {
         let mut snap2 = snap.clone();
         let worst = (snap2.catalog.def(p).range.n_values() - 1) as u16;
         snap2.config.set_value(p, victim, worst, Provenance::Noise);
-        let after = simulate(&snap2, &TrafficModel::default());
+        let after = simulate(&snap2, &TrafficModel::default()).unwrap();
         assert!(
             after.per_carrier()[victim.index()].served
                 <= baseline.per_carrier()[victim.index()].served,
             "deprioritized carrier must not gain traffic"
+        );
+    }
+
+    #[test]
+    fn missing_catalog_parameter_is_a_typed_error_not_a_panic() {
+        // Regression: `ConfigView::resolve` used to panic when the
+        // catalog lacked a simulator parameter. Rename `qRxLevMin` so
+        // `by_name` misses, and expect the typed error instead.
+        let mut snap = snapshot();
+        let q = snap.catalog.by_name("qRxLevMin").unwrap();
+        let mut defs = snap.catalog.defs().to_vec();
+        defs[q.index()].name = "qRxLevMinLegacy".into();
+        snap.catalog = auric_model::ParamCatalog::new(defs);
+        let err = simulate(&snap, &TrafficModel::default()).unwrap_err();
+        assert_eq!(err, MissingParameter { name: "qRxLevMin" });
+        assert!(err.to_string().contains("qRxLevMin"));
+    }
+
+    #[test]
+    fn coverage_holes_are_charged_to_the_face() {
+        // Poison qRxLevMin on *every* carrier of one face: no candidate
+        // passes the gate, so its sessions find nobody. Those sessions
+        // must still be charged (attempts + blocks) to the face's
+        // carriers — a silent vanish would make total starvation look
+        // perfectly healthy to the post-check.
+        let snap = snapshot();
+        let q = snap.catalog.by_name("qRxLevMin").unwrap();
+        let baseline = simulate(&snap, &TrafficModel::default()).unwrap();
+        let victim = baseline
+            .per_carrier()
+            .iter()
+            .find(|k| k.served >= 8)
+            .expect("some busy carrier exists")
+            .carrier;
+        let face = snap.carrier(victim).face;
+        let enb = snap.carrier(victim).enodeb;
+        let mut snap2 = snap.clone();
+        let max_idx = (snap2.catalog.def(q).range.n_values() - 1) as u16;
+        let face_carriers: Vec<CarrierId> = snap2.enodebs[enb.index()]
+            .carriers
+            .iter()
+            .copied()
+            .filter(|&c| snap2.carrier(c).face == face)
+            .collect();
+        for &c in &face_carriers {
+            snap2.config.set_value(q, c, max_idx, Provenance::Noise);
+        }
+        let after = simulate(&snap2, &TrafficModel::default()).unwrap();
+        let k = after.per_carrier()[victim.index()];
+        assert!(
+            k.blocked > 0 && k.attempts > 0,
+            "starved face must register the outage: {k:?}"
+        );
+        assert!(
+            k.health() < baseline.per_carrier()[victim.index()].health(),
+            "total starvation must read as degradation"
         );
     }
 
@@ -352,7 +438,7 @@ mod tests {
             sessions_per_enb: (0, 0, 0),
             ..TrafficModel::default()
         };
-        let report = simulate(&snap, &model);
+        let report = simulate(&snap, &model).unwrap();
         assert!(report.per_carrier().iter().all(|k| k.served == 0));
         assert_eq!(report.mean_health(), 1.0, "no traffic, no faults");
     }

@@ -40,10 +40,10 @@ fn main() {
     // Post-launch monitoring: run the traffic/handover simulator and
     // derive per-carrier health.
     let snapshot = &net.snapshot;
-    let report = simulate(snapshot, &TrafficModel::default());
+    let report = simulate(snapshot, &TrafficModel::default()).expect("full catalog");
     println!("network mean health: {:.3}", report.mean_health());
     for &c in &victim_enb.carriers {
-        let k = report.kpi(c);
+        let k = report.kpi(c).expect("carrier is in the report");
         println!(
             "  {c}: health {:.2} (HO attempts {}, ping-pong {}, drops {})",
             k.health(),

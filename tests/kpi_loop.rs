@@ -12,7 +12,7 @@ use auric_repro::netgen::{generate, NetScale, TuningKnobs};
 #[test]
 fn misconfiguration_is_observable_in_kpis() {
     let base = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
-    let healthy = simulate(&base, &TrafficModel::default());
+    let healthy = simulate(&base, &TrafficModel::default()).unwrap();
 
     // Sabotage handover margins network-wide.
     let mut broken = base.clone();
@@ -20,7 +20,7 @@ fn misconfiguration_is_observable_in_kpis() {
     for q in 0..broken.x2.n_pairs() as u32 {
         broken.config.set_pair_value(hys, q, 0, Provenance::Noise);
     }
-    let sick = simulate(&broken, &TrafficModel::default());
+    let sick = simulate(&broken, &TrafficModel::default()).unwrap();
 
     assert!(
         sick.mean_health() < healthy.mean_health() - 0.02,
@@ -37,7 +37,7 @@ fn misconfiguration_is_observable_in_kpis() {
 #[test]
 fn kpi_report_weights_degrade_with_health() {
     let snap = generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot;
-    let report = simulate(&snap, &TrafficModel::default());
+    let report = simulate(&snap, &TrafficModel::default()).unwrap();
     for k in report.per_carrier() {
         let w = report.weight(k.carrier);
         assert!((0.05..=1.0).contains(&w));
@@ -51,7 +51,7 @@ fn kpi_report_weights_degrade_with_health() {
 #[test]
 fn weighted_recommendations_run_end_to_end() {
     let snap = generate(&NetScale::tiny(), &TuningKnobs::default()).snapshot;
-    let report = simulate(&snap, &TrafficModel::default());
+    let report = simulate(&snap, &TrafficModel::default()).unwrap();
     let scope = Scope::whole(&snap);
     let model = CfModel::fit(&snap, &scope, CfConfig::default());
     let p = snap.catalog.singular_ids().next().unwrap();
