@@ -51,6 +51,11 @@ fn main() {
     let scope = Scope::whole(snap);
     let config = CfConfig::default();
 
+    // Untimed warm-up: fault in the snapshot and heap before any timed
+    // rep, so the first workload measured doesn't absorb the cold-start
+    // cost the later ones skip.
+    black_box(CfModel::fit(snap, &scope, config));
+
     eprintln!("bench_cf: timing fit ({REPS} reps each)...");
     let (fit_packed_s, packed) = best_of(|| CfModel::fit(snap, &scope, config));
     let (fit_legacy_s, legacy) = best_of(|| LegacyCfModel::fit(snap, &scope, config));

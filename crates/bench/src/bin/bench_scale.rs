@@ -1,0 +1,220 @@
+//! Emits `BENCH_scale.json`: the paper-scale engine run — generation,
+//! the fit thread curve, and a singular leave-one-out accuracy sweep.
+//!
+//! Every `fit_thread_curve` row records the worker count the pool
+//! *actually* used (the request is clamped to the parameter count — the
+//! same fix `bench_cf` applies via `fit_worker_threads`) and the peak RSS
+//! of that row alone: `VmHWM` is reset through `/proc/self/clear_refs`
+//! before each fit and read back from `/proc/self/status` after it, so a
+//! hungry row cannot hide behind an earlier one's high-water mark.
+//!
+//! Run with `cargo run --release -p auric-bench --bin bench_scale --
+//! [tiny|medium|paper]` (default `paper`); debug builds are rejected.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use auric_core::{CfConfig, CfModel, FitOptions, Scope};
+use auric_model::{NetworkSnapshot, ParamId};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+use auric_obs::Recorder;
+use serde_json::json;
+
+/// Resets the process's RSS high-water mark (`VmHWM`). Needs write access
+/// to `/proc/self/clear_refs`; silently a no-op where that is denied (the
+/// subsequent reading then reports the run-wide peak, which is still a
+/// valid upper bound).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Current RSS high-water mark in MB, from `/proc/self/status`.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Leave-one-out accuracy over every singular parameter at every carrier,
+/// on the global (key-column) path. Work-steals whole parameters across
+/// `workers` threads; returns `(per-param (correct, total), micro, macro)`.
+fn singular_global_loo(
+    snap: &NetworkSnapshot,
+    model: &CfModel,
+    workers: usize,
+) -> (Vec<(ParamId, usize, usize)>, f64, f64) {
+    let params: Vec<ParamId> = snap.catalog.singular_ids().collect();
+    let next = AtomicUsize::new(0);
+    let rows = Mutex::new(Vec::with_capacity(params.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&p) = params.get(i) else { break };
+                let mut correct = 0usize;
+                for c in &snap.carriers {
+                    let current = snap.config.value(p, c.id);
+                    let rec = model.recommend_global_for_carrier(snap, p, c.id, Some(current));
+                    correct += usize::from(rec.value == current);
+                }
+                rows.lock().unwrap().push((p, correct, snap.n_carriers()));
+            });
+        }
+    });
+    let mut rows = rows.into_inner().unwrap();
+    rows.sort_by_key(|&(p, _, _)| p);
+    let correct: usize = rows.iter().map(|r| r.1).sum();
+    let total: usize = rows.iter().map(|r| r.2).sum();
+    let micro = correct as f64 / total.max(1) as f64;
+    let macro_ = rows
+        .iter()
+        .map(|&(_, c, t)| c as f64 / t.max(1) as f64)
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
+    (rows, micro, macro_)
+}
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("bench_scale: refusing to time a debug build; use --release");
+        std::process::exit(2);
+    }
+
+    let scale_name = std::env::args().nth(1).unwrap_or_else(|| "paper".into());
+    let scale = match scale_name.as_str() {
+        "tiny" => NetScale::tiny(),
+        "medium" => NetScale::medium(),
+        // The paper's shape: 28 markets, ~400K carriers (Table 3).
+        "paper" => NetScale {
+            n_markets: 28,
+            enbs_per_market: 1750,
+            seed: 7,
+        },
+        other => {
+            eprintln!("bench_scale: unknown scale {other:?} (tiny|medium|paper)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "bench_scale: generating {scale_name} network ({} markets x {} eNBs)...",
+        scale.n_markets, scale.enbs_per_market
+    );
+    reset_peak_rss();
+    let t0 = Instant::now();
+    let net = generate(&scale, &TuningKnobs::default());
+    let netgen_s = t0.elapsed().as_secs_f64();
+    let netgen_rss_mb = peak_rss_mb();
+    let snap = &net.snapshot;
+    let scope = Scope::whole(snap);
+    let config = CfConfig::default();
+    let n_params = snap.catalog.len();
+    eprintln!(
+        "bench_scale: {} carriers, {} pairs, netgen {netgen_s:.1}s (peak {netgen_rss_mb:.0} MB)",
+        snap.n_carriers(),
+        snap.x2.n_pairs()
+    );
+
+    let mut curve = Vec::new();
+    let mut peak_mb = netgen_rss_mb;
+    let mut model = None;
+    for threads in [1usize, 2, 4, 8] {
+        // What the pool will actually run with: the request clamped to the
+        // job count (there is never more than one worker per parameter).
+        let workers = threads.clamp(1, n_params);
+        eprintln!("bench_scale: fit with {threads} requested threads ({workers} workers)...");
+        // Drop the previous row's model before fitting the next one: two
+        // paper-scale models resident at once would dominate the row's
+        // high-water mark and measure the bench, not the fit.
+        drop(model.take());
+        reset_peak_rss();
+        let obs = Recorder::wall();
+        let t0 = Instant::now();
+        let fitted = CfModel::fit_with(
+            snap,
+            &scope,
+            config,
+            FitOptions {
+                obs: obs.clone(),
+                threads: Some(threads),
+            },
+        );
+        let fit_s = t0.elapsed().as_secs_f64();
+        let row_rss_mb = peak_rss_mb();
+        peak_mb = peak_mb.max(row_rss_mb);
+        eprintln!(
+            "bench_scale:   {fit_s:.1}s, peak RSS {row_rss_mb:.0} MB, arena {} MB, \
+             key columns built {} / shared {}",
+            obs.gauge("cf.fit.arena.bytes") / (1 << 20),
+            obs.gauge("cf.fit.keycol.built"),
+            obs.gauge("cf.fit.keycol.shared"),
+        );
+        curve.push(json!({
+            "threads": threads,
+            "workers": workers,
+            "fit_s": fit_s,
+            "peak_rss_mb": row_rss_mb,
+            "arena_bytes": obs.gauge("cf.fit.arena.bytes"),
+            "keycol_built": obs.gauge("cf.fit.keycol.built"),
+            "keycol_shared": obs.gauge("cf.fit.keycol.shared"),
+            "keycol_bytes": obs.gauge("cf.fit.keycol.bytes"),
+        }));
+        model = Some(fitted);
+    }
+    let model = model.expect("at least one fit ran");
+
+    let loo_workers = auric_core::fit_worker_threads(snap.catalog.singular_ids().count());
+    eprintln!("bench_scale: singular LoO sweep ({loo_workers} workers)...");
+    reset_peak_rss();
+    let t0 = Instant::now();
+    let (rows, micro, macro_) = singular_global_loo(snap, &model, loo_workers);
+    let loo_s = t0.elapsed().as_secs_f64();
+    let loo_rss_mb = peak_rss_mb();
+    peak_mb = peak_mb.max(loo_rss_mb);
+    let evaluated: usize = rows.iter().map(|r| r.2).sum();
+
+    let report = json!({
+        "bench": "paper_scale_engine",
+        "scale": scale_name,
+        "n_markets": scale.n_markets,
+        "enbs_per_market": scale.enbs_per_market,
+        "n_carriers": snap.n_carriers(),
+        "n_pairs": snap.x2.n_pairs(),
+        "n_params": n_params,
+        "n_segments": snap.markets.len(),
+        "available_parallelism": std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1),
+        "netgen_s": netgen_s,
+        "netgen_peak_rss_mb": netgen_rss_mb,
+        "fit_thread_curve": curve,
+        "singular_loo": json!({
+            "threads": loo_workers,
+            "wall_s": loo_s,
+            "peak_rss_mb": loo_rss_mb,
+            "n_params": rows.len(),
+            "evaluated_values": evaluated,
+            "micro_accuracy": micro,
+            "macro_accuracy": macro_,
+        }),
+        "peak_rss_mb": peak_mb,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_scale.json", &text).expect("write BENCH_scale.json");
+    println!("{text}");
+    eprintln!(
+        "bench_scale: done — run peak RSS {peak_mb:.0} MB, singular LoO micro {micro:.4} \
+         (wrote BENCH_scale.json)"
+    );
+}

@@ -4,27 +4,33 @@
 //!
 //! ## Hot-path representation
 //!
-//! Vote keys are bit-packed `u64`s (see [`PackedKeyCodec`]): each fitted
+//! Vote keys are bit-packed `u128`s (see [`PackedKeyCodec`]): each fitted
 //! parameter owns a mixed-radix layout over its dependent attributes, and
 //! every group lookup, prefix backoff, and neighborhood scan works on
 //! plain integers. Fitting also materializes a **key column** — the packed
 //! key of every snapshot carrier (or directed pair) — so local voting is a
 //! linear scan of integer compares with zero allocation, and leave-one-out
 //! sweeps reuse the column instead of re-projecting attributes per probe.
-//! Layouts wider than 64 bits (only reachable under the marginal
-//! dependency-selection ablation) fall back to unpacked keys with
-//! identical semantics; `legacy.rs` keeps the original unpacked
-//! implementation as the differential-testing oracle.
+//! Layouts wider than 128 bits (unreachable under the Table-1 schema;
+//! paper-scale dependency selection crosses 64 bits but tops out near 94)
+//! fall back to unpacked keys with identical semantics; `legacy.rs` keeps
+//! the original unpacked implementation as the differential-testing
+//! oracle.
 
 use crate::dependency::{PredictorAttr, Side};
 use crate::scope::Scope;
 use crate::voting::{KeyRef, VoteKey, VoteTables};
-use auric_model::{AttrVec, CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind, ValueIdx};
+use auric_model::{
+    AttrArena, AttrValue, AttrVec, CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind,
+    ValueIdx,
+};
 use auric_obs::Recorder;
 use auric_stats::freq::FreqTable;
 use auric_stats::packed::PackedKeyCodec;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Hyperparameters of the recommender. Paper values: `alpha = 0.01`,
 /// `support = 0.75`, `hops = 1`.
@@ -98,29 +104,98 @@ pub struct Recommendation {
 /// learner and the LoO sweeps never re-project attributes. Not serialized
 /// — a deserialized model recomputes keys on the fly (still allocation
 /// free on the packed path).
+///
+/// Columns are `Arc` slices handed out by the fit's [`KeyColumnCache`]:
+/// parameters whose dependency selection landed on the same attribute set
+/// share one physical column instead of each retaining a fleet-sized
+/// private copy.
 #[derive(Debug, Clone)]
 enum KeyColumn {
     /// No column: wide layout, or a freshly deserialized model.
     None,
     /// `col[c.index()]` = packed key of carrier `c` (singular parameters).
-    Carrier(Vec<u64>),
+    Carrier(Arc<[u128]>),
     /// `col[q as usize]` = packed key of directed pair `q` (pair-wise).
-    Pair(Vec<u64>),
+    Pair(Arc<[u128]>),
 }
 
 impl KeyColumn {
-    fn carriers(&self) -> Option<&[u64]> {
+    fn carriers(&self) -> Option<&[u128]> {
         match self {
             KeyColumn::Carrier(col) => Some(col),
             _ => None,
         }
     }
 
-    fn pairs(&self) -> Option<&[u64]> {
+    fn pairs(&self) -> Option<&[u128]> {
         match self {
             KeyColumn::Pair(col) => Some(col),
             _ => None,
         }
+    }
+}
+
+/// Fit-time dedup of packed key columns. Two parameters of the same kind
+/// whose dependency selection produced the same ordered dependent set have
+/// byte-identical key columns (the codec is a function of the dependent
+/// attrs' cardinalities), so the column is built once and shared by `Arc`.
+///
+/// Each entry holds a [`OnceLock`]: whichever worker arrives first builds
+/// the column, everyone else blocks on (or finds) the finished cell — so
+/// exactly one build happens per unique `(kind, dependent)` regardless of
+/// the parallel schedule, and the built/shared tallies are deterministic.
+struct KeyColumnCache {
+    entries: Mutex<HashMap<ColumnLayout, ColumnCell>>,
+    built: AtomicU64,
+    shared: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// The cache key: a key column is fully determined by the parameter kind
+/// and the ordered dependent attribute set.
+type ColumnLayout = (ParamKind, Vec<PredictorAttr>);
+
+/// One cache entry: a build-once cell holding the shared column.
+type ColumnCell = Arc<OnceLock<Arc<[u128]>>>;
+
+impl KeyColumnCache {
+    fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            built: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_build(
+        &self,
+        kind: ParamKind,
+        dependent: &[PredictorAttr],
+        build: impl FnOnce() -> Vec<u128>,
+    ) -> Arc<[u128]> {
+        let cell = {
+            let mut map = self.entries.lock().unwrap();
+            Arc::clone(
+                map.entry((kind, dependent.to_vec()))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut fresh = false;
+        let col = Arc::clone(cell.get_or_init(|| {
+            fresh = true;
+            Arc::from(build())
+        }));
+        if fresh {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(
+                (col.len() * std::mem::size_of::<u128>()) as u64,
+                Ordering::Relaxed,
+            );
+        } else {
+            self.shared.fetch_add(1, Ordering::Relaxed);
+        }
+        col
     }
 }
 
@@ -133,16 +208,15 @@ pub struct ParamCf {
     pub dependent: Vec<PredictorAttr>,
     /// Bit-field layout of the vote key over `dependent`.
     codec: PackedKeyCodec,
-    /// Scope-wide vote tables keyed on the dependent attributes.
+    /// Scope-wide vote tables keyed on the dependent attributes, frozen
+    /// into sorted form after the fit. Backoff needs no materialized
+    /// per-level tables: when a full-key group is empty (a rare attribute
+    /// combination after leave-one-out), the recommender walks toward
+    /// shorter prefixes — "maximum support among the most similar
+    /// carriers" rather than a scope-wide guess — by aggregating the
+    /// prefix's contiguous run of sorted groups on demand
+    /// ([`VoteTables::prefix_aggregate`]).
     pub tables: VoteTables,
-    /// Backoff tables: `prefix_tables[l]` groups on the first `l`
-    /// dependent attributes (so `prefix_tables[0]` has a single group).
-    /// When a full-key group is empty (a rare attribute combination after
-    /// leave-one-out), the recommender walks toward shorter prefixes —
-    /// "maximum support among the most similar carriers" rather than a
-    /// scope-wide guess. Under the packed layout a prefix key is just the
-    /// full key masked, so no re-projection happens on this path.
-    prefix_tables: Vec<VoteTables>,
     /// Catalog default (final fallback).
     pub default: ValueIdx,
     /// Packed key per snapshot target (see [`KeyColumn`]).
@@ -181,7 +255,7 @@ impl ParamCf {
 
     /// Packs a carrier's vote key without allocating.
     #[inline]
-    pub fn packed_for_carrier(&self, attrs: &AttrVec) -> u64 {
+    pub fn packed_for_carrier(&self, attrs: &AttrVec) -> u128 {
         self.codec.pack_with(|i| {
             let pa = self.dependent[i];
             debug_assert_eq!(pa.side, Side::Src, "singular key reads only the carrier");
@@ -191,7 +265,7 @@ impl ParamCf {
 
     /// Packs a directed pair's vote key without allocating.
     #[inline]
-    pub fn packed_for_pair(&self, src: &AttrVec, dst: &AttrVec) -> u64 {
+    pub fn packed_for_pair(&self, src: &AttrVec, dst: &AttrVec) -> u128 {
         self.codec.pack_with(|i| {
             let pa = self.dependent[i];
             match pa.side {
@@ -203,13 +277,23 @@ impl ParamCf {
 
     /// The fitted per-carrier key column, when present (packed layout,
     /// fitted — not deserialized — model).
-    pub(crate) fn carrier_keys(&self) -> Option<&[u64]> {
+    pub fn carrier_keys(&self) -> Option<&[u128]> {
         self.keys.carriers()
     }
 
     /// The fitted per-pair key column, when present.
-    pub(crate) fn pair_keys(&self) -> Option<&[u64]> {
+    pub fn pair_keys(&self) -> Option<&[u128]> {
         self.keys.pairs()
+    }
+
+    /// The shared `Arc` behind the key column, when present — exposed so
+    /// tests can assert that parameters with equal dependent sets alias
+    /// one physical column.
+    pub fn key_column_arc(&self) -> Option<Arc<[u128]>> {
+        match &self.keys {
+            KeyColumn::None => None,
+            KeyColumn::Carrier(col) | KeyColumn::Pair(col) => Some(Arc::clone(col)),
+        }
     }
 }
 
@@ -254,9 +338,26 @@ impl CfModel {
         let FitOptions { obs, threads } = opts;
         let n_params = snapshot.catalog.len();
         let span = obs.span("cf.fit");
+        // The shared read-only inputs of every fit job: the columnar
+        // attribute arena (built once, before the pool starts) and the
+        // key-column cache the jobs dedup their fleet-sized columns in.
+        let arena = AttrArena::from_snapshot(snapshot);
+        obs.gauge_max("cf.fit.arena.bytes", arena.bytes() as u64);
+        let cache = KeyColumnCache::new();
         let params = parallel_map_with(n_params, threads, |i| {
-            fit_param(snapshot, scope, ParamId(i as u16), &config, &obs)
+            fit_param(
+                snapshot,
+                &arena,
+                &cache,
+                scope,
+                ParamId(i as u16),
+                &config,
+                &obs,
+            )
         });
+        obs.gauge_max("cf.fit.keycol.built", cache.built.load(Ordering::Relaxed));
+        obs.gauge_max("cf.fit.keycol.shared", cache.shared.load(Ordering::Relaxed));
+        obs.gauge_max("cf.fit.keycol.bytes", cache.bytes.load(Ordering::Relaxed));
         span.close();
         Self {
             config,
@@ -297,12 +398,11 @@ impl CfModel {
     ) -> Recommendation {
         let pc = self.param(param);
         debug_assert_eq!(key.len(), pc.dependent.len());
-        if pc.codec.fits_u64() {
-            let packed = pc.codec.pack(key);
-            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(packed, l)), exclude)
+        if pc.codec.fits_u128() {
+            self.global_chain(pc, KeyRef::Packed(pc.codec.pack(key)), exclude)
         } else {
             let clamped = pc.codec.clamp(key);
-            self.global_chain(pc, |l| KeyRef::Wide(&clamped[..l]), exclude)
+            self.global_chain(pc, KeyRef::Wide(&clamped), exclude)
         }
     }
 
@@ -316,15 +416,15 @@ impl CfModel {
         exclude: Option<ValueIdx>,
     ) -> Recommendation {
         let pc = self.param(param);
-        if pc.codec.fits_u64() {
+        if pc.codec.fits_u128() {
             let key = match pc.keys.carriers() {
                 Some(col) => col[carrier.index()],
                 None => pc.packed_for_carrier(&snapshot.carrier(carrier).attrs),
             };
-            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude)
+            self.global_chain(pc, KeyRef::Packed(key), exclude)
         } else {
             let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
-            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude)
+            self.global_chain(pc, KeyRef::Wide(&key), exclude)
         }
     }
 
@@ -338,7 +438,7 @@ impl CfModel {
         exclude: Option<ValueIdx>,
     ) -> Recommendation {
         let pc = self.param(param);
-        if pc.codec.fits_u64() {
+        if pc.codec.fits_u128() {
             let key = match pc.keys.pairs() {
                 Some(col) => col[pair as usize],
                 None => {
@@ -346,27 +446,26 @@ impl CfModel {
                     pc.packed_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs)
                 }
             };
-            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude)
+            self.global_chain(pc, KeyRef::Packed(key), exclude)
         } else {
             let (j, k) = snapshot.x2.pair(pair);
             let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
-            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude)
+            self.global_chain(pc, KeyRef::Wide(&key), exclude)
         }
     }
 
-    /// The global fallback chain over a key supplied per prefix length:
-    /// `key_at(n)` is the full key, `key_at(l)` its first `l` positions.
-    /// On the packed path the prefixes are mask applications; on the wide
-    /// path they are subslices — either way, no projection and no
-    /// allocation.
-    fn global_chain<'k>(
+    /// The global fallback chain over the full vote key: full-key vote,
+    /// then full-key majority, then hierarchical prefix backoff (prefix
+    /// groups are aggregated on demand from the sorted full-key groups —
+    /// see [`VoteTables::prefix_aggregate`]), then the scope-wide
+    /// majority, then the catalog default.
+    fn global_chain(
         &self,
         pc: &ParamCf,
-        key_at: impl Fn(usize) -> KeyRef<'k>,
+        full: KeyRef<'_>,
         exclude: Option<ValueIdx>,
     ) -> Recommendation {
         let n = pc.dependent.len();
-        let full = key_at(n);
         if let Some((value, support, voters)) = pc.tables.vote(full, exclude, self.config.support) {
             self.obs.inc("cf.rec.basis.global_vote");
             self.obs
@@ -394,10 +493,11 @@ impl CfModel {
         // be absent from an ancestor group, so only exclude it where
         // present.
         for l in (1..n).rev() {
-            let prefix = key_at(l);
-            let tables = &pc.prefix_tables[l];
-            let ex = exclude.filter(|&v| tables.group(prefix).is_some_and(|g| g.count(v) > 0));
-            if let Some((value, support, voters)) = tables.group_majority(prefix, ex) {
+            let Some(group) = pc.tables.prefix_aggregate(&pc.codec, full, l) else {
+                continue;
+            };
+            let ex = exclude.filter(|&v| group.count(v) > 0);
+            if let Some((value, support, voters)) = group.majority_with_support_excluding(ex, 0.0) {
                 self.obs.inc("cf.rec.basis.group_majority");
                 self.obs.observe("cf.rec.backoff_depth", (n - l) as u64);
                 return Recommendation {
@@ -443,7 +543,7 @@ impl CfModel {
         debug_assert_eq!(snapshot.catalog.def(param).kind, ParamKind::Singular);
         let pc = self.param(param);
         let exclude = || loo.then(|| snapshot.config.value(param, carrier));
-        if pc.codec.fits_u64() {
+        if pc.codec.fits_u128() {
             let col = pc.keys.carriers();
             let key = match col {
                 Some(col) => col[carrier.index()],
@@ -484,7 +584,7 @@ impl CfModel {
                     voters: total,
                 };
             }
-            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude())
+            self.global_chain(pc, KeyRef::Packed(key), exclude())
         } else {
             let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
             let mut table = FreqTable::new();
@@ -506,7 +606,7 @@ impl CfModel {
                     voters: total,
                 };
             }
-            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude())
+            self.global_chain(pc, KeyRef::Wide(&key), exclude())
         }
     }
 
@@ -524,7 +624,7 @@ impl CfModel {
         let pc = self.param(param);
         let (j, k) = snapshot.x2.pair(pair);
         let exclude = || loo.then(|| snapshot.config.pair_value(param, pair));
-        if pc.codec.fits_u64() {
+        if pc.codec.fits_u128() {
             let col = pc.keys.pairs();
             let key = match col {
                 Some(col) => col[pair as usize],
@@ -578,7 +678,7 @@ impl CfModel {
                     voters: total,
                 };
             }
-            self.global_chain(pc, |l| KeyRef::Packed(pc.codec.prefix(key, l)), exclude())
+            self.global_chain(pc, KeyRef::Packed(key), exclude())
         } else {
             let key = pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
             let mut table = FreqTable::new();
@@ -612,7 +712,7 @@ impl CfModel {
                     voters: total,
                 };
             }
-            self.global_chain(pc, |l| KeyRef::Wide(&key[..l]), exclude())
+            self.global_chain(pc, KeyRef::Wide(&key), exclude())
         }
     }
 }
@@ -652,36 +752,77 @@ where
     if n_threads <= 1 {
         return (0..n).map(job).collect();
     }
+    // Pre-sized slot assembly: each worker writes its result straight into
+    // `slots[i]`. The claim off the atomic counter hands index `i` to
+    // exactly one worker, so every slot is written at most once and there
+    // is no post-join sort or per-worker `(index, value)` staging vector.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    struct SlotWriter<T>(*mut Option<T>);
+    // SAFETY: workers write disjoint slots (each index is claimed by one
+    // worker) and the writes happen-before the scope join below.
+    unsafe impl<T: Send> Sync for SlotWriter<T> {}
+    let writer = SlotWriter(slots.as_mut_ptr());
+    let writer = &writer;
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, T)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..n_threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        out.push((i, job(i)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("worker panicked"))
-            .collect()
+    std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = job(i);
+                // SAFETY: `i < n` and this worker is the only one that
+                // claimed `i`.
+                unsafe { writer.0.add(i).write(Some(value)) };
+            });
+        }
     });
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, t)| t).collect()
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("claimed slot written"))
+        .collect()
+}
+
+/// Packs the full-fleet key column of a `(kind, dependent)` layout from
+/// the arena's attribute columns. Element `t`'s key is exactly
+/// `packed_for_carrier` / `packed_for_pair` of target `t` — the arena
+/// holds the same levels as the carrier structs, column-major.
+fn pack_key_column(
+    arena: &AttrArena,
+    codec: &PackedKeyCodec,
+    dependent: &[PredictorAttr],
+    kind: ParamKind,
+) -> Vec<u128> {
+    let cols: Vec<&[AttrValue]> = dependent.iter().map(|pa| arena.column(pa.attr)).collect();
+    match kind {
+        ParamKind::Singular => (0..arena.n_carriers())
+            .map(|c| codec.pack_with(|i| cols[i][c]))
+            .collect(),
+        ParamKind::Pairwise => {
+            // Per-position endpoint column: Src positions index through
+            // pair_src, Dst through pair_dst.
+            let ends: Vec<&[u32]> = dependent
+                .iter()
+                .map(|pa| match pa.side {
+                    Side::Src => arena.pair_src(),
+                    Side::Dst => arena.pair_dst(),
+                })
+                .collect();
+            (0..arena.n_pairs())
+                .map(|p| codec.pack_with(|i| cols[i][ends[i][p] as usize]))
+                .collect()
+        }
+    }
 }
 
 /// Fits one parameter: dependency selection, key-layout construction,
-/// key-column materialization, then vote-table construction.
+/// key-column materialization (through the shared arena and cache), then
+/// vote-table construction.
 fn fit_param(
     snapshot: &NetworkSnapshot,
+    arena: &AttrArena,
+    cache: &KeyColumnCache,
     scope: &Scope,
     param: ParamId,
     config: &CfConfig,
@@ -690,7 +831,8 @@ fn fit_param(
     let span = obs.span("cf.fit/param");
     let dep_span = span.child("dependency");
     let dependent = if config.marginal_selection {
-        crate::dependency::select_dependent_marginal_with_obs(
+        crate::dependency::select_dependent_marginal_with_obs_in(
+            arena,
             snapshot,
             scope,
             param,
@@ -698,7 +840,14 @@ fn fit_param(
             obs,
         )
     } else {
-        crate::dependency::select_dependent_with_obs(snapshot, scope, param, config.alpha, obs)
+        crate::dependency::select_dependent_with_obs_in(
+            arena,
+            snapshot,
+            scope,
+            param,
+            config.alpha,
+            obs,
+        )
     };
     dep_span.close();
     let def = snapshot.catalog.def(param);
@@ -707,82 +856,59 @@ fn fit_param(
         .map(|pa| snapshot.schema.radix(pa.attr))
         .collect();
     let codec = PackedKeyCodec::new(&cards);
-    let n_prefixes = dependent.len(); // prefixes of length 0..dependent.len()-1 plus full
-    let packed = codec.fits_u64();
-    let new_tables = if packed {
-        VoteTables::new
-    } else {
-        VoteTables::new_wide
-    };
+    let packed = codec.fits_u128();
     let mut pc = ParamCf {
         param,
         dependent,
         codec,
-        tables: new_tables(),
-        prefix_tables: (0..n_prefixes).map(|_| new_tables()).collect(),
+        tables: if packed {
+            VoteTables::new()
+        } else {
+            VoteTables::new_wide()
+        },
         default: def.default,
         keys: KeyColumn::None,
     };
+    // Only the full-key tables are built: prefix (backoff) groups are
+    // contiguous runs of the frozen sorted groups and aggregate on
+    // demand, so materializing a table per observation per level — the
+    // paper-scale RSS cliff — buys nothing.
     if packed {
-        let record = |pc: &mut ParamCf, key: u64, value: ValueIdx| {
-            // All tables were just built packed, so a shape mismatch here
-            // is impossible by construction.
-            for l in 0..pc.prefix_tables.len() {
-                let prefix = pc.codec.prefix(key, l);
-                pc.prefix_tables[l]
-                    .add_packed(prefix, value)
-                    .expect("prefix tables built packed");
-            }
-            pc.tables
-                .add_packed(key, value)
-                .expect("tables built packed");
-        };
+        // Column over the whole snapshot (not just the scope): local
+        // voting consults out-of-scope neighbors too. Built from the
+        // shared arena columns — or shared outright with another
+        // parameter that selected the same dependent set.
+        let col = cache.get_or_build(def.kind, &pc.dependent, || {
+            pack_key_column(arena, &pc.codec, &pc.dependent, def.kind)
+        });
+        // The tables were just built packed, so a shape mismatch is
+        // impossible by construction.
         match def.kind {
             ParamKind::Singular => {
-                // Column over the whole snapshot (not just the scope):
-                // local voting consults out-of-scope neighbors too.
-                let col: Vec<u64> = snapshot
-                    .carriers
-                    .iter()
-                    .map(|c| pc.packed_for_carrier(&c.attrs))
-                    .collect();
                 for &c in &scope.carriers {
-                    record(&mut pc, col[c.index()], snapshot.config.value(param, c));
+                    pc.tables
+                        .add_packed(col[c.index()], snapshot.config.value(param, c))
+                        .expect("tables built packed");
                 }
                 pc.keys = KeyColumn::Carrier(col);
             }
             ParamKind::Pairwise => {
-                let col: Vec<u64> = snapshot
-                    .x2
-                    .pairs()
-                    .map(|(_, j, k)| {
-                        pc.packed_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs)
-                    })
-                    .collect();
                 for &q in &scope.pairs {
-                    record(
-                        &mut pc,
-                        col[q as usize],
-                        snapshot.config.pair_value(param, q),
-                    );
+                    pc.tables
+                        .add_packed(col[q as usize], snapshot.config.pair_value(param, q))
+                        .expect("tables built packed");
                 }
                 pc.keys = KeyColumn::Pair(col);
             }
         }
     } else {
-        let record = |pc: &mut ParamCf, key: &[u16], value: ValueIdx| {
-            for l in 0..pc.prefix_tables.len() {
-                pc.prefix_tables[l]
-                    .add_wide(&key[..l], value)
-                    .expect("prefix tables built wide");
-            }
-            pc.tables.add_wide(key, value).expect("tables built wide");
-        };
         match def.kind {
             ParamKind::Singular => {
                 for &c in &scope.carriers {
                     let key = pc.key_for_carrier(&snapshot.carrier(c).attrs);
-                    record(&mut pc, &key, snapshot.config.value(param, c));
+                    pc.tables
+                        .add_wide(&key, snapshot.config.value(param, c))
+                        .expect("tables built wide");
                 }
             }
             ParamKind::Pairwise => {
@@ -790,11 +916,14 @@ fn fit_param(
                     let (j, k) = snapshot.x2.pair(q);
                     let key =
                         pc.key_for_pair(&snapshot.carrier(j).attrs, &snapshot.carrier(k).attrs);
-                    record(&mut pc, &key, snapshot.config.pair_value(param, q));
+                    pc.tables
+                        .add_wide(&key, snapshot.config.pair_value(param, q))
+                        .expect("tables built wide");
                 }
             }
         }
     }
+    pc.tables.freeze();
     obs.inc("cf.fit.params");
     obs.add("cf.fit.groups", pc.tables.n_groups() as u64);
     obs.observe("cf.fit.dependent_attrs", pc.dependent.len() as u64);
@@ -847,11 +976,21 @@ mod model_serde {
                 dependent: pc.dependent.clone(),
                 cards: pc.codec.cards().to_vec(),
                 tables: to_wire(&pc.tables, &pc.codec, pc.dependent.len()),
-                prefix_tables: pc
-                    .prefix_tables
-                    .iter()
-                    .enumerate()
-                    .map(|(l, t)| to_wire(t, &pc.codec, l))
+                // The per-level backoff tables are no longer materialized
+                // in memory; the wire format still carries them (derived
+                // by merging the full-key groups per prefix — every
+                // level's overall distribution equals the full table's),
+                // so serialized models are byte-identical to the era that
+                // stored them eagerly. Transiently allocates the merged
+                // level tables — fine at evaluation scales; a paper-scale
+                // model is never serialized.
+                prefix_tables: (0..pc.dependent.len())
+                    .map(|l| TablesWire {
+                        groups: pc
+                            .tables
+                            .unpacked_prefix_groups(&pc.codec, pc.dependent.len(), l),
+                        overall: pc.tables.overall().clone(),
+                    })
                     .collect(),
                 default: pc.default,
             })
@@ -865,19 +1004,17 @@ mod model_serde {
             .into_iter()
             .map(|w| {
                 let codec = PackedKeyCodec::new(&w.cards);
+                // `w.prefix_tables` is parsed for wire compatibility but
+                // not kept: backoff aggregates the full-key groups on
+                // demand, so the levels carry no information the full
+                // tables don't.
                 let tables =
                     VoteTables::from_unpacked_groups(&codec, w.tables.groups, w.tables.overall);
-                let prefix_tables = w
-                    .prefix_tables
-                    .into_iter()
-                    .map(|tw| VoteTables::from_unpacked_groups(&codec, tw.groups, tw.overall))
-                    .collect();
                 ParamCf {
                     param: w.param,
                     dependent: w.dependent,
                     codec,
                     tables,
-                    prefix_tables,
                     default: w.default,
                     keys: KeyColumn::None,
                 }
@@ -1176,5 +1313,94 @@ mod tests {
             assert_eq!(*v, i * i);
         }
         assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    mod keycol_proptests {
+        //! Differential proptests: for any random `(kind, dependent)`
+        //! layout, the column the shared cache hands out equals a
+        //! per-target recompute straight from the carrier structs, and a
+        //! repeat request aliases the same physical `Arc`.
+
+        use super::*;
+        use auric_model::AttrId;
+        use proptest::prelude::*;
+
+        fn shared_net() -> &'static auric_netgen::GeneratedNetwork {
+            static NET: std::sync::OnceLock<auric_netgen::GeneratedNetwork> =
+                std::sync::OnceLock::new();
+            NET.get_or_init(|| generate(&NetScale::tiny(), &TuningKnobs::default()))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn cached_columns_equal_fresh_packs(
+                spec in collection::vec((0usize..1024, 0u8..2), 1..7),
+                pairwise in 0u8..2,
+            ) {
+                let net = shared_net();
+                let snap = &net.snapshot;
+                let arena = AttrArena::from_snapshot(snap);
+                let attrs: Vec<AttrId> = snap.schema.attr_ids().collect();
+                let kind = if pairwise == 1 {
+                    ParamKind::Pairwise
+                } else {
+                    ParamKind::Singular
+                };
+                let dependent: Vec<PredictorAttr> = spec
+                    .iter()
+                    .map(|&(a, s)| PredictorAttr {
+                        attr: attrs[a % attrs.len()],
+                        side: if matches!(kind, ParamKind::Pairwise) && s == 1 {
+                            Side::Dst
+                        } else {
+                            Side::Src
+                        },
+                    })
+                    .collect();
+                let cards: Vec<u16> = dependent
+                    .iter()
+                    .map(|pa| snap.schema.radix(pa.attr))
+                    .collect();
+                let codec = PackedKeyCodec::new(&cards);
+                if !codec.fits_u128() {
+                    // Wide layouts never reach the column cache.
+                    return Ok(());
+                }
+                let cache = KeyColumnCache::new();
+                let col = cache.get_or_build(kind, &dependent, || {
+                    pack_key_column(&arena, &codec, &dependent, kind)
+                });
+                match kind {
+                    ParamKind::Singular => {
+                        prop_assert_eq!(col.len(), snap.n_carriers());
+                        for (t, c) in snap.carriers.iter().enumerate() {
+                            let fresh = codec.pack_with(|i| c.attrs.get(dependent[i].attr));
+                            prop_assert_eq!(col[t], fresh, "carrier {} diverges", t);
+                        }
+                    }
+                    ParamKind::Pairwise => {
+                        prop_assert_eq!(col.len(), snap.x2.n_pairs());
+                        for q in 0..snap.x2.n_pairs() as u32 {
+                            let (j, k) = snap.x2.pair(q);
+                            let fresh = codec.pack_with(|i| {
+                                let pa = dependent[i];
+                                match pa.side {
+                                    Side::Src => snap.carrier(j).attrs.get(pa.attr),
+                                    Side::Dst => snap.carrier(k).attrs.get(pa.attr),
+                                }
+                            });
+                            prop_assert_eq!(col[q as usize], fresh, "pair {} diverges", q);
+                        }
+                    }
+                }
+                let again =
+                    cache.get_or_build(kind, &dependent, || panic!("column must be cached"));
+                prop_assert!(Arc::ptr_eq(&col, &again), "repeat request must alias");
+                prop_assert_eq!(cache.built.load(Ordering::Relaxed), 1);
+                prop_assert_eq!(cache.shared.load(Ordering::Relaxed), 1);
+            }
+        }
     }
 }

@@ -5,13 +5,30 @@
 
 use crate::scope::Scope;
 use auric_learners::Dataset;
-use auric_model::{NetworkSnapshot, ParamId, ParamKind};
+use auric_model::{AttrArena, NetworkSnapshot, ParamId, ParamKind};
+use std::sync::Arc;
 
 /// Builds the training dataset for `param` over `scope`.
 ///
 /// Rows carry explicit schema cardinalities so folds agree on attribute
-/// spaces even when a rare level is absent from a split.
+/// spaces even when a rare level is absent from a split. Builds a private
+/// arena; loops over many parameters should build one
+/// [`AttrArena`] and call [`dataset_for_param_in`].
 pub fn dataset_for_param(snapshot: &NetworkSnapshot, scope: &Scope, param: ParamId) -> Dataset {
+    let arena = AttrArena::from_snapshot(snapshot);
+    dataset_for_param_in(&arena, snapshot, scope, param)
+}
+
+/// [`dataset_for_param`] reading attribute levels from a prebuilt shared
+/// arena. Whole-network singular datasets alias the arena's columns
+/// zero-copy; scoped and pairwise datasets gather per column instead of
+/// cloning (and doubling, for pairs) every carrier's attr row.
+pub fn dataset_for_param_in(
+    arena: &AttrArena,
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+) -> Dataset {
     let schema_cards: Vec<usize> = snapshot
         .schema
         .attr_ids()
@@ -19,37 +36,67 @@ pub fn dataset_for_param(snapshot: &NetworkSnapshot, scope: &Scope, param: Param
         .collect();
     match snapshot.catalog.def(param).kind {
         ParamKind::Singular => {
-            let rows: Vec<Vec<u16>> = scope
-                .carriers
-                .iter()
-                .map(|&c| snapshot.carrier(c).attrs.as_slice().to_vec())
+            let whole = scope.carriers.len() == arena.n_carriers();
+            debug_assert!(
+                !whole
+                    || scope
+                        .carriers
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| c.index() == i),
+                "scope carriers are ascending, so full length means identity"
+            );
+            let columns: Vec<Arc<[u16]>> = snapshot
+                .schema
+                .attr_ids()
+                .map(|a| {
+                    if whole {
+                        arena.column_arc(a)
+                    } else {
+                        let col = arena.column(a);
+                        Arc::from(
+                            scope
+                                .carriers
+                                .iter()
+                                .map(|&c| col[c.index()])
+                                .collect::<Vec<u16>>(),
+                        )
+                    }
+                })
                 .collect();
             let values: Vec<u16> = scope
                 .carriers
                 .iter()
                 .map(|&c| snapshot.config.value(param, c))
                 .collect();
-            Dataset::new(rows, values, Some(schema_cards))
+            Dataset::from_columns(columns, values, Some(schema_cards))
         }
         ParamKind::Pairwise => {
             let mut cards = schema_cards.clone();
             cards.extend(&schema_cards);
-            let rows: Vec<Vec<u16>> = scope
-                .pairs
-                .iter()
-                .map(|&q| {
-                    let (j, k) = snapshot.x2.pair(q);
-                    let mut row = snapshot.carrier(j).attrs.as_slice().to_vec();
-                    row.extend_from_slice(snapshot.carrier(k).attrs.as_slice());
-                    row
-                })
-                .collect();
+            // Endpoint-major column order: src attrs then dst attrs, the
+            // same layout as the old concatenated rows.
+            let gather = |ends: &[u32], out: &mut Vec<Arc<[u16]>>| {
+                for a in snapshot.schema.attr_ids() {
+                    let col = arena.column(a);
+                    out.push(Arc::from(
+                        scope
+                            .pairs
+                            .iter()
+                            .map(|&q| col[ends[q as usize] as usize])
+                            .collect::<Vec<u16>>(),
+                    ));
+                }
+            };
+            let mut columns: Vec<Arc<[u16]>> = Vec::with_capacity(2 * snapshot.schema.n_attrs());
+            gather(arena.pair_src(), &mut columns);
+            gather(arena.pair_dst(), &mut columns);
             let values: Vec<u16> = scope
                 .pairs
                 .iter()
                 .map(|&q| snapshot.config.pair_value(param, q))
                 .collect();
-            Dataset::new(rows, values, Some(cards))
+            Dataset::from_columns(columns, values, Some(cards))
         }
     }
 }
@@ -84,7 +131,7 @@ mod tests {
         assert_eq!(d.n_rows(), snap.x2.n_pairs());
         assert_eq!(d.n_cols(), 2 * snap.schema.n_attrs());
         let (j, k) = snap.x2.pair(scope.pairs[0]);
-        let row = d.row(0);
+        let row = d.row_vec(0);
         assert_eq!(
             &row[..snap.schema.n_attrs()],
             snap.carrier(j).attrs.as_slice()
@@ -93,6 +140,25 @@ mod tests {
             &row[snap.schema.n_attrs()..],
             snap.carrier(k).attrs.as_slice()
         );
+    }
+
+    #[test]
+    fn whole_scope_singular_dataset_aliases_the_arena() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let snap = &net.snapshot;
+        let arena = AttrArena::from_snapshot(snap);
+        let scope = Scope::whole(snap);
+        let p = snap.catalog.singular_ids().next().unwrap();
+        let d = dataset_for_param_in(&arena, snap, &scope, p);
+        for (j, a) in snap.schema.attr_ids().enumerate() {
+            assert!(
+                Arc::ptr_eq(&d.column_arc(j), &arena.column_arc(a)),
+                "column {j} is a copy, not an alias"
+            );
+        }
+        // And the arena-built dataset matches the compat constructor path.
+        let via_compat = dataset_for_param(snap, &scope, p);
+        assert_eq!(d, via_compat);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! [`select_dependent_marginal`] for the ablation benches.
 
 use crate::scope::Scope;
-use auric_model::{AttrId, AttrValue, NetworkSnapshot, ParamId, ParamKind};
+use auric_model::{AttrArena, AttrId, AttrValue, NetworkSnapshot, ParamId, ParamKind};
 use auric_stats::chi2::chi2_critical;
 use auric_stats::contingency::ContingencyTable;
 use serde::{Deserialize, Serialize};
@@ -62,20 +62,32 @@ impl PredictorAttr {
     }
 }
 
-/// The per-sample view the tests run over: one dense value column plus a
-/// level accessor per candidate attribute.
-struct Samples {
+/// The per-sample view the tests run over: one dense value column plus the
+/// shared arena the candidate level columns are read from.
+///
+/// Candidate levels are **not** materialized up front — with 28 candidates
+/// over 2.2M pairwise samples that private copy is ~120 MB per concurrent
+/// job. Instead one scratch buffer per job ([`Samples::levels_into`]) is
+/// refilled from the arena column for whichever candidate is under test.
+struct Samples<'a> {
     /// Dense value column index per sample.
     values: Vec<usize>,
     n_value_cols: usize,
-    /// `levels[c][i]` = sample `i`'s level of candidate `c`.
-    levels: Vec<Vec<AttrValue>>,
     candidates: Vec<PredictorAttr>,
     cards: Vec<usize>,
+    arena: &'a AttrArena,
+    scope: &'a Scope,
+    kind: ParamKind,
 }
 
-/// Materializes the samples of `param` over `scope`.
-fn collect_samples(snapshot: &NetworkSnapshot, scope: &Scope, param: ParamId) -> Samples {
+/// Materializes the value column of `param` over `scope`; candidate levels
+/// stay in `arena`.
+fn collect_samples<'a>(
+    arena: &'a AttrArena,
+    snapshot: &NetworkSnapshot,
+    scope: &'a Scope,
+    param: ParamId,
+) -> Samples<'a> {
     let kind = snapshot.catalog.def(param).kind;
     let raw_values: Vec<u16> = match kind {
         ParamKind::Singular => scope
@@ -109,42 +121,56 @@ fn collect_samples(snapshot: &NetworkSnapshot, scope: &Scope, param: ParamId) ->
         .iter()
         .map(|pa| snapshot.schema.cardinality(pa.attr))
         .collect();
-    let levels = candidates
-        .iter()
-        .map(|pa| match kind {
-            ParamKind::Singular => scope
-                .carriers
-                .iter()
-                .map(|&c| snapshot.carrier(c).attrs.get(pa.attr))
-                .collect(),
-            ParamKind::Pairwise => scope
-                .pairs
-                .iter()
-                .map(|&p| {
-                    let (j, k) = snapshot.x2.pair(p);
-                    match pa.side {
-                        Side::Src => snapshot.carrier(j).attrs.get(pa.attr),
-                        Side::Dst => snapshot.carrier(k).attrs.get(pa.attr),
-                    }
-                })
-                .collect(),
-        })
-        .collect();
     Samples {
         values,
         n_value_cols: value_col.len(),
-        levels,
         candidates,
         cards,
+        arena,
+        scope,
+        kind,
+    }
+}
+
+impl Samples<'_> {
+    /// Number of samples.
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Gathers candidate `c`'s level per sample into `out` (cleared
+    /// first) from the shared arena column.
+    fn levels_into(&self, c: usize, out: &mut Vec<AttrValue>) {
+        out.clear();
+        let pa = self.candidates[c];
+        let col = self.arena.column(pa.attr);
+        match self.kind {
+            ParamKind::Singular => {
+                out.extend(self.scope.carriers.iter().map(|&c| col[c.index()]));
+            }
+            ParamKind::Pairwise => {
+                let ends = match pa.side {
+                    Side::Src => self.arena.pair_src(),
+                    Side::Dst => self.arena.pair_dst(),
+                };
+                out.extend(
+                    self.scope
+                        .pairs
+                        .iter()
+                        .map(|&p| col[ends[p as usize] as usize]),
+                );
+            }
+        }
     }
 }
 
 /// Marginal chi-square statistic of candidate `c` (Eq. 3 over the full
-/// contingency table). Returns `(statistic, critical, dependent)`.
-fn marginal_test(samples: &Samples, c: usize, alpha: f64) -> (f64, bool) {
+/// contingency table). `levels` is the candidate's gathered level column.
+/// Returns `(statistic, dependent)`.
+fn marginal_test(samples: &Samples, levels: &[AttrValue], c: usize, alpha: f64) -> (f64, bool) {
     let mut table = ContingencyTable::new(samples.cards[c], samples.n_value_cols);
     for (i, &vcol) in samples.values.iter().enumerate() {
-        table.add(samples.levels[c][i] as usize, vcol, 1);
+        table.add(levels[i] as usize, vcol, 1);
     }
     let test = table.independence_test(alpha);
     (test.statistic, test.dependent)
@@ -166,8 +192,11 @@ struct Strata {
     /// Stratum id per sample, over *all* samples.
     ids: Vec<u32>,
     n_strata: usize,
-    /// Samples whose stratum can contribute evidence (≥ 5 observations).
-    active: Vec<u32>,
+    /// Active sample indices (stratum has ≥ 5 observations), grouped by
+    /// compact stratum: `order[starts[t]..starts[t+1]]` is compact stratum
+    /// `t`'s samples, each group in ascending sample order.
+    order: Vec<u32>,
+    starts: Vec<u32>,
     /// Stratum id → compact table index, `u32::MAX` for filtered strata.
     compact: Vec<u32>,
     n_compact: usize,
@@ -178,7 +207,8 @@ impl Strata {
         let mut s = Self {
             ids: vec![0; n_samples],
             n_strata: 1,
-            active: Vec::new(),
+            order: Vec::new(),
+            starts: Vec::new(),
             compact: Vec::new(),
             n_compact: 0,
         };
@@ -201,6 +231,9 @@ impl Strata {
         self.requalify();
     }
 
+    /// Recomputes the compact stratum mapping and the stratum-grouped
+    /// sample order (a counting sort over compact ids: per-stratum
+    /// offsets, then one scatter pass in ascending sample order).
     fn requalify(&mut self) {
         let mut counts = vec![0u32; self.n_strata];
         for &id in &self.ids {
@@ -209,15 +242,43 @@ impl Strata {
         self.compact.clear();
         self.compact.resize(self.n_strata, u32::MAX);
         self.n_compact = 0;
+        let mut n_active = 0u32;
         for (s, &ct) in counts.iter().enumerate() {
             if ct >= 5 {
                 self.compact[s] = self.n_compact as u32;
                 self.n_compact += 1;
+                n_active += ct;
             }
         }
-        self.active = (0..self.ids.len() as u32)
-            .filter(|&i| self.compact[self.ids[i as usize] as usize] != u32::MAX)
-            .collect();
+        self.starts.clear();
+        self.starts.reserve(self.n_compact + 1);
+        let mut acc = 0u32;
+        for &ct in counts.iter() {
+            // starts indexed by compact id: push only qualified strata, in
+            // stratum-id order (compact ids are assigned in that order).
+            if ct >= 5 {
+                self.starts.push(acc);
+                acc += ct;
+            }
+        }
+        self.starts.push(acc);
+        debug_assert_eq!(acc, n_active);
+        self.order.clear();
+        self.order.resize(n_active as usize, 0);
+        let mut cursor: Vec<u32> = self.starts[..self.n_compact].to_vec();
+        for (i, &id) in self.ids.iter().enumerate() {
+            let t = self.compact[id as usize];
+            if t == u32::MAX {
+                continue;
+            }
+            self.order[cursor[t as usize] as usize] = i as u32;
+            cursor[t as usize] += 1;
+        }
+    }
+
+    /// Active samples of compact stratum `t`, ascending.
+    fn stratum(&self, t: usize) -> &[u32] {
+        &self.order[self.starts[t] as usize..self.starts[t + 1] as usize]
     }
 }
 
@@ -225,19 +286,32 @@ impl Strata {
 /// samples are stratified by the selected key; per-stratum chi-square
 /// statistics and effective degrees of freedom are summed, and the total
 /// is compared to the critical value at `alpha`.
-fn conditional_test(samples: &Samples, c: usize, strata: &Strata, alpha: f64) -> bool {
-    let mut tables: Vec<ContingencyTable> = (0..strata.n_compact)
-        .map(|_| ContingencyTable::new(samples.cards[c], samples.n_value_cols))
-        .collect();
-    let levels = &samples.levels[c];
-    for &i in &strata.active {
-        let i = i as usize;
-        let t = strata.compact[strata.ids[i] as usize] as usize;
-        tables[t].add(levels[i] as usize, samples.values[i], 1);
-    }
+///
+/// One table sized to the candidate is swept across the strata in compact
+/// order (the stratum-grouped `Strata::order` makes each stratum's samples
+/// contiguous). Allocating a dense table *per stratum* — the previous
+/// shape — is the paper-scale RSS cliff: exact-match keys shatter 2.2M
+/// samples into hundreds of thousands of strata, and a dense
+/// `cards × n_value_cols` table for each, per candidate, per concurrent
+/// worker, is tens of gigabytes. Per-stratum table contents and the
+/// stratum summation order are unchanged, so the accept/reject decision is
+/// bit-identical.
+fn conditional_test(
+    samples: &Samples,
+    levels: &[AttrValue],
+    c: usize,
+    strata: &Strata,
+    alpha: f64,
+) -> bool {
+    let mut table = ContingencyTable::new(samples.cards[c], samples.n_value_cols);
     let mut stat = 0.0;
     let mut df = 0usize;
-    for table in &tables {
+    for t in 0..strata.n_compact {
+        table.reset();
+        for &i in strata.stratum(t) {
+            let i = i as usize;
+            table.add(levels[i] as usize, samples.values[i], 1);
+        }
         let d = table.effective_df();
         if d == 0 {
             continue;
@@ -247,7 +321,7 @@ fn conditional_test(samples: &Samples, c: usize, strata: &Strata, alpha: f64) ->
         // per-market sample sizes that admits spurious correlates which
         // fragment the vote groups. Require a sane observations-per-cell
         // budget before a stratum contributes evidence. (Strata under 5
-        // observations were already filtered out of `active` — they can
+        // observations were already filtered out of `order` — they can
         // never satisfy `total ≥ 5·d` for d ≥ 1.)
         if table.total() < 5 * d as u64 {
             continue;
@@ -282,6 +356,10 @@ pub fn select_dependent(
 
 /// [`select_dependent`] with chi-square test counts recorded to `obs`
 /// (`cf.dep.marginal_tests` / `cf.dep.conditional_tests`).
+///
+/// Builds a private [`AttrArena`]; fit loops that run one selection per
+/// parameter should build the arena once and call
+/// [`select_dependent_with_obs_in`].
 pub fn select_dependent_with_obs(
     snapshot: &NetworkSnapshot,
     scope: &Scope,
@@ -289,15 +367,36 @@ pub fn select_dependent_with_obs(
     alpha: f64,
     obs: &auric_obs::Recorder,
 ) -> Vec<PredictorAttr> {
-    let samples = collect_samples(snapshot, scope, param);
+    let arena = AttrArena::from_snapshot(snapshot);
+    select_dependent_with_obs_in(&arena, snapshot, scope, param, alpha, obs)
+}
+
+/// [`select_dependent_with_obs`] reading candidate levels through a
+/// prebuilt shared arena.
+pub fn select_dependent_with_obs_in(
+    arena: &AttrArena,
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    alpha: f64,
+    obs: &auric_obs::Recorder,
+) -> Vec<PredictorAttr> {
+    let samples = collect_samples(arena, snapshot, scope, param);
     if samples.values.is_empty() {
         return Vec::new();
     }
-    // Rank the marginally significant candidates.
+    // Rank the marginally significant candidates. One level buffer sized
+    // to the scope is the job's whole per-candidate working set.
     obs.add("cf.dep.marginal_tests", samples.candidates.len() as u64);
+    obs.gauge_max(
+        "cf.dep.scratch.bytes",
+        (samples.len() * std::mem::size_of::<AttrValue>()) as u64,
+    );
+    let mut levels: Vec<AttrValue> = Vec::with_capacity(samples.len());
     let mut ranked: Vec<(usize, f64)> = (0..samples.candidates.len())
         .filter_map(|c| {
-            let (stat, dependent) = marginal_test(&samples, c, alpha);
+            samples.levels_into(c, &mut levels);
+            let (stat, dependent) = marginal_test(&samples, &levels, c, alpha);
             dependent.then_some((c, stat))
         })
         .collect();
@@ -307,16 +406,17 @@ pub fn select_dependent_with_obs(
     // a candidate is admitted, so it is refined incrementally rather than
     // rebuilt per test.
     let mut selected: Vec<usize> = Vec::new();
-    let mut strata = Strata::root(samples.values.len());
+    let mut strata = Strata::root(samples.len());
     for &(c, _) in &ranked {
+        samples.levels_into(c, &mut levels);
         let admit = if selected.is_empty() {
             true
         } else {
             obs.inc("cf.dep.conditional_tests");
-            conditional_test(&samples, c, &strata, alpha)
+            conditional_test(&samples, &levels, c, &strata, alpha)
         };
         if admit {
-            strata.refine(&samples.levels[c]);
+            strata.refine(&levels);
             selected.push(c);
         }
     }
@@ -348,10 +448,28 @@ pub fn select_dependent_marginal_with_obs(
     alpha: f64,
     obs: &auric_obs::Recorder,
 ) -> Vec<PredictorAttr> {
-    let samples = collect_samples(snapshot, scope, param);
+    let arena = AttrArena::from_snapshot(snapshot);
+    select_dependent_marginal_with_obs_in(&arena, snapshot, scope, param, alpha, obs)
+}
+
+/// [`select_dependent_marginal_with_obs`] reading candidate levels through
+/// a prebuilt shared arena.
+pub fn select_dependent_marginal_with_obs_in(
+    arena: &AttrArena,
+    snapshot: &NetworkSnapshot,
+    scope: &Scope,
+    param: ParamId,
+    alpha: f64,
+    obs: &auric_obs::Recorder,
+) -> Vec<PredictorAttr> {
+    let samples = collect_samples(arena, snapshot, scope, param);
     obs.add("cf.dep.marginal_tests", samples.candidates.len() as u64);
+    let mut levels: Vec<AttrValue> = Vec::with_capacity(samples.len());
     (0..samples.candidates.len())
-        .filter(|&c| marginal_test(&samples, c, alpha).1)
+        .filter(|&c| {
+            samples.levels_into(c, &mut levels);
+            marginal_test(&samples, &levels, c, alpha).1
+        })
         .map(|c| samples.candidates[c])
         .collect()
 }

@@ -92,7 +92,7 @@ pub fn recommend_local_weighted(
     let pc = model.param(param);
     let key = pc.key_for_carrier(&snapshot.carrier(carrier).attrs);
     let mut votes = WeightedVotes::new();
-    if pc.codec().fits_u64() {
+    if pc.codec().fits_u128() {
         // Integer compares against the fitted key column (see cf.rs).
         let packed = pc.packed_for_carrier(&snapshot.carrier(carrier).attrs);
         let col = pc.carrier_keys();

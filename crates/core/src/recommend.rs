@@ -63,7 +63,7 @@ pub fn recommend_singular(
             // integer compares against the fitted key column on the
             // packed layout, one projection per neighbor otherwise.
             let mut table = FreqTable::new();
-            if pc.codec().fits_u64() {
+            if pc.codec().fits_u128() {
                 let packed = pc.packed_for_carrier(&new_carrier.attrs);
                 let col = pc.carrier_keys();
                 for &n in &neighbors {
@@ -152,7 +152,7 @@ pub fn recommend_pairwise(
             // the new carrier's planned neighborhood, mirroring
             // `CfModel::recommend_local_pair`.
             let mut table = FreqTable::new();
-            if pc.codec().fits_u64() {
+            if pc.codec().fits_u128() {
                 let packed = pc.packed_for_pair(&new_carrier.attrs, dst);
                 let col = pc.pair_keys();
                 for &n in &neighbors {

@@ -3,12 +3,23 @@
 //! a voting approach ... We use a threshold of 75%").
 //!
 //! Group keys are stored *packed*: the dependent attribute levels of one
-//! target are laid out as bit fields of a single `u64` (see
+//! target are laid out as bit fields of a single `u128` (see
 //! [`auric_stats::packed::PackedKeyCodec`]), so group lookups hash and
 //! compare one integer instead of a heap-allocated `Vec<u16>`. Layouts
-//! wider than 64 bits (possible only under the marginal
-//! dependency-selection ablation) fall back to boxed unpacked keys with
+//! wider than 128 bits (unreachable under the Table-1 schema, whose worst
+//! pairwise layout is ~94 bits) fall back to boxed unpacked keys with
 //! identical semantics.
+//!
+//! Storage has two phases. During a fit, observations accumulate into a
+//! hash map. [`VoteTables::freeze`] then converts the map into a `Vec`
+//! sorted by packed key — the codec packs position 0 into the top bits,
+//! so integer order is lexicographic order and every *prefix* group is a
+//! contiguous run of full-key groups, nested across prefix lengths.
+//! Hierarchical backoff therefore needs no materialized per-level tables
+//! (at paper scale those held one entry per observed prefix per level —
+//! tens of gigabytes): [`VoteTables::prefix_aggregate`] binary-searches
+//! the run and merges it on demand, which is rare — backoff only runs
+//! when a full-key group is empty after leave-one-out exclusion.
 
 use auric_model::{AttrValue, ValueIdx};
 use auric_stats::freq::FreqTable;
@@ -25,16 +36,20 @@ pub type VoteKey = Vec<AttrValue>;
 #[derive(Debug, Clone, Copy)]
 pub enum KeyRef<'a> {
     /// Bit-packed key (or prefix-masked packed key).
-    Packed(u64),
-    /// Unpacked key for layouts wider than 64 bits.
+    Packed(u128),
+    /// Unpacked key for layouts wider than 128 bits.
     Wide(&'a [u16]),
 }
 
-/// Group storage: packed keys under the fast integer hasher, or boxed
-/// unpacked keys when the layout does not fit a `u64`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Group storage: packed keys under the fast integer hasher while
+/// accumulating, sorted packed keys once frozen, or boxed unpacked keys
+/// when the layout does not fit a `u128`.
+#[derive(Debug, Clone)]
 enum GroupStore {
-    Packed(HashMap<u64, FreqTable, FastHash>),
+    Packed(HashMap<u128, FreqTable, FastHash>),
+    /// Frozen form: sorted by packed key, so lookups binary-search and
+    /// prefix groups are contiguous runs (see the module docs).
+    PackedSorted(Vec<(u128, FreqTable)>),
     Wide(HashMap<Box<[u16]>, FreqTable>),
 }
 
@@ -70,6 +85,10 @@ impl GroupStore {
     fn get(&self, key: KeyRef<'_>) -> Option<&FreqTable> {
         match (self, key) {
             (GroupStore::Packed(map), KeyRef::Packed(k)) => map.get(&k),
+            (GroupStore::PackedSorted(groups), KeyRef::Packed(k)) => groups
+                .binary_search_by_key(&k, |&(gk, _)| gk)
+                .ok()
+                .map(|i| &groups[i].1),
             (GroupStore::Wide(map), KeyRef::Wide(k)) => map.get(k),
             // A probe in the wrong representation can reach here through a
             // deserialized model whose key layout changed between fit and
@@ -79,7 +98,42 @@ impl GroupStore {
             _ => None,
         }
     }
+
+    /// The packed groups as a canonical sorted list, for
+    /// representation-independent equality. `None` for wide stores.
+    fn sorted_packed(&self) -> Option<Vec<(u128, &FreqTable)>> {
+        match self {
+            GroupStore::Packed(map) => {
+                let mut v: Vec<(u128, &FreqTable)> = map.iter().map(|(&k, t)| (k, t)).collect();
+                v.sort_unstable_by_key(|&(k, _)| k);
+                Some(v)
+            }
+            GroupStore::PackedSorted(groups) => Some(groups.iter().map(|(k, t)| (*k, t)).collect()),
+            GroupStore::Wide(_) => None,
+        }
+    }
 }
+
+impl PartialEq for GroupStore {
+    /// Representation-independent: an accumulating map and its frozen
+    /// sorted form holding the same groups are equal. Packed and wide
+    /// stores are never equal (their keys are not comparable without a
+    /// codec).
+    fn eq(&self, other: &Self) -> bool {
+        match (self.sorted_packed(), other.sorted_packed()) {
+            (Some(a), Some(b)) => a == b,
+            (None, None) => {
+                let (GroupStore::Wide(a), GroupStore::Wide(b)) = (self, other) else {
+                    unreachable!("only wide stores lack a packed form")
+                };
+                a == b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for GroupStore {}
 
 /// Per-parameter vote tables: one frequency table per dependent-attribute
 /// combination, plus the scope-wide distribution for fallback and
@@ -110,7 +164,7 @@ impl VoteTables {
     }
 
     /// An empty table set with wide (unpacked) keys, for layouts that do
-    /// not fit a `u64`.
+    /// not fit a `u128`.
     pub fn new_wide() -> Self {
         Self {
             groups: GroupStore::Wide(HashMap::new()),
@@ -124,15 +178,38 @@ impl VoteTables {
     }
 
     /// Records one observation of `value` under a packed `key`. Fails
-    /// without mutating anything if the tables store wide keys.
+    /// without mutating anything if the tables store wide keys. A frozen
+    /// table accepts the observation through a sorted insert — O(n) worst
+    /// case, correct but meant for incremental trickles, not bulk fits.
     #[inline]
-    pub fn add_packed(&mut self, key: u64, value: ValueIdx) -> Result<(), KeyShapeMismatch> {
+    pub fn add_packed(&mut self, key: u128, value: ValueIdx) -> Result<(), KeyShapeMismatch> {
         match &mut self.groups {
             GroupStore::Packed(map) => map.entry(key).or_default().add(value),
+            GroupStore::PackedSorted(groups) => {
+                match groups.binary_search_by_key(&key, |&(gk, _)| gk) {
+                    Ok(i) => groups[i].1.add(value),
+                    Err(i) => {
+                        let mut t = FreqTable::new();
+                        t.add(value);
+                        groups.insert(i, (key, t));
+                    }
+                }
+            }
             GroupStore::Wide(_) => return Err(KeyShapeMismatch { tables_wide: true }),
         }
         self.overall.add(value);
         Ok(())
+    }
+
+    /// Converts an accumulating packed map into the frozen sorted form
+    /// (see the module docs). Idempotent; a no-op on wide stores, whose
+    /// prefix queries scan instead.
+    pub fn freeze(&mut self) {
+        if let GroupStore::Packed(map) = &mut self.groups {
+            let mut groups: Vec<(u128, FreqTable)> = std::mem::take(map).into_iter().collect();
+            groups.sort_unstable_by_key(|&(k, _)| k);
+            self.groups = GroupStore::PackedSorted(groups);
+        }
     }
 
     /// Records one observation of `value` under a wide `key`. Fails
@@ -148,7 +225,9 @@ impl VoteTables {
                     map.insert(key.into(), t);
                 }
             }
-            GroupStore::Packed(_) => return Err(KeyShapeMismatch { tables_wide: false }),
+            GroupStore::Packed(_) | GroupStore::PackedSorted(_) => {
+                return Err(KeyShapeMismatch { tables_wide: false })
+            }
         }
         self.overall.add(value);
         Ok(())
@@ -158,6 +237,7 @@ impl VoteTables {
     pub fn n_groups(&self) -> usize {
         match &self.groups {
             GroupStore::Packed(map) => map.len(),
+            GroupStore::PackedSorted(groups) => groups.len(),
             GroupStore::Wide(map) => map.len(),
         }
     }
@@ -216,10 +296,65 @@ impl VoteTables {
             .map(|(v, _, _)| v)
     }
 
+    /// The merged value distribution of `key`'s length-`l` prefix group —
+    /// the union of every full-key group sharing that prefix, built on
+    /// demand. `None` when no observation shares the prefix. `key` is the
+    /// FULL key; only its first `l` positions are consulted.
+    ///
+    /// On the frozen sorted form this is a binary search for the
+    /// contiguous run plus one merge over it; on the accumulating forms
+    /// it degrades to a filtering scan (correct, used only off the fitted
+    /// path). A representation-mismatched probe aggregates nothing, like
+    /// [`VoteTables::group`].
+    pub fn prefix_aggregate(
+        &self,
+        codec: &PackedKeyCodec,
+        key: KeyRef<'_>,
+        l: usize,
+    ) -> Option<FreqTable> {
+        let mut agg = FreqTable::new();
+        let mut any = false;
+        match (&self.groups, key) {
+            (GroupStore::PackedSorted(groups), KeyRef::Packed(k)) => {
+                let mask = codec.prefix_mask(l);
+                let prefix = k & mask;
+                // Monotone predicates: `gk & mask` is non-decreasing in
+                // `gk` because the mask selects the top bits.
+                let lo = groups.partition_point(|&(gk, _)| gk & mask < prefix);
+                let hi = groups.partition_point(|&(gk, _)| gk & mask <= prefix);
+                for (_, t) in &groups[lo..hi] {
+                    agg.merge(t);
+                    any = true;
+                }
+            }
+            (GroupStore::Packed(map), KeyRef::Packed(k)) => {
+                let mask = codec.prefix_mask(l);
+                let prefix = k & mask;
+                // Deterministic despite map iteration order: merging is
+                // commutative and FreqTable is representation-independent.
+                for (&gk, t) in map {
+                    if gk & mask == prefix {
+                        agg.merge(t);
+                        any = true;
+                    }
+                }
+            }
+            (GroupStore::Wide(map), KeyRef::Wide(k)) => {
+                for (gk, t) in map {
+                    if gk.get(..l) == k.get(..l) {
+                        agg.merge(t);
+                        any = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+        any.then_some(agg)
+    }
+
     /// The groups as `(unpacked key, table)` pairs sorted by key — the
     /// stable wire format. `codec` must be the layout the keys were packed
-    /// with; `len` is the key length (prefix tables store shorter keys
-    /// under the full layout's low bits).
+    /// with; `len` is the key length.
     pub fn unpacked_groups(
         &self,
         codec: &PackedKeyCodec,
@@ -230,10 +365,39 @@ impl VoteTables {
                 .iter()
                 .map(|(&k, t)| (codec.unpack(k, len), t))
                 .collect(),
+            GroupStore::PackedSorted(groups) => groups
+                .iter()
+                .map(|(k, t)| (codec.unpack(*k, len), t))
+                .collect(),
             GroupStore::Wide(map) => map.iter().map(|(k, t)| (k.to_vec(), t)).collect(),
         };
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         pairs
+    }
+
+    /// The length-`l` prefix groups as `(unpacked prefix, merged table)`
+    /// pairs sorted by key — what the wire format's per-level backoff
+    /// tables serialize as, derived from the full-key groups so the bytes
+    /// match the historically materialized per-level tables exactly.
+    pub fn unpacked_prefix_groups(
+        &self,
+        codec: &PackedKeyCodec,
+        full_len: usize,
+        l: usize,
+    ) -> Vec<(VoteKey, FreqTable)> {
+        let mut out: Vec<(VoteKey, FreqTable)> = Vec::new();
+        for (key, table) in self.unpacked_groups(codec, full_len) {
+            let prefix = &key[..l];
+            match out.last_mut() {
+                Some((last, agg)) if last[..] == *prefix => agg.merge(table),
+                _ => {
+                    let mut agg = FreqTable::new();
+                    agg.merge(table);
+                    out.push((prefix.to_vec(), agg));
+                }
+            }
+        }
+        out
     }
 
     /// Rebuilds a table set from `(unpacked key, table)` pairs under the
@@ -243,13 +407,13 @@ impl VoteTables {
         pairs: Vec<(VoteKey, FreqTable)>,
         overall: FreqTable,
     ) -> Self {
-        let groups = if codec.fits_u64() {
-            GroupStore::Packed(
-                pairs
-                    .into_iter()
-                    .map(|(k, t)| (codec.pack(&k), t))
-                    .collect(),
-            )
+        let groups = if codec.fits_u128() {
+            let mut groups: Vec<(u128, FreqTable)> = pairs
+                .into_iter()
+                .map(|(k, t)| (codec.pack(&k), t))
+                .collect();
+            groups.sort_unstable_by_key(|&(k, _)| k);
+            GroupStore::PackedSorted(groups)
         } else {
             GroupStore::Wide(
                 pairs
@@ -418,6 +582,56 @@ mod tests {
         assert!(err.to_string().contains("representation mismatch"));
     }
 
+    /// Freezing is a pure re-layout: every query surface — equality
+    /// itself, group lookups, votes, prefix aggregation, the wire form —
+    /// must answer identically before and after.
+    #[test]
+    fn freeze_preserves_every_query_surface() {
+        let (codec, unfrozen) = tables();
+        let mut frozen = unfrozen.clone();
+        frozen.freeze();
+        assert_eq!(frozen, unfrozen, "equality is representation-independent");
+        assert_eq!(frozen.n_groups(), unfrozen.n_groups());
+        assert_eq!(frozen.total(), unfrozen.total());
+        for key in [[0u16, 1], [2, 2], [1, 0]] {
+            let k = KeyRef::Packed(codec.pack(&key));
+            assert_eq!(frozen.group(k), unfrozen.group(k), "group {key:?}");
+            assert_eq!(frozen.vote(k, None, 0.75), unfrozen.vote(k, None, 0.75));
+            for l in 0..=key.len() {
+                assert_eq!(
+                    frozen.prefix_aggregate(&codec, k, l),
+                    unfrozen.prefix_aggregate(&codec, k, l),
+                    "prefix_aggregate {key:?} at level {l}"
+                );
+            }
+        }
+        assert_eq!(
+            frozen.unpacked_groups(&codec, 2),
+            unfrozen.unpacked_groups(&codec, 2)
+        );
+        // Idempotent.
+        let twice = {
+            let mut t = frozen.clone();
+            t.freeze();
+            t
+        };
+        assert_eq!(twice, frozen);
+    }
+
+    /// The full-length "prefix" is the group itself, and level 0 merges
+    /// everything into the overall distribution.
+    #[test]
+    fn prefix_aggregate_degenerate_levels() {
+        let (codec, mut t) = tables();
+        t.freeze();
+        let k = KeyRef::Packed(codec.pack(&[0, 1]));
+        assert_eq!(t.prefix_aggregate(&codec, k, 2).as_ref(), t.group(k));
+        assert_eq!(t.prefix_aggregate(&codec, k, 0).as_ref(), Some(t.overall()));
+        // A prefix nothing was recorded under aggregates nothing.
+        let miss = KeyRef::Packed(codec.pack(&[1, 0]));
+        assert_eq!(t.prefix_aggregate(&codec, miss, 1), None);
+    }
+
     mod packed_wide_differential {
         //! Differential proptest suite: on any random key stream, packed
         //! and wide tables must agree on every query surface and on the
@@ -449,7 +663,7 @@ mod tests {
                 raw_stream in collection::vec((0u64..1_000_000, 0u16..5), 1..40),
             ) {
                 let codec = PackedKeyCodec::new(&cards);
-                prop_assert!(codec.fits_u64());
+                prop_assert!(codec.fits_u128());
                 let stream: Vec<(Vec<u16>, ValueIdx)> = raw_stream
                     .iter()
                     .map(|&(raw, v)| (key_from_raw(&cards, raw), v))
@@ -496,6 +710,58 @@ mod tests {
                 let pw = packed.unpacked_groups(&codec, len);
                 let ww = wide.unpacked_groups(&codec, len);
                 prop_assert_eq!(pw, ww);
+            }
+
+            /// On-demand prefix aggregation over the frozen sorted store
+            /// must equal per-level tables built eagerly from the same
+            /// stream — the storage scheme the fitted path replaced.
+            #[test]
+            fn prefix_aggregate_matches_eagerly_built_level_tables(
+                cards in collection::vec(2u16..6, 1..4),
+                raw_stream in collection::vec((0u64..1_000_000, 0u16..5), 1..40),
+            ) {
+                let codec = PackedKeyCodec::new(&cards);
+                let n = cards.len();
+                let mut full = VoteTables::new();
+                let mut eager: Vec<VoteTables> =
+                    (0..=n).map(|_| VoteTables::new()).collect();
+                for &(raw, value) in &raw_stream {
+                    let key = key_from_raw(&cards, raw);
+                    let k = codec.pack(&key);
+                    full.add_packed(k, value).unwrap();
+                    for (l, t) in eager.iter_mut().enumerate() {
+                        t.add_packed(codec.prefix(k, l), value).unwrap();
+                    }
+                }
+                full.freeze();
+                for &(raw, _) in &raw_stream {
+                    let key = key_from_raw(&cards, raw);
+                    let k = codec.pack(&key);
+                    for (l, level) in eager.iter().enumerate() {
+                        let agg = full
+                            .prefix_aggregate(&codec, KeyRef::Packed(k), l)
+                            .expect("observed key: every prefix level is populated");
+                        let table = level
+                            .group(KeyRef::Packed(codec.prefix(k, l)))
+                            .expect("eager level table holds the prefix");
+                        prop_assert_eq!(
+                            &agg, table,
+                            "level {} of key {:?} diverges", l, key
+                        );
+                    }
+                }
+                // An unobserved prefix aggregates nothing at any level it
+                // is genuinely absent from.
+                for (l, level) in eager.iter().enumerate() {
+                    for probe in 0..50u64 {
+                        let key = key_from_raw(&cards, probe);
+                        let k = codec.pack(&key);
+                        let eager_hit =
+                            level.group(KeyRef::Packed(codec.prefix(k, l))).cloned();
+                        let agg = full.prefix_aggregate(&codec, KeyRef::Packed(k), l);
+                        prop_assert_eq!(agg, eager_hit, "probe {:?} level {}", key, l);
+                    }
+                }
             }
         }
     }

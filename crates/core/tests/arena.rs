@@ -1,0 +1,114 @@
+//! Differential tests for the arena-backed fit: the key columns a fitted
+//! model carries must be bit-identical to a per-target recompute through
+//! `packed_for_carrier` / `packed_for_pair` (which read the original
+//! carrier structs, not the arena), and parameters that select the same
+//! `(kind, dependent)` layout must share one physical column.
+
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_model::{NetworkSnapshot, ParamKind};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Compares every parameter's fitted key column against fresh per-target
+/// packs at the given strides (1 = exhaustive).
+fn assert_columns_match(
+    snap: &NetworkSnapshot,
+    model: &CfModel,
+    carrier_stride: usize,
+    pair_stride: usize,
+) {
+    for def in snap.catalog.defs() {
+        let pc = model.param(def.id);
+        match def.kind {
+            ParamKind::Singular => {
+                let keys = pc
+                    .carrier_keys()
+                    .unwrap_or_else(|| panic!("{}: default fit must pack a column", def.name));
+                assert_eq!(keys.len(), snap.n_carriers(), "{}: column length", def.name);
+                for (t, c) in snap.carriers.iter().enumerate().step_by(carrier_stride) {
+                    assert_eq!(
+                        keys[t],
+                        pc.packed_for_carrier(&c.attrs),
+                        "{}: carrier {} key diverges",
+                        def.name,
+                        c.id
+                    );
+                }
+            }
+            ParamKind::Pairwise => {
+                let keys = pc
+                    .pair_keys()
+                    .unwrap_or_else(|| panic!("{}: default fit must pack a column", def.name));
+                assert_eq!(keys.len(), snap.x2.n_pairs(), "{}: column length", def.name);
+                for q in (0..snap.x2.n_pairs() as u32).step_by(pair_stride) {
+                    let (j, k) = snap.x2.pair(q);
+                    assert_eq!(
+                        keys[q as usize],
+                        pc.packed_for_pair(&snap.carrier(j).attrs, &snap.carrier(k).attrs),
+                        "{}: pair {q} key diverges",
+                        def.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_fit_columns_match_fresh_packs_exhaustively_on_tiny() {
+    let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    let model = CfModel::fit(snap, &Scope::whole(snap), CfConfig::default());
+    assert_columns_match(snap, &model, 1, 1);
+}
+
+#[test]
+fn arena_fit_columns_match_fresh_packs_on_a_strided_medium_network() {
+    let net = generate(&NetScale::medium(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    let model = CfModel::fit(snap, &Scope::whole(snap), CfConfig::default());
+    assert_columns_match(snap, &model, 23, 101);
+}
+
+#[test]
+fn equal_dependent_sets_share_one_physical_column() {
+    let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+    let snap = &net.snapshot;
+    let model = CfModel::fit(snap, &Scope::whole(snap), CfConfig::default());
+
+    // Group fitted parameters by (kind, dependent); within a group every
+    // column must be the same allocation, across groups never.
+    let mut groups: HashMap<(ParamKind, Vec<_>), Vec<Arc<[u128]>>> = HashMap::new();
+    for def in snap.catalog.defs() {
+        let pc = model.param(def.id);
+        let col = pc.key_column_arc().expect("default fit packs a column");
+        groups
+            .entry((def.kind, pc.dependent.clone()))
+            .or_default()
+            .push(col);
+    }
+    assert!(
+        groups.len() < snap.catalog.len(),
+        "expected at least two parameters to agree on a dependent set \
+         ({} layouts over {} parameters)",
+        groups.len(),
+        snap.catalog.len()
+    );
+    let mut representatives: Vec<Arc<[u128]>> = Vec::new();
+    for ((kind, dependent), cols) in &groups {
+        for col in cols {
+            assert!(
+                Arc::ptr_eq(col, &cols[0]),
+                "{kind:?} {dependent:?}: same layout must share one column"
+            );
+        }
+        for other in &representatives {
+            assert!(
+                !Arc::ptr_eq(&cols[0], other),
+                "distinct layouts must not alias"
+            );
+        }
+        representatives.push(Arc::clone(&cols[0]));
+    }
+}

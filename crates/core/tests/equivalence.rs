@@ -139,7 +139,10 @@ fn packed_path_matches_legacy_on_a_seeded_medium_network() {
 #[test]
 fn packed_path_matches_legacy_under_marginal_selection() {
     // The marginal-selection ablation keeps every associated attribute, so
-    // pair-wise keys can exceed 64 bits — this is the wide-fallback path.
+    // pair-wise keys routinely exceed 64 bits. Under the old u64 codec
+    // that forced the wide fallback; the u128 codec must keep every
+    // Table-1 layout on the packed path (the schema's worst case is ~94
+    // bits) and still agree with the legacy oracle on those widest keys.
     let net = generate(&NetScale::tiny(), &TuningKnobs::default());
     let snap = &net.snapshot;
     let scope = Scope::whole(snap);
@@ -149,14 +152,25 @@ fn packed_path_matches_legacy_under_marginal_selection() {
     };
     let packed = CfModel::fit(snap, &scope, config);
     let legacy = LegacyCfModel::fit(snap, &scope, config);
-    let wide = packed
+    let over_64 = packed
         .params()
         .iter()
-        .filter(|pc| !pc.codec().fits_u64())
+        .filter(|pc| {
+            pc.codec()
+                .cards()
+                .iter()
+                .map(|&c| (u16::BITS - c.leading_zeros()).max(1))
+                .sum::<u32>()
+                > 64
+        })
         .count();
     assert!(
-        wide > 0,
+        over_64 > 0,
         "expected at least one over-64-bit layout under marginal selection"
+    );
+    assert!(
+        packed.params().iter().all(|pc| pc.codec().fits_u128()),
+        "every Table-1 layout must fit the u128 packed path"
     );
     assert_equivalent(snap, &packed, &legacy, 3, 17);
 }

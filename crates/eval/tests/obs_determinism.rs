@@ -70,6 +70,6 @@ fn disabled_recorder_reports_nothing() {
     run_experiment("global-vs-local", &opts).expect("experiment runs");
     assert_eq!(
         opts.obs.report_json(),
-        "{\n  \"counters\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}"
+        "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}"
     );
 }

@@ -19,7 +19,7 @@ pub fn cross_val_accuracy(classifier: &dyn Classifier, data: &Dataset, k: usize,
     if n < 2 {
         // Degenerate dataset: train == test is the only option.
         let model = classifier.fit(data);
-        let hit = model.predict(data.row(0)) == data.raw_label(0);
+        let hit = model.predict(&data.row_vec(0)) == data.raw_label(0);
         return if hit { 1.0 } else { 0.0 };
     }
     let k = k.min(n);
@@ -42,8 +42,10 @@ pub fn cross_val_accuracy(classifier: &dyn Classifier, data: &Dataset, k: usize,
             .map(|(_, i)| i)
             .collect();
         let model = classifier.fit(&data.subset(&train));
+        let mut rowbuf = Vec::with_capacity(data.n_cols());
         for &i in &test {
-            if model.predict(data.row(i)) == data.raw_label(i) {
+            data.row_into(i, &mut rowbuf);
+            if model.predict(&rowbuf) == data.raw_label(i) {
                 correct += 1;
             }
         }

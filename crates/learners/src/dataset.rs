@@ -1,57 +1,81 @@
-//! Categorical training data: rows of attribute levels with raw-value
-//! labels remapped to dense classes.
+//! Categorical training data: column-major attribute levels with
+//! raw-value labels remapped to dense classes.
+
+use std::sync::Arc;
 
 /// A labeled categorical dataset.
 ///
-/// Rows are attribute-level vectors (one `u16` level per column — the
-/// carrier's `AttrVec`, or both endpoints' concatenated for
-/// pair-wise parameters). Labels arrive as raw parameter values and are
-/// remapped to dense class indices internally; [`Dataset::class_value`]
-/// maps back.
+/// Storage is **column-major**: one `Arc<[u16]>` level column per
+/// attribute. Tree splits and distance sweeps read whole columns (cache
+/// friendly), and columns built by [`Dataset::from_columns`] can alias a
+/// shared attribute arena zero-copy instead of cloning every carrier's
+/// attr row. Labels arrive as raw parameter values and are remapped to
+/// dense class indices internally; [`Dataset::class_value`] maps back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dataset {
-    rows: Vec<Vec<u16>>,
+    columns: Vec<Arc<[u16]>>,
+    n_rows: usize,
     cards: Vec<usize>,
     labels: Vec<u16>,
     class_values: Vec<u16>,
 }
 
 impl Dataset {
-    /// Builds a dataset from categorical rows and raw-value labels.
-    /// Column cardinalities may be given explicitly (so train/test splits
-    /// agree on level spaces) or inferred as `max level + 1`.
+    /// Builds a dataset from row-major categorical rows and raw-value
+    /// labels (transposed into columns). Column cardinalities may be given
+    /// explicitly (so train/test splits agree on level spaces) or inferred
+    /// as `max level + 1`.
     ///
     /// # Panics
     /// Panics on empty data, ragged rows, or levels exceeding an explicit
     /// cardinality.
     pub fn new(rows: Vec<Vec<u16>>, raw_values: Vec<u16>, cards: Option<Vec<usize>>) -> Self {
         assert!(!rows.is_empty(), "dataset needs at least one row");
-        assert_eq!(rows.len(), raw_values.len(), "rows/labels length mismatch");
         let n_cols = rows[0].len();
+        let mut columns: Vec<Vec<u16>> = vec![Vec::with_capacity(rows.len()); n_cols];
+        for row in &rows {
+            assert_eq!(row.len(), n_cols, "ragged rows");
+            for (col, &v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        Self::from_columns(
+            columns.into_iter().map(Arc::from).collect(),
+            raw_values,
+            cards,
+        )
+    }
+
+    /// Builds a dataset directly from level columns — the zero-copy path:
+    /// columns may alias a shared attribute arena.
+    ///
+    /// # Panics
+    /// Panics on empty data, unequal column lengths, or levels exceeding
+    /// an explicit cardinality.
+    pub fn from_columns(
+        columns: Vec<Arc<[u16]>>,
+        raw_values: Vec<u16>,
+        cards: Option<Vec<usize>>,
+    ) -> Self {
+        let n_rows = raw_values.len();
+        assert!(n_rows > 0, "dataset needs at least one row");
+        for col in &columns {
+            assert_eq!(col.len(), n_rows, "column/label length mismatch");
+        }
         let cards = match cards {
             Some(c) => {
-                assert_eq!(c.len(), n_cols, "cardinality vector length mismatch");
-                for row in &rows {
-                    assert_eq!(row.len(), n_cols, "ragged rows");
-                    for (j, (&v, &card)) in row.iter().zip(&c).enumerate() {
-                        assert!(
-                            (v as usize) < card,
-                            "level {v} exceeds cardinality of column {j}"
-                        );
+                assert_eq!(c.len(), columns.len(), "cardinality vector length mismatch");
+                for (j, (col, &card)) in columns.iter().zip(&c).enumerate() {
+                    if let Some(&v) = col.iter().find(|&&v| v as usize >= card) {
+                        panic!("level {v} exceeds cardinality of column {j}");
                     }
                 }
                 c
             }
-            None => {
-                let mut c = vec![1usize; n_cols];
-                for row in &rows {
-                    assert_eq!(row.len(), n_cols, "ragged rows");
-                    for (card, &v) in c.iter_mut().zip(row) {
-                        *card = (*card).max(v as usize + 1);
-                    }
-                }
-                c
-            }
+            None => columns
+                .iter()
+                .map(|col| col.iter().map(|&v| v as usize + 1).max().unwrap_or(1))
+                .collect(),
         };
         // Dense class mapping in sorted raw-value order (deterministic).
         let mut class_values: Vec<u16> = raw_values.clone();
@@ -62,7 +86,8 @@ impl Dataset {
             .map(|v| class_values.binary_search(v).unwrap() as u16)
             .collect();
         Self {
-            rows,
+            columns,
+            n_rows,
             cards,
             labels,
             class_values,
@@ -71,7 +96,7 @@ impl Dataset {
 
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
     /// Number of categorical columns.
@@ -89,9 +114,37 @@ impl Dataset {
         &self.cards
     }
 
-    /// Row `i`.
-    pub fn row(&self, i: usize) -> &[u16] {
-        &self.rows[i]
+    /// Level of row `i` in column `j`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> u16 {
+        self.columns[j][i]
+    }
+
+    /// Column `j`'s levels, one per row.
+    #[inline]
+    pub fn column(&self, j: usize) -> &[u16] {
+        &self.columns[j]
+    }
+
+    /// Column `j`'s shared handle — lets callers (and tests) check that a
+    /// dataset aliases an arena column instead of owning a copy.
+    pub fn column_arc(&self, j: usize) -> Arc<[u16]> {
+        Arc::clone(&self.columns[j])
+    }
+
+    /// Gathers row `i` into `out` (cleared first) in column order — for
+    /// callers that need a contiguous feature row (encoders, predictors).
+    pub fn row_into(&self, i: usize, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|col| col[i]));
+    }
+
+    /// Row `i` as a fresh vector (test/diagnostic convenience; hot loops
+    /// should reuse a buffer via [`Dataset::row_into`]).
+    pub fn row_vec(&self, i: usize) -> Vec<u16> {
+        let mut out = Vec::with_capacity(self.n_cols());
+        self.row_into(i, &mut out);
+        out
     }
 
     /// Dense class label of row `i`.
@@ -133,10 +186,15 @@ impl Dataset {
     /// A new dataset over a row subset, preserving the class mapping and
     /// cardinalities (so models trained on folds agree on spaces).
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| indices.iter().map(|&i| col[i]).collect())
+            .collect();
         let labels: Vec<u16> = indices.iter().map(|&i| self.labels[i]).collect();
         Dataset {
-            rows,
+            columns,
+            n_rows: indices.len(),
             cards: self.cards.clone(),
             labels,
             class_values: self.class_values.clone(),
@@ -205,6 +263,29 @@ mod tests {
         assert_eq!(s.n_classes(), 3, "class space survives subsetting");
         assert_eq!(s.cards(), d.cards());
         assert_eq!(s.raw_label(0), 99);
-        assert_eq!(s.row(1), d.row(0));
+        assert_eq!(s.row_vec(1), d.row_vec(0));
+    }
+
+    #[test]
+    fn rows_transpose_into_columns() {
+        let d = sample();
+        assert_eq!(d.column(0), &[0, 1, 0, 1]);
+        assert_eq!(d.column(1), &[1, 0, 0, 1]);
+        assert_eq!(d.at(3, 1), 1);
+        assert_eq!(d.row_vec(1), vec![1, 0]);
+    }
+
+    #[test]
+    fn from_columns_aliases_without_copying() {
+        let col: Arc<[u16]> = Arc::from(vec![0u16, 1, 2]);
+        let d = Dataset::from_columns(vec![Arc::clone(&col)], vec![9, 9, 9], None);
+        assert!(Arc::ptr_eq(&d.columns[0], &col), "zero-copy column alias");
+        assert_eq!(d.cards(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_columns_checks_lengths() {
+        Dataset::from_columns(vec![Arc::from(vec![0u16, 1])], vec![1, 2, 3], None);
     }
 }

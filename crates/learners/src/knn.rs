@@ -49,12 +49,19 @@ impl Model for KnnModel {
     fn predict(&self, row: &[u16]) -> u16 {
         let n = self.data.n_rows();
         let k = self.k.min(n);
+        // Hamming distances accumulated column-at-a-time over the
+        // column-major storage: each pass streams one contiguous level
+        // column against a single query level.
+        let mut dist = vec![0usize; n];
+        for (j, &q) in row.iter().enumerate() {
+            for (d, &v) in dist.iter_mut().zip(self.data.column(j)) {
+                *d += usize::from(v != q);
+            }
+        }
         // Selection of the k smallest (distance, index) pairs; ties break
         // on training order, matching a stable sort over the full set.
         let mut best: Vec<(usize, usize)> = Vec::with_capacity(k + 1);
-        for i in 0..n {
-            let train_row = self.data.row(i);
-            let d = train_row.iter().zip(row).filter(|(a, b)| a != b).count();
+        for (i, &d) in dist.iter().enumerate() {
             if best.len() < k || (d, i) < *best.last().unwrap() {
                 let pos = best.partition_point(|&p| p < (d, i));
                 best.insert(pos, (d, i));

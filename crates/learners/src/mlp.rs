@@ -103,6 +103,7 @@ impl MlpClassifier {
         let mut order: Vec<usize> = (0..n).collect();
         let mut adam = Adam::new(net, self.learning_rate);
         let mut x = vec![0.0; encoder.width()];
+        let mut rowbuf = Vec::with_capacity(data.n_cols());
         let mut best_loss = f64::INFINITY;
         let mut stall = 0usize;
 
@@ -117,7 +118,8 @@ impl MlpClassifier {
                 let mut grads = Gradients::zeros(net);
                 let mut batch_loss = 0.0;
                 for &i in batch {
-                    encoder.encode_into(data.row(i), &mut x);
+                    data.row_into(i, &mut rowbuf);
+                    encoder.encode_into(&rowbuf, &mut x);
                     batch_loss += net.backprop(&x, data.label(i) as usize, &mut grads);
                 }
                 let scale = 1.0 / batch.len() as f64;
@@ -406,7 +408,7 @@ mod tests {
         let model = MlpClassifier::small_for_tests().fit(&data);
         let mut correct = 0;
         for i in 0..data.n_rows() {
-            if model.predict(data.row(i)) == data.raw_label(i) {
+            if model.predict(&data.row_vec(i)) == data.raw_label(i) {
                 correct += 1;
             }
         }

@@ -212,7 +212,7 @@ fn grow(
     };
 
     let (eq_rows, ne_rows): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| data.row(i)[col] == level);
+        indices.iter().partition(|&&i| data.at(i, col) == level);
     // Reserve this node's slot before growing children.
     let my = nodes.len();
     nodes.push(Node::Leaf { class: majority }); // placeholder
@@ -257,8 +257,9 @@ fn best_split(
         // Joint (level, class) counts in one pass.
         let mut level_class = vec![0usize; card * n_classes];
         let mut level_totals = vec![0usize; card];
+        let levels = data.column(col);
         for &i in indices {
-            let l = data.row(i)[col] as usize;
+            let l = levels[i] as usize;
             level_class[l * n_classes + data.label(i) as usize] += 1;
             level_totals[l] += 1;
         }
@@ -342,7 +343,11 @@ mod tests {
             },
         );
         for i in 0..data.n_rows() {
-            assert_eq!(model.predict(data.row(i)), data.raw_label(i), "row {i}");
+            assert_eq!(
+                model.predict(&data.row_vec(i)),
+                data.raw_label(i),
+                "row {i}"
+            );
         }
         assert!(model.depth() >= 2, "XOR needs two levels of splits");
     }

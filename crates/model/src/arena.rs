@@ -1,0 +1,236 @@
+//! A shared, immutable, column-major view of the fleet's attributes.
+//!
+//! The CF fit runs one job per parameter, and every job needs the same
+//! inputs: each carrier's attribute levels and the X2 pair endpoints.
+//! Walking `snapshot.carriers` through per-carrier structs makes every job
+//! chase `N` heap pointers per attribute read, and at paper scale (400K
+//! carriers, 2.2M pairs, 65 jobs) that pointer soup is what turns the fit
+//! memory-bound. The [`AttrArena`] is built **once**, before the worker
+//! pool starts, and shared by reference: one dense `u16` column per
+//! attribute plus two `u32` endpoint columns for the directed pair list.
+//! Columns are `Arc` slices so derived structures (key-column caches,
+//! learner datasets) can alias them without copying.
+//!
+//! The arena is a *view*: it never outlives the decisions made from the
+//! snapshot and is not serialized.
+
+use crate::attrs::{AttrId, AttrValue};
+use crate::snapshot::NetworkSnapshot;
+use crate::x2::PairIdx;
+use std::sync::Arc;
+
+/// Column-major carrier attributes plus the pair endpoint index.
+///
+/// `columns[a][c]` is attribute `a`'s level for carrier index `c` — the
+/// transpose of the snapshot's row-major `carriers[c].attrs`. `pair_src[p]`
+/// / `pair_dst[p]` are the carrier indices of directed pair `p`, in the
+/// canonical [`crate::x2::X2Graph::pairs`] order.
+#[derive(Debug, Clone)]
+pub struct AttrArena {
+    columns: Vec<Arc<[AttrValue]>>,
+    pair_src: Arc<[u32]>,
+    pair_dst: Arc<[u32]>,
+}
+
+impl AttrArena {
+    /// Encodes `snapshot`'s carrier attributes and pair list into columns.
+    ///
+    /// One pass over the carriers fills all attribute columns; one pass
+    /// over `x2.pairs()` fills the endpoint columns.
+    pub fn from_snapshot(snapshot: &NetworkSnapshot) -> Self {
+        let n_attrs = snapshot.schema.n_attrs();
+        let n_carriers = snapshot.carriers.len();
+        let mut columns: Vec<Vec<AttrValue>> = vec![Vec::with_capacity(n_carriers); n_attrs];
+        for carrier in &snapshot.carriers {
+            for (col, &v) in columns.iter_mut().zip(carrier.attrs.as_slice()) {
+                col.push(v);
+            }
+        }
+        let n_pairs = snapshot.x2.n_pairs();
+        let mut pair_src = Vec::with_capacity(n_pairs);
+        let mut pair_dst = Vec::with_capacity(n_pairs);
+        for (_, j, k) in snapshot.x2.pairs() {
+            pair_src.push(j.index() as u32);
+            pair_dst.push(k.index() as u32);
+        }
+        Self {
+            columns: columns.into_iter().map(Arc::from).collect(),
+            pair_src: Arc::from(pair_src),
+            pair_dst: Arc::from(pair_dst),
+        }
+    }
+
+    /// Number of attribute columns.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of carriers (length of every attribute column).
+    pub fn n_carriers(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of directed X2 pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pair_src.len()
+    }
+
+    /// Attribute `a`'s column: one level per carrier index.
+    #[inline]
+    pub fn column(&self, a: AttrId) -> &[AttrValue] {
+        &self.columns[a.index()]
+    }
+
+    /// Attribute `a`'s column as a shareable `Arc` slice, for structures
+    /// that want to alias it without copying.
+    #[inline]
+    pub fn column_arc(&self, a: AttrId) -> Arc<[AttrValue]> {
+        Arc::clone(&self.columns[a.index()])
+    }
+
+    /// Attribute `a`'s level for carrier index `c`.
+    #[inline]
+    pub fn value(&self, c: usize, a: AttrId) -> AttrValue {
+        self.columns[a.index()][c]
+    }
+
+    /// Source carrier indices of the directed pair list.
+    #[inline]
+    pub fn pair_src(&self) -> &[u32] {
+        &self.pair_src
+    }
+
+    /// Destination carrier indices of the directed pair list.
+    #[inline]
+    pub fn pair_dst(&self) -> &[u32] {
+        &self.pair_dst
+    }
+
+    /// Endpoint carrier indices of directed pair `p`.
+    #[inline]
+    pub fn pair(&self, p: PairIdx) -> (usize, usize) {
+        (
+            self.pair_src[p as usize] as usize,
+            self.pair_dst[p as usize] as usize,
+        )
+    }
+
+    /// Resident bytes of the arena's columns (attribute + endpoint), for
+    /// the `cf.fit.arena.bytes` gauge.
+    pub fn bytes(&self) -> usize {
+        let attr = self
+            .columns
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<AttrValue>())
+            .sum::<usize>();
+        attr + (self.pair_src.len() + self.pair_dst.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AttrDef, AttrVec, AttributeSchema};
+    use crate::carrier::{Band, Carrier, Enodeb, Market, Morphology, Point, Timezone, Vendor};
+    use crate::config::Configuration;
+    use crate::ids::{CarrierId, EnodebId, MarketId};
+    use crate::params::ParamCatalog;
+    use crate::x2::X2Graph;
+
+    /// Three carriers on one eNodeB, a path X2 graph.
+    fn snapshot() -> NetworkSnapshot {
+        let schema = AttributeSchema::new(vec![
+            AttrDef {
+                name: "morphology".into(),
+                dynamic: false,
+                levels: vec!["urban".into(), "rural".into()],
+            },
+            AttrDef {
+                name: "band".into(),
+                dynamic: false,
+                levels: vec!["low".into(), "mid".into(), "high".into()],
+            },
+        ]);
+        let attrs = [[0u16, 2], [1, 1], [0, 0]];
+        let carriers: Vec<Carrier> = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, row)| Carrier {
+                id: CarrierId(i as u32),
+                enodeb: EnodebId(0),
+                market: MarketId(0),
+                face: 0,
+                band: Band::Low,
+                attrs: AttrVec::new(row.to_vec()),
+            })
+            .collect();
+        let x2 = X2Graph::from_edges(
+            3,
+            &[(CarrierId(0), CarrierId(1)), (CarrierId(1), CarrierId(2))],
+        );
+        let catalog = ParamCatalog::new(vec![]);
+        let config = Configuration::with_defaults(&catalog, 3, x2.n_pairs());
+        NetworkSnapshot {
+            schema,
+            catalog,
+            markets: vec![Market {
+                id: MarketId(0),
+                name: "m".into(),
+                timezone: Timezone::Eastern,
+                carriers: vec![CarrierId(0), CarrierId(1), CarrierId(2)],
+                enodebs: vec![EnodebId(0)],
+            }],
+            enodebs: vec![Enodeb {
+                id: EnodebId(0),
+                market: MarketId(0),
+                position: Point { x: 0.0, y: 0.0 },
+                morphology: Morphology::Urban,
+                vendor: Vendor::VendorA,
+                carriers: vec![CarrierId(0), CarrierId(1), CarrierId(2)],
+            }],
+            carriers,
+            x2,
+            config,
+        }
+    }
+
+    #[test]
+    fn columns_are_the_transpose_of_carrier_rows() {
+        let snap = snapshot();
+        let arena = AttrArena::from_snapshot(&snap);
+        assert_eq!(arena.n_attrs(), 2);
+        assert_eq!(arena.n_carriers(), 3);
+        assert_eq!(arena.column(AttrId(0)), &[0, 1, 0]);
+        assert_eq!(arena.column(AttrId(1)), &[2, 1, 0]);
+        for (c, carrier) in snap.carriers.iter().enumerate() {
+            for a in snap.schema.attr_ids() {
+                assert_eq!(arena.value(c, a), carrier.attrs.get(a));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_columns_follow_the_canonical_pair_order() {
+        let snap = snapshot();
+        let arena = AttrArena::from_snapshot(&snap);
+        assert_eq!(arena.n_pairs(), snap.x2.n_pairs());
+        for (p, j, k) in snap.x2.pairs() {
+            assert_eq!(arena.pair(p), (j.index(), k.index()));
+        }
+    }
+
+    #[test]
+    fn column_arcs_alias_the_arena() {
+        let snap = snapshot();
+        let arena = AttrArena::from_snapshot(&snap);
+        let col = arena.column_arc(AttrId(1));
+        assert!(Arc::ptr_eq(&col, &arena.columns[1]));
+    }
+
+    #[test]
+    fn bytes_counts_all_columns() {
+        let arena = AttrArena::from_snapshot(&snapshot());
+        // 2 attr columns × 3 carriers × 2 bytes + 2 pair columns × 4 pairs × 4 bytes.
+        assert_eq!(arena.bytes(), 2 * 3 * 2 + 2 * 4 * 4);
+    }
+}

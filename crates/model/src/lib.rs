@@ -12,6 +12,7 @@
 //! substrate the generator (`auric-netgen`), the recommender (`auric-core`)
 //! and the deployment simulator (`auric-ems`) all build on.
 
+pub mod arena;
 pub mod attrs;
 pub mod carrier;
 pub mod config;
@@ -20,6 +21,7 @@ pub mod params;
 pub mod snapshot;
 pub mod x2;
 
+pub use arena::AttrArena;
 pub use attrs::{AttrDef, AttrId, AttrValue, AttrVec, AttributeSchema};
 pub use carrier::{Band, Carrier, Enodeb, Market, Morphology, Point, Timezone, Vendor};
 pub use config::{Configuration, PairIdx, Provenance};

@@ -6,7 +6,7 @@ use crate::rules::{self, LatentRule};
 use crate::scale::{NetScale, TuningKnobs};
 use crate::topology;
 use crate::tuning::{self, Pocket};
-use auric_model::{NetworkSnapshot, ParamCatalog};
+use auric_model::{AttrArena, NetworkSnapshot, ParamCatalog};
 use serde::{Deserialize, Serialize};
 
 /// Everything the generator knows that the learners must *discover*:
@@ -24,6 +24,15 @@ pub struct GroundTruth {
 pub struct GeneratedNetwork {
     pub snapshot: NetworkSnapshot,
     pub truth: GroundTruth,
+}
+
+impl GeneratedNetwork {
+    /// Encodes the generated fleet's attributes into a shared columnar
+    /// [`AttrArena`] — build it once before fanning jobs out and pass it
+    /// to the `_in` fit/dataset entry points.
+    pub fn arena(&self) -> AttrArena {
+        AttrArena::from_snapshot(&self.snapshot)
+    }
 }
 
 /// Generates a network at `scale` with tuning processes `knobs`.
@@ -101,6 +110,20 @@ mod tests {
         assert_eq!(net.snapshot.markets.len(), 2);
         assert_eq!(net.snapshot.catalog.len(), 65);
         assert_eq!(net.truth.rules.len(), 65);
+    }
+
+    #[test]
+    fn arena_matches_the_generated_fleet() {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::default());
+        let arena = net.arena();
+        assert_eq!(arena.n_carriers(), net.snapshot.n_carriers());
+        assert_eq!(arena.n_pairs(), net.snapshot.x2.n_pairs());
+        for a in net.snapshot.schema.attr_ids() {
+            let col = arena.column(a);
+            for (i, c) in net.snapshot.carriers.iter().enumerate() {
+                assert_eq!(col[i], c.attrs.get(a));
+            }
+        }
     }
 
     #[test]

@@ -175,6 +175,7 @@ struct Inner {
     /// can drive span time deterministically.
     manual: Option<Arc<ManualClock>>,
     counters: Registry<AtomicU64>,
+    gauges: Registry<AtomicU64>,
     histograms: Registry<Histogram>,
     spans: Registry<SpanStats>,
 }
@@ -209,6 +210,7 @@ impl Recorder {
                 clock: manual.clone(),
                 manual: Some(manual),
                 counters: RwLock::new(HashMap::new()),
+                gauges: RwLock::new(HashMap::new()),
                 histograms: RwLock::new(HashMap::new()),
                 spans: RwLock::new(HashMap::new()),
             })),
@@ -222,6 +224,7 @@ impl Recorder {
                 clock,
                 manual: None,
                 counters: RwLock::new(HashMap::new()),
+                gauges: RwLock::new(HashMap::new()),
                 histograms: RwLock::new(HashMap::new()),
                 spans: RwLock::new(HashMap::new()),
             })),
@@ -270,6 +273,39 @@ impl Recorder {
             .entry(name.to_string())
             .or_default()
             .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises gauge `name` to `value` if it is higher (monotone
+    /// max-gauge). Peaks — arena bytes, cache footprints, high-water
+    /// marks — are what the reports need, and a max is deterministic
+    /// under concurrent recording where a last-write-wins gauge is not.
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(g) = inner.gauges.read().unwrap().get(name) {
+            g.fetch_max(value, Ordering::Relaxed);
+            return;
+        }
+        inner
+            .gauges
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current gauge value (0 if never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner
+                .gauges
+                .read()
+                .unwrap()
+                .get(name)
+                .map_or(0, |g| g.load(Ordering::Relaxed)),
+        }
     }
 
     /// Records `value` into histogram `name`.
@@ -348,7 +384,7 @@ impl Recorder {
         let mut out = String::from("{\n  \"counters\": {");
         match &self.inner {
             None => {
-                out.push_str("},\n  \"histograms\": {},\n  \"spans\": {}\n}");
+                out.push_str("},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}");
                 return out;
             }
             Some(inner) => {
@@ -366,6 +402,24 @@ impl Recorder {
                     let _ = write!(out, "\n    {}: {v}", json_string(k));
                 }
                 if !counters.is_empty() {
+                    out.push_str("\n  ");
+                }
+                out.push_str("},\n  \"gauges\": {");
+
+                let gauges: BTreeMap<String, u64> = inner
+                    .gauges
+                    .read()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                    .collect();
+                for (i, (k, v)) in gauges.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\n    {}: {v}", json_string(k));
+                }
+                if !gauges.is_empty() {
                     out.push_str("\n  ");
                 }
                 out.push_str("},\n  \"histograms\": {");
@@ -524,14 +578,32 @@ mod tests {
         assert!(!r.enabled());
         r.inc("a");
         r.observe("h", 9);
+        r.gauge_max("g", 7);
         let s = r.span("root");
         let c = s.child("leaf");
         drop(c);
         drop(s);
         assert_eq!(r.counter("a"), 0);
+        assert_eq!(r.gauge("g"), 0);
         assert_eq!(
             r.report_json(),
-            "{\n  \"counters\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}"
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn gauges_keep_the_maximum() {
+        let r = Recorder::deterministic();
+        r.gauge_max("peak", 10);
+        r.gauge_max("peak", 4);
+        let r2 = r.clone();
+        r2.gauge_max("peak", 25);
+        assert_eq!(r.gauge("peak"), 25);
+        assert_eq!(r.gauge("never"), 0);
+        let json = r.report_json();
+        assert!(
+            json.contains("\"gauges\": {\n    \"peak\": 25\n  }"),
+            "{json}"
         );
     }
 

@@ -63,6 +63,16 @@ impl ContingencyTable {
         t
     }
 
+    /// Clears all counts, keeping the shape. Stratified tests sweep one
+    /// reusable table across thousands of strata instead of allocating a
+    /// dense table per stratum.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.row_totals.fill(0);
+        self.col_totals.fill(0);
+        self.total = 0;
+    }
+
     /// Adds `n` observations of (row level `a`, column value `b`).
     pub fn add(&mut self, a: usize, b: usize, n: u64) {
         assert!(
@@ -241,6 +251,15 @@ mod tests {
         // Empty table.
         let empty = ContingencyTable::new(2, 2);
         assert!(!empty.independence_test(0.01).dependent);
+    }
+
+    #[test]
+    fn reset_clears_counts_and_margins() {
+        let mut t = ContingencyTable::from_pairs(2, 3, vec![(0, 0), (1, 2)]);
+        t.reset();
+        assert_eq!(t, ContingencyTable::new(2, 3));
+        t.add(1, 1, 7);
+        assert_eq!(t.total(), 7);
     }
 
     #[test]

@@ -2,37 +2,60 @@
 //! voting recommender (§3.2's "parameter value that has highest support")
 //! and the variability analysis (§2.6).
 
-use serde::{Deserialize, Serialize};
+use serde::{map_field, DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
+
+/// Distinct values a table holds before its counts spill from the inline
+/// arrays to a heap map. Vote-table groups overwhelmingly hold one or two
+/// distinct values (a group is carriers that *agree* on the dependent
+/// attributes, and operators configure them consistently), so nearly every
+/// group stays heap-free; the paper-scale fit keeps tens of millions of
+/// these alive at once and the per-table `HashMap` allocation used to
+/// dominate its RSS.
+const INLINE_CAP: usize = 3;
 
 /// A multiset of `u16` values with O(1) add/remove and majority queries.
 ///
 /// The collaborative-filtering voter keeps one of these per carrier group;
 /// leave-one-out evaluation removes the probe carrier's own value before
 /// asking for the winner and re-adds it afterwards.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Counts for up to [`INLINE_CAP`] distinct values live inline (32 bytes,
+/// no heap); tables wider than that spill to a boxed map and stay spilled.
+/// Equality and the serialized form are representation-independent.
+#[derive(Debug, Clone)]
 pub struct FreqTable {
-    /// Serialized as `(value, count)` pairs: JSON map keys must be
-    /// strings, so a `HashMap<u16, _>` would not round-trip.
-    #[serde(with = "counts_serde")]
-    counts: HashMap<u16, usize>,
+    counts: Counts,
     total: usize,
 }
 
-/// Vec-of-pairs (de)serialization for the count map.
-mod counts_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
+/// Count storage: inline arrays sorted ascending by value, or the spilled
+/// heap map.
+///
+/// The box is load-bearing, not an accident (`clippy::box_collection`
+/// assumes the latter): an unboxed map variant would put 48 bytes in every
+/// *inline* table too, since an enum is as large as its largest variant.
+#[allow(clippy::box_collection)]
+#[derive(Debug, Clone)]
+enum Counts {
+    Small {
+        len: u8,
+        vals: [u16; INLINE_CAP],
+        counts: [u32; INLINE_CAP],
+    },
+    Large(Box<HashMap<u16, usize>>),
+}
 
-    pub fn serialize<S: Serializer>(map: &HashMap<u16, usize>, ser: S) -> Result<S::Ok, S::Error> {
-        let mut pairs: Vec<(u16, usize)> = map.iter().map(|(&k, &v)| (k, v)).collect();
-        pairs.sort_unstable();
-        pairs.serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<HashMap<u16, usize>, D::Error> {
-        let pairs: Vec<(u16, usize)> = Vec::deserialize(de)?;
-        Ok(pairs.into_iter().collect())
+impl Default for FreqTable {
+    fn default() -> Self {
+        Self {
+            counts: Counts::Small {
+                len: 0,
+                vals: [0; INLINE_CAP],
+                counts: [0; INLINE_CAP],
+            },
+            total: 0,
+        }
     }
 }
 
@@ -53,8 +76,42 @@ impl FreqTable {
 
     /// Records one observation of `v`.
     pub fn add(&mut self, v: u16) {
-        *self.counts.entry(v).or_insert(0) += 1;
         self.total += 1;
+        let spill = match &mut self.counts {
+            Counts::Small { len, vals, counts } => {
+                let n = *len as usize;
+                match vals[..n].binary_search(&v) {
+                    Ok(i) if counts[i] < u32::MAX => {
+                        counts[i] += 1;
+                        false
+                    }
+                    Err(i) if n < INLINE_CAP => {
+                        for j in (i..n).rev() {
+                            vals[j + 1] = vals[j];
+                            counts[j + 1] = counts[j];
+                        }
+                        vals[i] = v;
+                        counts[i] = 1;
+                        *len = (n + 1) as u8;
+                        false
+                    }
+                    // A fourth distinct value, or an inline count at
+                    // saturation: move to the heap map and count there.
+                    _ => true,
+                }
+            }
+            Counts::Large(map) => {
+                *map.entry(v).or_insert(0) += 1;
+                false
+            }
+        };
+        if spill {
+            self.spill();
+            let Counts::Large(map) = &mut self.counts else {
+                unreachable!("spill() always leaves the table spilled")
+            };
+            *map.entry(v).or_insert(0) += 1;
+        }
     }
 
     /// Removes one observation of `v`.
@@ -63,15 +120,45 @@ impl FreqTable {
     /// Panics if `v` has no remaining observations — removing something
     /// never added is always a logic error in the caller.
     pub fn remove(&mut self, v: u16) {
-        let c = self
-            .counts
-            .get_mut(&v)
-            .unwrap_or_else(|| panic!("removing value {v} that was never added"));
-        *c -= 1;
-        if *c == 0 {
-            self.counts.remove(&v);
+        match &mut self.counts {
+            Counts::Small { len, vals, counts } => {
+                let n = *len as usize;
+                let i = vals[..n]
+                    .binary_search(&v)
+                    .unwrap_or_else(|_| panic!("removing value {v} that was never added"));
+                counts[i] -= 1;
+                if counts[i] == 0 {
+                    for j in i..n - 1 {
+                        vals[j] = vals[j + 1];
+                        counts[j] = counts[j + 1];
+                    }
+                    *len = (n - 1) as u8;
+                }
+            }
+            Counts::Large(map) => {
+                let c = map
+                    .get_mut(&v)
+                    .unwrap_or_else(|| panic!("removing value {v} that was never added"));
+                *c -= 1;
+                if *c == 0 {
+                    map.remove(&v);
+                }
+            }
         }
         self.total -= 1;
+    }
+
+    /// Moves inline counts to the heap map. No-op when already spilled.
+    fn spill(&mut self) {
+        if let Counts::Small { len, vals, counts } = &self.counts {
+            let n = *len as usize;
+            let map: HashMap<u16, usize> = vals[..n]
+                .iter()
+                .zip(&counts[..n])
+                .map(|(&v, &c)| (v, c as usize))
+                .collect();
+            self.counts = Counts::Large(Box::new(map));
+        }
     }
 
     /// Total observation count.
@@ -81,22 +168,28 @@ impl FreqTable {
 
     /// Count of value `v`.
     pub fn count(&self, v: u16) -> usize {
-        self.counts.get(&v).copied().unwrap_or(0)
+        match &self.counts {
+            Counts::Small { len, vals, counts } => vals[..*len as usize]
+                .binary_search(&v)
+                .map(|i| counts[i] as usize)
+                .unwrap_or(0),
+            Counts::Large(map) => map.get(&v).copied().unwrap_or(0),
+        }
     }
 
     /// Number of distinct values currently present (the paper's
     /// *variability*).
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        match &self.counts {
+            Counts::Small { len, .. } => *len as usize,
+            Counts::Large(map) => map.len(),
+        }
     }
 
     /// The value with the highest count and that count. Ties break toward
     /// the smallest value so results are deterministic. `None` when empty.
     pub fn majority(&self) -> Option<(u16, usize)> {
-        self.counts
-            .iter()
-            .map(|(&v, &c)| (v, c))
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        self.iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
     }
 
     /// The majority value if its support ratio is at least `threshold`
@@ -108,7 +201,18 @@ impl FreqTable {
 
     /// Iterates `(value, count)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u16, usize)> + '_ {
-        self.counts.iter().map(|(&v, &c)| (v, c))
+        let (small, large) = match &self.counts {
+            Counts::Small { len, vals, counts } => {
+                let n = *len as usize;
+                (Some(vals[..n].iter().zip(&counts[..n])), None)
+            }
+            Counts::Large(map) => (None, Some(map.iter())),
+        };
+        small
+            .into_iter()
+            .flatten()
+            .map(|(&v, &c)| (v, c as usize))
+            .chain(large.into_iter().flatten().map(|(&v, &c)| (v, c)))
     }
 
     /// Majority query with one observation of `exclude` virtually removed
@@ -136,7 +240,7 @@ impl FreqTable {
             return None;
         }
         let mut best: Option<(u16, usize)> = None;
-        for (&v, &c) in &self.counts {
+        for (v, c) in self.iter() {
             let c = if Some(v) == exclude { c - 1 } else { c };
             if c == 0 {
                 continue;
@@ -149,6 +253,136 @@ impl FreqTable {
         }
         let (v, c) = best?;
         (c as f64 >= threshold * total as f64).then_some((v, c, total))
+    }
+
+    /// Adds `c` observations of `v` at once — the bulk form of
+    /// [`FreqTable::add`], equivalent to calling it `c` times.
+    fn add_count(&mut self, v: u16, c: usize) {
+        if c == 0 {
+            return;
+        }
+        self.total += c;
+        let spill = match &mut self.counts {
+            Counts::Small { len, vals, counts } => {
+                let n = *len as usize;
+                match vals[..n].binary_search(&v) {
+                    Ok(i) if counts[i] as usize + c <= u32::MAX as usize => {
+                        counts[i] += c as u32;
+                        false
+                    }
+                    Err(i) if n < INLINE_CAP && c <= u32::MAX as usize => {
+                        for j in (i..n).rev() {
+                            vals[j + 1] = vals[j];
+                            counts[j + 1] = counts[j];
+                        }
+                        vals[i] = v;
+                        counts[i] = c as u32;
+                        *len = (n + 1) as u8;
+                        false
+                    }
+                    _ => true,
+                }
+            }
+            Counts::Large(map) => {
+                *map.entry(v).or_insert(0) += c;
+                false
+            }
+        };
+        if spill {
+            self.spill();
+            let Counts::Large(map) = &mut self.counts else {
+                unreachable!("spill() always leaves the table spilled")
+            };
+            *map.entry(v).or_insert(0) += c;
+        }
+    }
+
+    /// Merges another table's counts into this one — the union of the two
+    /// multisets. The backoff recommender uses this to aggregate a prefix
+    /// group from its full-key subgroups on demand instead of keeping an
+    /// eagerly materialized table per prefix level.
+    pub fn merge(&mut self, other: &FreqTable) {
+        for (v, c) in other.iter() {
+            self.add_count(v, c);
+        }
+    }
+
+    /// The `(value, count)` pairs sorted by value — the canonical form
+    /// equality and serialization are defined over.
+    fn sorted_pairs(&self) -> Vec<(u16, usize)> {
+        let mut pairs: Vec<(u16, usize)> = self.iter().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Sets `v`'s count to exactly `c` (last write wins), mirroring the
+    /// map-insert semantics the wire format deserializes with.
+    fn set_count(&mut self, v: u16, c: usize) {
+        let spill = match &mut self.counts {
+            Counts::Small { len, vals, counts } => {
+                let n = *len as usize;
+                match vals[..n].binary_search(&v) {
+                    Ok(i) if c <= u32::MAX as usize => {
+                        counts[i] = c as u32;
+                        false
+                    }
+                    Err(i) if n < INLINE_CAP && c <= u32::MAX as usize => {
+                        for j in (i..n).rev() {
+                            vals[j + 1] = vals[j];
+                            counts[j + 1] = counts[j];
+                        }
+                        vals[i] = v;
+                        counts[i] = c as u32;
+                        *len = (n + 1) as u8;
+                        false
+                    }
+                    _ => true,
+                }
+            }
+            Counts::Large(_) => true,
+        };
+        if spill {
+            self.spill();
+            let Counts::Large(map) = &mut self.counts else {
+                unreachable!("spill() always leaves the table spilled")
+            };
+            map.insert(v, c);
+        }
+    }
+}
+
+/// Representation-independent: a spilled table equals an inline table with
+/// the same contents.
+impl PartialEq for FreqTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.sorted_pairs() == other.sorted_pairs()
+    }
+}
+
+impl Eq for FreqTable {}
+
+/// Wire format: `{"counts": [[value, count], ...], "total": n}` with the
+/// pairs sorted by value — JSON map keys must be strings, so a map-shaped
+/// encoding would not round-trip `u16` keys.
+impl Serialize for FreqTable {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("counts".to_string(), self.sorted_pairs().to_value()),
+            ("total".to_string(), self.total.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FreqTable {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let counts: Vec<(u16, usize)> = Deserialize::from_value(map_field(v, "counts")?)?;
+        let total: usize = Deserialize::from_value(map_field(v, "total")?)?;
+        let mut t = FreqTable::new();
+        for (value, count) in counts {
+            t.set_count(value, count);
+        }
+        t.total = total;
+        Ok(t)
     }
 }
 
@@ -182,6 +416,32 @@ mod tests {
     #[should_panic(expected = "never added")]
     fn remove_unknown_panics() {
         FreqTable::new().remove(9);
+    }
+
+    #[test]
+    fn merge_equals_repeated_add_across_the_spill_boundary() {
+        // Merging must match adding the other table's observations one by
+        // one — including when the union's distinct count crosses the
+        // inline capacity and the receiver spills mid-merge.
+        let mut a = FreqTable::from_values([1, 1, 2, 3]);
+        let b = FreqTable::from_values([2, 4, 4, 5, 6]);
+        let mut expected = a.clone();
+        for v in [2, 4, 4, 5, 6] {
+            expected.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, expected);
+        assert_eq!(a.total(), 9);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(4), 2);
+        // Merging an empty table is a no-op; merging into an empty table
+        // clones the source's distribution.
+        let before = a.clone();
+        a.merge(&FreqTable::new());
+        assert_eq!(a, before);
+        let mut fresh = FreqTable::new();
+        fresh.merge(&b);
+        assert_eq!(fresh, b);
     }
 
     #[test]
@@ -253,5 +513,137 @@ mod tests {
     fn distinct_count_helper() {
         assert_eq!(distinct_count(&[1, 1, 2, 9, 9, 9]), 3);
         assert_eq!(distinct_count(&[]), 0);
+    }
+
+    #[test]
+    fn spilling_past_inline_capacity_preserves_every_query() {
+        // 5 distinct values crosses INLINE_CAP mid-build.
+        let t = FreqTable::from_values([4, 1, 4, 3, 2, 0, 4, 2]);
+        assert_eq!(t.total(), 8);
+        assert_eq!(t.distinct(), 5);
+        for (v, c) in [(0, 1), (1, 1), (2, 2), (3, 1), (4, 3), (9, 0)] {
+            assert_eq!(t.count(v), c, "count({v})");
+        }
+        assert_eq!(t.majority(), Some((4, 3)));
+        assert_eq!(
+            t.majority_with_support_excluding(Some(4), 0.25),
+            Some((2, 2, 7))
+        );
+        let mut pairs: Vec<(u16, usize)> = t.iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 1), (2, 2), (3, 1), (4, 3)]);
+    }
+
+    #[test]
+    fn spilled_and_inline_tables_with_equal_contents_are_equal() {
+        // Spill by exceeding the cap, then remove back under it: the table
+        // stays spilled but must equal the never-spilled twin.
+        let mut spilled = FreqTable::from_values([1, 1, 2, 3, 4]);
+        spilled.remove(4);
+        let inline = FreqTable::from_values([3, 2, 1, 1]);
+        assert_eq!(spilled, inline);
+        assert_eq!(inline, spilled);
+        spilled.add(2);
+        assert_ne!(spilled, inline);
+    }
+
+    #[test]
+    fn remove_in_the_middle_keeps_inline_order() {
+        let mut t = FreqTable::from_values([9, 5, 7]);
+        t.remove(7);
+        assert_eq!(t.distinct(), 2);
+        assert_eq!(t.count(5), 1);
+        assert_eq!(t.count(7), 0);
+        assert_eq!(t.count(9), 1);
+        // Insertion stays sorted after the hole closes.
+        t.add(6);
+        assert_eq!(t.majority(), Some((5, 1)));
+    }
+
+    #[test]
+    fn serde_wire_format_is_sorted_pairs() {
+        let t = FreqTable::from_values([9, 2, 2, 5, 9, 9]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, r#"{"counts":[[2,2],[5,1],[9,3]],"total":6}"#);
+        let back: FreqTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // A spilled table serializes identically and round-trips.
+        let wide = FreqTable::from_values([0, 1, 2, 3, 4, 4]);
+        let back: FreqTable = serde_json::from_str(&serde_json::to_string(&wide).unwrap()).unwrap();
+        assert_eq!(back, wide);
+        assert_eq!(back.majority(), Some((4, 2)));
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference model: the plain map the table used to be built on.
+        #[derive(Default)]
+        struct Naive {
+            counts: HashMap<u16, usize>,
+            total: usize,
+        }
+
+        impl Naive {
+            fn add(&mut self, v: u16) {
+                *self.counts.entry(v).or_insert(0) += 1;
+                self.total += 1;
+            }
+            fn remove(&mut self, v: u16) {
+                let c = self.counts.get_mut(&v).unwrap();
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&v);
+                }
+                self.total -= 1;
+            }
+            fn majority(&self) -> Option<(u16, usize)> {
+                self.counts
+                    .iter()
+                    .map(|(&v, &c)| (v, c))
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Random add/remove interleavings: every query agrees with
+            /// the naive map at every step, across the spill boundary.
+            #[test]
+            fn table_matches_naive_map(
+                ops in proptest::collection::vec((0u16..6, 0u8..2), 1..40)
+            ) {
+                let mut t = FreqTable::new();
+                let mut n = Naive::default();
+                for (v, is_add) in ops {
+                    let is_add = is_add == 1;
+                    if is_add || n.counts.get(&v).copied().unwrap_or(0) == 0 {
+                        t.add(v);
+                        n.add(v);
+                    } else {
+                        t.remove(v);
+                        n.remove(v);
+                    }
+                    prop_assert_eq!(t.total(), n.total);
+                    prop_assert_eq!(t.distinct(), n.counts.len());
+                    prop_assert_eq!(t.majority(), n.majority());
+                    for v in 0u16..6 {
+                        prop_assert_eq!(t.count(v), n.counts.get(&v).copied().unwrap_or(0));
+                    }
+                    let mut pairs: Vec<(u16, usize)> = t.iter().collect();
+                    pairs.sort_unstable();
+                    let mut naive_pairs: Vec<(u16, usize)> =
+                        n.counts.iter().map(|(&v, &c)| (v, c)).collect();
+                    naive_pairs.sort_unstable();
+                    prop_assert_eq!(pairs, naive_pairs);
+                    // Round-trip through the wire format at every step.
+                    let json = serde_json::to_string(&t).unwrap();
+                    let back: FreqTable = serde_json::from_str(&json).unwrap();
+                    prop_assert_eq!(back, t.clone());
+                }
+            }
+        }
     }
 }

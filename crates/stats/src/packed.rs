@@ -1,41 +1,52 @@
-//! Mixed-radix packing of categorical keys into a single `u64`.
+//! Mixed-radix packing of categorical keys into a single `u128`.
 //!
 //! The voting recommender groups carriers by an exact-match key over the
 //! dependent attributes. Representing that key as a `Vec<u16>` makes every
 //! group lookup hash a heap allocation and every key construction allocate;
 //! at leave-one-out sweep volume (every carrier × every parameter × every
 //! probe) that dominates the hot path. A [`PackedKeyCodec`] instead lays
-//! the key positions out as contiguous bit fields of a `u64`:
+//! the key positions out as contiguous bit fields of a `u128`:
 //!
 //! - position `i` with cardinality `c_i` gets `ceil(log2(c_i + 1))` bits,
 //!   enough for the levels `0..c_i` *plus* one reserved sentinel level
 //!   `c_i` that out-of-range probe values (e.g. `u16::MAX`) collapse to.
 //!   Recorded observations are always in range, so a sentinel never equals
 //!   a recorded level and "unseen key" semantics are preserved exactly;
-//! - positions are packed low-to-high, so the group key of the *first*
-//!   `l` positions is just `key & prefix_mask(l)` — the hierarchical
-//!   backoff tables need no re-projection;
+//! - position 0 is packed into the *most significant* bits and later
+//!   positions descend from there, so the group key of the *first* `l`
+//!   positions is just `key & prefix_mask(l)` — no re-projection — and,
+//!   crucially, the integer order of packed keys equals the
+//!   lexicographic order of the unpacked keys. Sorting groups by packed
+//!   key therefore lays every prefix group out as one contiguous run,
+//!   nested hierarchically across prefix lengths: the property the
+//!   backoff recommender's sorted group storage aggregates ranges over;
 //! - keys compare and hash as plain integers ([`FastHash`] below).
 //!
-//! When the total bit width exceeds 64 (possible only under the marginal
-//! dependency-selection ablation, which can keep twenty-plus attributes),
-//! the codec reports `fits_u64() == false` and callers fall back to a wide
+//! The width was `u64` until paper-scale fits proved that too small: with
+//! 2.2M samples the chi-square dependency selection keeps enough
+//! attributes that pairwise layouts routinely cross 64 bits, and the wide
+//! fallback's per-group boxed keys dominated peak RSS. 128 bits cover
+//! every layout the Table-1 schema can produce (worst case ~94 bits with
+//! all 14 attributes selected on both pair endpoints). When a layout
+//! still exceeds 128 bits (only reachable under exotic schemas), the
+//! codec reports `fits_u128() == false` and callers fall back to a wide
 //! `Box<[u16]>` key representation; [`PackedKeyCodec::clamp`] applies the
 //! same sentinel collapse there so both representations agree on probe
 //! semantics.
 
 use std::hash::{BuildHasher, Hasher};
 
-/// Bit-field layout for packing one categorical key into a `u64`.
+/// Bit-field layout for packing one categorical key into a `u128`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedKeyCodec {
     /// Per-position cardinality; level `cards[i]` is the reserved sentinel.
     cards: Vec<u16>,
-    /// Bit offset of each position, plus the total width as last entry.
+    /// Bit offset of each position, descending from the top of the `u128`
+    /// (position 0 occupies the most significant field).
     shifts: Vec<u8>,
     /// `masks[l]` selects the first `l` positions (`masks[n]` = all).
-    masks: Vec<u64>,
-    /// Total bits required; layouts over 64 bits do not fit a `u64`.
+    masks: Vec<u128>,
+    /// Total bits required; layouts over 128 bits do not fit a `u128`.
     total_bits: u32,
 }
 
@@ -48,26 +59,27 @@ fn field_width(card: u16) -> u32 {
 impl PackedKeyCodec {
     /// Builds the layout for positions with the given cardinalities.
     pub fn new(cards: &[u16]) -> Self {
-        let mut shifts = Vec::with_capacity(cards.len() + 1);
-        let mut total_bits = 0u32;
+        let total_bits: u32 = cards.iter().map(|&c| field_width(c)).sum();
+        let fits = total_bits <= 128;
+        // Shifts descend from the top: position i's field ends where
+        // position i+1's begins. `cum` is the width of the first i
+        // positions; a non-fitting layout never packs, so its shifts are
+        // pinned to 0 rather than left as out-of-range shift amounts.
+        let mut shifts = Vec::with_capacity(cards.len());
+        let mut masks = Vec::with_capacity(cards.len() + 1);
+        let mut cum = 0u32;
+        masks.push(0);
         for &c in cards {
-            shifts.push(total_bits.min(64) as u8);
-            total_bits += field_width(c);
+            cum += field_width(c);
+            shifts.push(if fits { (128 - cum) as u8 } else { 0 });
+            masks.push(if !fits {
+                0
+            } else if cum >= 128 {
+                u128::MAX
+            } else {
+                !(u128::MAX >> cum)
+            });
         }
-        shifts.push(total_bits.min(64) as u8);
-        let fits = total_bits <= 64;
-        let masks = shifts
-            .iter()
-            .map(|&s| {
-                if !fits {
-                    0
-                } else if s >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << s) - 1
-                }
-            })
-            .collect();
         Self {
             cards: cards.to_vec(),
             shifts,
@@ -86,10 +98,10 @@ impl PackedKeyCodec {
         &self.cards
     }
 
-    /// Whether the whole key fits one `u64`.
+    /// Whether the whole key fits one `u128`.
     #[inline]
-    pub fn fits_u64(&self) -> bool {
-        self.total_bits <= 64
+    pub fn fits_u128(&self) -> bool {
+        self.total_bits <= 128
     }
 
     /// Clamps a level to the position's range, collapsing every
@@ -106,55 +118,55 @@ impl PackedKeyCodec {
     /// Packs the first `vals.len()` positions (`vals.len() <= n_positions`).
     ///
     /// # Panics
-    /// Debug-panics if the layout does not fit a `u64` or `vals` is longer
+    /// Debug-panics if the layout does not fit a `u128` or `vals` is longer
     /// than the layout.
     #[inline]
-    pub fn pack(&self, vals: &[u16]) -> u64 {
-        debug_assert!(self.fits_u64(), "packing a wide layout");
+    pub fn pack(&self, vals: &[u16]) -> u128 {
+        debug_assert!(self.fits_u128(), "packing a wide layout");
         debug_assert!(vals.len() <= self.cards.len());
-        let mut key = 0u64;
+        let mut key = 0u128;
         for (i, &v) in vals.iter().enumerate() {
-            key |= (self.clamp_level(i, v) as u64) << self.shifts[i];
+            key |= (self.clamp_level(i, v) as u128) << self.shifts[i];
         }
         key
     }
 
     /// Packs a full key reading position `i`'s level from `level(i)`.
     #[inline]
-    pub fn pack_with(&self, mut level: impl FnMut(usize) -> u16) -> u64 {
-        debug_assert!(self.fits_u64(), "packing a wide layout");
-        let mut key = 0u64;
+    pub fn pack_with(&self, mut level: impl FnMut(usize) -> u16) -> u128 {
+        debug_assert!(self.fits_u128(), "packing a wide layout");
+        let mut key = 0u128;
         for i in 0..self.cards.len() {
-            key |= (self.clamp_level(i, level(i)) as u64) << self.shifts[i];
+            key |= (self.clamp_level(i, level(i)) as u128) << self.shifts[i];
         }
         key
     }
 
     /// Unpacks the first `len` positions of a packed key.
-    pub fn unpack(&self, key: u64, len: usize) -> Vec<u16> {
+    pub fn unpack(&self, key: u128, len: usize) -> Vec<u16> {
         debug_assert!(len <= self.cards.len());
         (0..len)
             .map(|i| {
                 let width = field_width(self.cards[i]);
-                ((key >> self.shifts[i]) & ((1u64 << width) - 1)) as u16
+                ((key >> self.shifts[i]) & ((1u128 << width) - 1)) as u16
             })
             .collect()
     }
 
     /// The mask selecting the first `l` positions.
     #[inline]
-    pub fn prefix_mask(&self, l: usize) -> u64 {
+    pub fn prefix_mask(&self, l: usize) -> u128 {
         self.masks[l]
     }
 
     /// The packed key of the first `l` positions of `key` — equivalent to
     /// re-projecting onto the prefix, without touching the attributes.
     #[inline]
-    pub fn prefix(&self, key: u64, l: usize) -> u64 {
+    pub fn prefix(&self, key: u128, l: usize) -> u128 {
         key & self.masks[l]
     }
 
-    /// Sentinel-clamps an unpacked key for the wide (over-64-bit) fallback
+    /// Sentinel-clamps an unpacked key for the wide (over-128-bit) fallback
     /// representation, so out-of-range probe levels collapse identically
     /// in both representations.
     pub fn clamp(&self, vals: &[u16]) -> Vec<u16> {
@@ -192,6 +204,14 @@ impl Hasher for FastHasher {
         // (where multiply mixes best) down into the index bits.
         let h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         self.0 = h ^ (h >> 32);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        // Two chained multiply-shifts: the first folds the high half into
+        // the state, so keys differing only above bit 63 still spread.
+        self.write_u64((v >> 64) as u64);
+        self.write_u64(v as u64);
     }
 
     #[inline]
@@ -238,7 +258,7 @@ mod tests {
     #[test]
     fn round_trips_in_range_keys() {
         let codec = PackedKeyCodec::new(&[3, 1, 20, 5]);
-        assert!(codec.fits_u64());
+        assert!(codec.fits_u128());
         let vals = [2u16, 0, 19, 4];
         let key = codec.pack(&vals);
         assert_eq!(codec.unpack(key, 4), vals);
@@ -270,31 +290,53 @@ mod tests {
     #[test]
     fn empty_layout_packs_to_zero() {
         let codec = PackedKeyCodec::new(&[]);
-        assert!(codec.fits_u64());
+        assert!(codec.fits_u128());
         assert_eq!(codec.pack(&[]), 0);
         assert_eq!(codec.unpack(0, 0), Vec::<u16>::new());
     }
 
     #[test]
     fn oversized_layouts_report_no_fit() {
-        // 13 positions × 6 bits (card 32 ⇒ levels 0..=32) = 78 bits.
-        let cards = vec![32u16; 13];
+        // 22 positions × 6 bits (card 32 ⇒ levels 0..=32) = 132 bits.
+        let cards = vec![32u16; 22];
         let codec = PackedKeyCodec::new(&cards);
-        assert!(!codec.fits_u64());
+        assert!(!codec.fits_u128());
         // Clamping still applies sentinel semantics for the wide fallback.
-        assert_eq!(codec.clamp(&[u16::MAX; 13]), vec![32u16; 13]);
+        assert_eq!(codec.clamp(&[u16::MAX; 22]), vec![32u16; 22]);
+        // 13 positions (78 bits) overflowed the old u64 layout; they are
+        // exactly why the codec moved to u128.
+        assert!(PackedKeyCodec::new(&[32u16; 13]).fits_u128());
     }
 
     #[test]
-    fn exact_64_bit_layout_fits() {
-        // 8 positions × 8 bits (card 255 ⇒ levels 0..=255 need 8 bits).
-        let cards = vec![255u16; 8];
+    fn exact_128_bit_layout_fits() {
+        // 16 positions × 8 bits (card 255 ⇒ levels 0..=255 need 8 bits).
+        let cards = vec![255u16; 16];
         let codec = PackedKeyCodec::new(&cards);
-        assert!(codec.fits_u64());
-        let vals: Vec<u16> = (0..8).map(|i| 31 * i).collect();
+        assert!(codec.fits_u128());
+        let vals: Vec<u16> = (0..16).map(|i| 15 * i).collect();
         let key = codec.pack(&vals);
-        assert_eq!(codec.unpack(key, 8), vals);
-        assert_eq!(codec.prefix_mask(8), u64::MAX);
+        assert_eq!(codec.unpack(key, 16), vals);
+        assert_eq!(codec.prefix_mask(16), u128::MAX);
+    }
+
+    #[test]
+    fn packed_order_is_lexicographic_order() {
+        // The property the sorted group storage depends on: comparing
+        // packed keys as integers == comparing unpacked keys position by
+        // position, so prefix groups are contiguous runs after sorting.
+        let codec = PackedKeyCodec::new(&[2, 300, 3]);
+        let mut unpacked = Vec::new();
+        for a in 0..=2u16 {
+            for b in [0u16, 1, 37, 299, 300] {
+                for c in 0..=3u16 {
+                    unpacked.push(vec![a, b, c]);
+                }
+            }
+        }
+        let mut by_packed = unpacked.clone();
+        by_packed.sort_by_key(|v| codec.pack(v));
+        assert_eq!(by_packed, unpacked, "integer order must be lex order");
     }
 
     #[test]
@@ -332,7 +374,7 @@ mod tests {
                 let cards: Vec<u16> = spec.iter().map(|&(c, _)| c).collect();
                 let vals: Vec<u16> = spec.iter().map(|&(_, v)| v).collect();
                 let codec = PackedKeyCodec::new(&cards);
-                prop_assert!(codec.fits_u64(), "12 positions × ≤6 bits always fit");
+                prop_assert!(codec.fits_u128(), "12 positions × ≤6 bits always fit");
                 let key = codec.pack(&vals);
                 let clamped = codec.clamp(&vals);
                 for l in 0..=vals.len() {
@@ -349,26 +391,43 @@ mod tests {
                 let cards: Vec<u16> = spec.iter().map(|&(c, _)| c).collect();
                 let vals: Vec<u16> = spec.iter().map(|&(_, v)| v).collect();
                 let codec = PackedKeyCodec::new(&cards);
-                prop_assert!(codec.fits_u64(), "9 positions × ≤9 bits always fit");
+                prop_assert!(codec.fits_u128(), "9 positions × ≤9 bits always fit");
                 let key = codec.pack(&vals);
                 for l in 0..=vals.len() {
                     prop_assert_eq!(codec.prefix(key, l), codec.pack(&vals[..l]));
                 }
             }
 
-            /// `fits_u64` agrees with an independent width computation, and
-            /// wide layouts still clamp for the fallback representation.
+            /// `fits_u128` agrees with an independent width computation,
+            /// and wide layouts still clamp for the fallback representation.
             #[test]
             fn overflow_detection_matches_reference(
                 cards in collection::vec(1u16..2000, 0..24),
             ) {
                 let codec = PackedKeyCodec::new(&cards);
-                prop_assert_eq!(codec.fits_u64(), expected_bits(&cards) <= 64);
+                prop_assert_eq!(codec.fits_u128(), expected_bits(&cards) <= 128);
                 let probe: Vec<u16> = cards.iter().map(|_| u16::MAX).collect();
                 let clamped = codec.clamp(&probe);
                 for (i, &c) in cards.iter().enumerate() {
                     prop_assert_eq!(clamped[i], c, "sentinel at position {}", i);
                 }
+            }
+
+            /// Integer comparison of packed keys agrees with
+            /// lexicographic comparison of the clamped unpacked keys —
+            /// the sorted-group-storage invariant, fuzzed.
+            #[test]
+            fn packed_comparison_is_lexicographic(
+                cards in collection::vec(1u16..300, 1..9),
+                a_seed in collection::vec(0u16..600, 9..10),
+                b_seed in collection::vec(0u16..600, 9..10),
+            ) {
+                let codec = PackedKeyCodec::new(&cards);
+                prop_assert!(codec.fits_u128());
+                let a: Vec<u16> = a_seed[..cards.len()].to_vec();
+                let b: Vec<u16> = b_seed[..cards.len()].to_vec();
+                let (ca, cb) = (codec.clamp(&a), codec.clamp(&b));
+                prop_assert_eq!(codec.pack(&a).cmp(&codec.pack(&b)), ca.cmp(&cb));
             }
 
             /// A `u16::MAX` probe level packs to the same key as the
@@ -379,7 +438,7 @@ mod tests {
                 pos_seed in 0usize..1000,
             ) {
                 let codec = PackedKeyCodec::new(&cards);
-                prop_assert!(codec.fits_u64());
+                prop_assert!(codec.fits_u128());
                 let pos = pos_seed % cards.len();
                 let mut probe: Vec<u16> = cards.iter().map(|&c| c / 2).collect();
                 probe[pos] = u16::MAX;
@@ -403,6 +462,17 @@ mod tests {
         for k in 0u64..128 {
             low7.insert(build.hash_one(k) & 0x7f);
         }
+        let mut low7_wide = std::collections::HashSet::new();
+        for k in 0u128..128 {
+            // Vary only the high half: low-bit spread must survive keys
+            // that differ above bit 63.
+            low7_wide.insert(build.hash_one(k << 64) & 0x7f);
+        }
+        assert!(
+            low7_wide.len() > 64,
+            "only {} distinct high-half patterns",
+            low7_wide.len()
+        );
         assert!(
             low7.len() > 64,
             "only {} distinct low-bit patterns",
