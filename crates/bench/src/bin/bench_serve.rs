@@ -1,0 +1,381 @@
+//! Emits `BENCH_serve.json`: a deterministic chaos/load report for the
+//! `auric-serve` front door.
+//!
+//! Six scenarios run back to back against fresh per-market services —
+//! `none`, then each shard fault in isolation at an aggressive rate
+//! (`latency_spike`, `worker_panic`, `poisoned_shard`, `refit_failure`),
+//! then `mixed` with every fault at a moderate rate. Each scenario
+//! drives mixed traffic (singular, pairwise, cold-start, KPI queries)
+//! from one client thread per market, refitting shards mid-flight, and
+//! then checks the serving invariants: every submission gets exactly
+//! one typed terminal outcome, and shed/rejected requests do zero
+//! shard work.
+//!
+//! Everything in the report is *virtual*: latencies are simulated µs,
+//! throughput is simulated rps, and fault schedules are seeded — so the
+//! whole report is byte-identical across same-seed runs (CI diffs two
+//! runs). Wall-clock timings go to stderr only.
+//!
+//! Run with `cargo run --release -p auric-bench --bin bench_serve --
+//! [tiny|small|medium] [--seed N] [--out PATH]`. Exits nonzero if any
+//! invariant is violated.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use auric_core::recommend::NewCarrier;
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_model::{CarrierId, MarketId, NetworkSnapshot};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+use auric_obs::Recorder;
+use auric_serve::{Request, RequestKind, Service, ServiceConfig, ShardFaultPlan, ShardFaultRates};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde_json::{json, Value};
+
+/// Requests per market per scenario, by scale.
+fn requests_per_market(scale_name: &str) -> u64 {
+    match scale_name {
+        "tiny" => 600,
+        "small" => 1_200,
+        _ => 2_000,
+    }
+}
+
+/// One scenario: a name and its shard fault rates.
+fn scenarios() -> Vec<(&'static str, ShardFaultRates)> {
+    let none = ShardFaultRates::none();
+    vec![
+        ("none", none),
+        (
+            "latency_spike",
+            ShardFaultRates {
+                latency_spike: 0.08,
+                ..none
+            },
+        ),
+        (
+            "worker_panic",
+            ShardFaultRates {
+                worker_panic: 0.05,
+                ..none
+            },
+        ),
+        (
+            "poisoned_shard",
+            ShardFaultRates {
+                poisoned_shard: 0.5,
+                ..none
+            },
+        ),
+        (
+            "refit_failure",
+            ShardFaultRates {
+                refit_failure: 0.5,
+                ..none
+            },
+        ),
+        ("mixed", ShardFaultRates::uniform(0.03)),
+    ]
+}
+
+fn fit_market(snap: &NetworkSnapshot, m: MarketId) -> CfModel {
+    CfModel::fit(snap, &Scope::market(snap, m), CfConfig::default())
+}
+
+fn clone_of(snap: &NetworkSnapshot, c: CarrierId) -> NewCarrier {
+    NewCarrier {
+        attrs: snap.carrier(c).attrs.clone(),
+        neighbors: snap.x2.neighbors(c).to_vec(),
+    }
+}
+
+/// Per-market client outcome tally (virtual metrics only).
+#[derive(Default)]
+struct ClientTally {
+    submitted: u64,
+    answered_ok: u64,
+    answered_degraded: u64,
+    by_kind: [u64; 4], // singular, pairwise, cold_start, kpi (submitted)
+    rejected_unknown: u64,
+    rejected_draining: u64,
+    rejected_breaker: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
+    latencies_us: Vec<u64>,
+    /// Last virtual submission instant (for simulated rps).
+    end_us: u64,
+    refits_attempted: u64,
+}
+
+/// Drives one market's seeded traffic against the shared service.
+fn drive_market(
+    svc: &Service,
+    snap: &NetworkSnapshot,
+    market: MarketId,
+    seed: u64,
+    n_requests: u64,
+    refit_every: u64,
+) -> ClientTally {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let carriers = snap.carriers_in_market(market);
+    let mut tally = ClientTally::default();
+    let mut t: u64 = 0;
+    for i in 0..n_requests {
+        t += rng.random_range(80..400u64);
+        let deadline = t + rng.random_range(1_000..8_000u64);
+        let c = carriers[rng.random_range(0..carriers.len() as u64) as usize];
+        // Traffic mix: ~40% singular, ~25% pairwise, ~20% cold-start,
+        // ~15% KPI queries.
+        let draw = rng.random_range(0..100u64);
+        let (kind, kind_idx) = if draw < 40 {
+            (RequestKind::Singular { carrier: c }, 0)
+        } else if draw < 65 {
+            let nc = clone_of(snap, c);
+            match nc.neighbors.first().copied() {
+                Some(neighbor) => (
+                    RequestKind::Pairwise {
+                        new_carrier: nc,
+                        neighbor,
+                    },
+                    1,
+                ),
+                None => (RequestKind::Singular { carrier: c }, 0),
+            }
+        } else if draw < 85 {
+            (RequestKind::ColdStart(clone_of(snap, c)), 2)
+        } else {
+            (RequestKind::Kpi { carrier: c }, 3)
+        };
+        // Periodic hot refit from this market's own thread, so the
+        // shard's refit fault stream stays in submission order.
+        if i > 0 && i % refit_every == 0 {
+            tally.refits_attempted += 1;
+            let _ = svc.refit(market, fit_market(snap, market), t);
+        }
+        let outcome = svc.call(&Request {
+            id: u64::from(market.0) << 32 | i,
+            market,
+            submitted_us: t,
+            deadline_us: deadline,
+            kind,
+        });
+        tally.submitted += 1;
+        tally.by_kind[kind_idx] += 1;
+        match outcome {
+            Ok(a) => {
+                if a.degraded {
+                    tally.answered_degraded += 1;
+                } else {
+                    tally.answered_ok += 1;
+                }
+                tally.latencies_us.push(a.latency_us);
+            }
+            Err(r) => match r {
+                auric_serve::Rejection::UnknownMarket => tally.rejected_unknown += 1,
+                auric_serve::Rejection::Draining => tally.rejected_draining += 1,
+                auric_serve::Rejection::BreakerOpen => tally.rejected_breaker += 1,
+                auric_serve::Rejection::Overloaded => tally.rejected_overloaded += 1,
+                auric_serve::Rejection::DeadlineExpired => tally.rejected_deadline += 1,
+            },
+        }
+        tally.end_us = t;
+    }
+    tally
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Runs one scenario and returns (report section, invariant violations).
+fn run_scenario(
+    snap: &Arc<NetworkSnapshot>,
+    name: &str,
+    rates: ShardFaultRates,
+    seed: u64,
+    n_requests: u64,
+) -> (Value, Vec<String>) {
+    let wall = Instant::now();
+    let models = snap
+        .markets
+        .iter()
+        .map(|m| (m.id, fit_market(snap, m.id)))
+        .collect();
+    let plan = ShardFaultPlan { seed, rates };
+    let svc = Arc::new(Service::new(
+        Arc::clone(snap),
+        models,
+        plan,
+        ServiceConfig::default(),
+        Recorder::disabled(),
+    ));
+
+    // One client thread per market: per-shard request order (and hence
+    // the fault stream) is fully determined by the seeds.
+    let tallies: Vec<(MarketId, ClientTally)> = std::thread::scope(|s| {
+        let handles: Vec<_> = snap
+            .markets
+            .iter()
+            .map(|m| {
+                let svc = Arc::clone(&svc);
+                let snap = Arc::clone(snap);
+                let market = m.id;
+                let client_seed =
+                    seed ^ (u64::from(market.0) + 1).wrapping_mul(0xA5A5_5A5A_1234_5678);
+                s.spawn(move || {
+                    (
+                        market,
+                        drive_market(&svc, &snap, market, client_seed, n_requests, 150),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+
+    let submitted: Vec<(MarketId, u64)> = tallies.iter().map(|(m, t)| (*m, t.submitted)).collect();
+    let violations = svc.invariant_violations(&submitted);
+
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|(_, t)| t.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let total: u64 = tallies.iter().map(|(_, t)| t.submitted).sum();
+    let answered: u64 = tallies
+        .iter()
+        .map(|(_, t)| t.answered_ok + t.answered_degraded)
+        .sum();
+    let end_us = tallies.iter().map(|(_, t)| t.end_us).max().unwrap_or(0);
+    let sim_rps = if end_us == 0 {
+        0.0
+    } else {
+        answered as f64 / (end_us as f64 / 1e6)
+    };
+    let stats = svc.stats();
+    let shard_sections: Vec<Value> = stats.shards.iter().map(serde_json::value_of).collect();
+    let sum = |f: fn(&ClientTally) -> u64| -> u64 { tallies.iter().map(|(_, t)| f(t)).sum() };
+    let section = json!({
+        "scenario": name,
+        "fault_rates": json!({
+            "latency_spike": rates.latency_spike,
+            "worker_panic": rates.worker_panic,
+            "poisoned_shard": rates.poisoned_shard,
+            "refit_failure": rates.refit_failure,
+        }),
+        "traffic": json!({
+            "submitted": total,
+            "singular": sum(|t| t.by_kind[0]),
+            "pairwise": sum(|t| t.by_kind[1]),
+            "cold_start": sum(|t| t.by_kind[2]),
+            "kpi": sum(|t| t.by_kind[3]),
+            "refits_attempted": sum(|t| t.refits_attempted),
+        }),
+        "outcomes": json!({
+            "answered_ok": sum(|t| t.answered_ok),
+            "answered_degraded": sum(|t| t.answered_degraded),
+            "rejected_draining": sum(|t| t.rejected_draining),
+            "rejected_breaker_open": sum(|t| t.rejected_breaker),
+            "rejected_overloaded": sum(|t| t.rejected_overloaded),
+            "shed_deadline": sum(|t| t.rejected_deadline),
+            "rejected_unknown_market": sum(|t| t.rejected_unknown),
+        }),
+        "virtual_latency_us": json!({
+            "p50": percentile(&latencies, 0.50),
+            "p95": percentile(&latencies, 0.95),
+            "p99": percentile(&latencies, 0.99),
+            "max": latencies.last().copied().unwrap_or(0),
+        }),
+        "sim_rps": (sim_rps * 10.0).round() / 10.0,
+        "shards": shard_sections,
+        "invariant_violations": violations,
+    });
+    eprintln!(
+        "bench_serve: scenario {name}: {total} requests, {} violations, {:.2}s wall",
+        violations.len(),
+        wall.elapsed().as_secs_f64()
+    );
+    let svc = Arc::try_unwrap(svc).unwrap_or_else(|_| panic!("service still shared"));
+    svc.shutdown();
+    (section, violations)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_name = "tiny".to_string();
+    let mut seed: u64 = 7;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "tiny" | "small" | "medium" => scale_name = args[i].clone(),
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => {
+                eprintln!(
+                    "bench_serve: unknown arg {other}; usage: \
+                     bench_serve [tiny|small|medium] [--seed N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let scale = match scale_name.as_str() {
+        "tiny" => NetScale::tiny(),
+        "small" => NetScale::small(),
+        _ => NetScale::medium(),
+    };
+    let n_requests = requests_per_market(&scale_name);
+
+    eprintln!(
+        "bench_serve: generating {scale_name} network ({} markets x {} eNBs), seed {seed}...",
+        scale.n_markets, scale.enbs_per_market
+    );
+    let snap = Arc::new(generate(&scale, &TuningKnobs::none()).snapshot);
+
+    let mut sections = Vec::new();
+    let mut all_violations = Vec::new();
+    for (idx, (name, rates)) in scenarios().into_iter().enumerate() {
+        let scenario_seed = seed ^ ((idx as u64 + 1) << 40);
+        let (section, violations) = run_scenario(&snap, name, rates, scenario_seed, n_requests);
+        sections.push(section);
+        all_violations.extend(violations.into_iter().map(|v| format!("{name}: {v}")));
+    }
+
+    let report = json!({
+        "bench": "serve_chaos",
+        "scale": scale_name,
+        "seed": seed,
+        "n_markets": snap.markets.len(),
+        "n_carriers": snap.n_carriers(),
+        "requests_per_market_per_scenario": n_requests,
+        "scenarios": sections,
+        "total_invariant_violations": all_violations.len(),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &text).expect("write report");
+    println!("{text}");
+    if all_violations.is_empty() {
+        eprintln!("bench_serve: all scenarios clean (wrote {out})");
+    } else {
+        eprintln!("bench_serve: INVARIANT VIOLATIONS (wrote {out}):");
+        for v in &all_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -89,6 +89,31 @@ pub enum Basis {
     Default,
 }
 
+/// Why a serialized model failed to load. Every failure mode of
+/// [`CfModel::from_json_bytes`] is represented here — a corrupted or
+/// truncated model file must surface as a typed error, never a panic,
+/// because the serving layer hot-swaps models while answering traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelLoadError {
+    /// The bytes are not UTF-8 text.
+    InvalidUtf8,
+    /// The text is not valid JSON, or the JSON fails the wire format's
+    /// structural and consistency validation (key layout width, level
+    /// ranges, table totals, overall-vs-groups agreement).
+    Parse(String),
+}
+
+impl std::fmt::Display for ModelLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelLoadError::InvalidUtf8 => write!(f, "model file is not UTF-8"),
+            ModelLoadError::Parse(msg) => write!(f, "model file failed to parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelLoadError {}
+
 /// A recommendation with its evidence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Recommendation {
@@ -404,6 +429,44 @@ impl CfModel {
             let clamped = pc.codec.clamp(key);
             self.global_chain(pc, KeyRef::Wide(&clamped), exclude)
         }
+    }
+
+    /// The market-mode answer for a parameter: the scope-wide plurality
+    /// value, or the catalog default when the scope recorded nothing.
+    /// This is the serving layer's last-resort degraded answer — it
+    /// consults only the overall table, needs no probe key, and cannot
+    /// panic for any in-catalog parameter.
+    pub fn market_mode(&self, param: ParamId) -> Recommendation {
+        let pc = self.param(param);
+        if let Some(value) = pc.tables.overall_majority(None) {
+            self.obs.inc("cf.rec.basis.global_majority");
+            return Recommendation {
+                value,
+                basis: Basis::GlobalMajority,
+                support: 0,
+                voters: 0,
+            };
+        }
+        self.obs.inc("cf.rec.basis.default");
+        Recommendation {
+            value: pc.default,
+            basis: Basis::Default,
+            support: 0,
+            voters: 0,
+        }
+    }
+
+    /// Loads a model from serialized JSON bytes, returning a typed error
+    /// for anything short of a well-formed, internally consistent wire
+    /// image: non-UTF-8 bytes, truncated or malformed JSON, and
+    /// structurally valid JSON whose tables violate the fit invariants
+    /// (duplicate or out-of-layout group keys, inconsistent totals, an
+    /// overall table that is not the merge of its groups). The loaded
+    /// model's recorder is disabled; attach one with
+    /// [`CfModel::set_recorder`].
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<Self, ModelLoadError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| ModelLoadError::InvalidUtf8)?;
+        serde_json::from_str(text).map_err(|e| ModelLoadError::Parse(e.0))
     }
 
     /// Global recommendation for an existing carrier, reusing the fitted
@@ -999,27 +1062,56 @@ mod model_serde {
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<ParamCf>, D::Error> {
+        use serde::Error as _;
         let wires: Vec<ParamWire> = Vec::deserialize(de)?;
-        Ok(wires
+        wires
             .into_iter()
             .map(|w| {
+                // The layout has one position per dependent attribute; a
+                // mismatch means the file was corrupted, and every probe
+                // key built from the dependency list would be the wrong
+                // width for the stored groups.
+                if w.cards.len() != w.dependent.len() {
+                    return Err(D::Error::custom(format!(
+                        "param {:?}: {} layout cards for {} dependent attributes",
+                        w.param,
+                        w.cards.len(),
+                        w.dependent.len()
+                    )));
+                }
                 let codec = PackedKeyCodec::new(&w.cards);
+                // The overall table must be the merge of the group tables
+                // (both accumulate exactly the recorded observations).
+                // Leave-one-out exclusion subtracts a voter's count from
+                // both, so a drifted overall would underflow or trip the
+                // majority arithmetic deep in the recommendation chain.
+                let mut merged = FreqTable::new();
+                for (_, t) in &w.tables.groups {
+                    merged.merge(t);
+                }
+                if merged != w.tables.overall {
+                    return Err(D::Error::custom(format!(
+                        "param {:?}: overall table is not the merge of its groups",
+                        w.param
+                    )));
+                }
                 // `w.prefix_tables` is parsed for wire compatibility but
                 // not kept: backoff aggregates the full-key groups on
                 // demand, so the levels carry no information the full
                 // tables don't.
                 let tables =
-                    VoteTables::from_unpacked_groups(&codec, w.tables.groups, w.tables.overall);
-                ParamCf {
+                    VoteTables::from_unpacked_groups(&codec, w.tables.groups, w.tables.overall)
+                        .map_err(|e| D::Error::custom(format!("param {:?}: {e}", w.param)))?;
+                Ok(ParamCf {
                     param: w.param,
                     dependent: w.dependent,
                     codec,
                     tables,
                     default: w.default,
                     keys: KeyColumn::None,
-                }
+                })
             })
-            .collect())
+            .collect()
     }
 }
 

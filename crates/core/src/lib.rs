@@ -36,7 +36,9 @@ pub mod scope;
 pub mod voting;
 
 pub use accuracy::{evaluate_cf, AccuracyReport, ParamAccuracy};
-pub use cf::{fit_worker_threads, Basis, CfConfig, CfModel, FitOptions, Recommendation};
+pub use cf::{
+    fit_worker_threads, Basis, CfConfig, CfModel, FitOptions, ModelLoadError, Recommendation,
+};
 pub use dependency::{select_dependent, PredictorAttr, Side};
 pub use mismatch::{label_for, MismatchLabel, MismatchReport};
 pub use recommend::{recommend_pairwise, recommend_singular, ConfigRecommendation, NewCarrier};

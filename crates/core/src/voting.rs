@@ -81,6 +81,50 @@ impl std::fmt::Display for KeyShapeMismatch {
 
 impl std::error::Error for KeyShapeMismatch {}
 
+/// The error returned when deserialized `(key, table)` pairs do not fit
+/// the declared key layout. Fitted tables can only produce in-range keys
+/// of the layout's exact width, so any of these means the wire bytes were
+/// corrupted (or hand-edited) — the load must fail with a typed error
+/// rather than panic in `pack` or silently merge colliding groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteWireError {
+    /// A group key's length differs from the layout's position count.
+    KeyLength { expected: usize, got: usize },
+    /// A key level is outside the position's recorded range `0..card`
+    /// (the sentinel `card` is reserved for probes, never recorded).
+    LevelOutOfRange {
+        position: usize,
+        level: u16,
+        card: u16,
+    },
+    /// Two groups share the same key.
+    DuplicateKey,
+}
+
+impl std::fmt::Display for VoteWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            VoteWireError::KeyLength { expected, got } => {
+                write!(
+                    f,
+                    "vote group key has {got} positions, layout has {expected}"
+                )
+            }
+            VoteWireError::LevelOutOfRange {
+                position,
+                level,
+                card,
+            } => write!(
+                f,
+                "vote group key level {level} at position {position} exceeds cardinality {card}"
+            ),
+            VoteWireError::DuplicateKey => write!(f, "duplicate vote group key"),
+        }
+    }
+}
+
+impl std::error::Error for VoteWireError {}
+
 impl GroupStore {
     fn get(&self, key: KeyRef<'_>) -> Option<&FreqTable> {
         match (self, key) {
@@ -402,27 +446,55 @@ impl VoteTables {
 
     /// Rebuilds a table set from `(unpacked key, table)` pairs under the
     /// given layout — the inverse of [`VoteTables::unpacked_groups`].
+    ///
+    /// Every key must have exactly `codec.n_positions()` levels, each in
+    /// the recorded range `0..cards[i]`, and keys must be unique. These
+    /// hold for anything `unpacked_groups` emitted; violating pairs can
+    /// only come from a corrupted serialized model, and are rejected with
+    /// a typed [`VoteWireError`] instead of panicking inside `pack`.
     pub fn from_unpacked_groups(
         codec: &PackedKeyCodec,
         pairs: Vec<(VoteKey, FreqTable)>,
         overall: FreqTable,
-    ) -> Self {
+    ) -> Result<Self, VoteWireError> {
+        let cards = codec.cards();
+        for (k, _) in &pairs {
+            if k.len() != cards.len() {
+                return Err(VoteWireError::KeyLength {
+                    expected: cards.len(),
+                    got: k.len(),
+                });
+            }
+            for (i, (&level, &card)) in k.iter().zip(cards).enumerate() {
+                if level >= card {
+                    return Err(VoteWireError::LevelOutOfRange {
+                        position: i,
+                        level,
+                        card,
+                    });
+                }
+            }
+        }
         let groups = if codec.fits_u128() {
             let mut groups: Vec<(u128, FreqTable)> = pairs
                 .into_iter()
                 .map(|(k, t)| (codec.pack(&k), t))
                 .collect();
             groups.sort_unstable_by_key(|&(k, _)| k);
+            if groups.windows(2).any(|w| w[0].0 == w[1].0) {
+                return Err(VoteWireError::DuplicateKey);
+            }
             GroupStore::PackedSorted(groups)
         } else {
-            GroupStore::Wide(
-                pairs
-                    .into_iter()
-                    .map(|(k, t)| (k.into_boxed_slice(), t))
-                    .collect(),
-            )
+            let mut map = HashMap::with_capacity(pairs.len());
+            for (k, t) in pairs {
+                if map.insert(k.into_boxed_slice(), t).is_some() {
+                    return Err(VoteWireError::DuplicateKey);
+                }
+            }
+            GroupStore::Wide(map)
         };
-        Self { groups, overall }
+        Ok(Self { groups, overall })
     }
 }
 
@@ -540,8 +612,52 @@ mod tests {
             .map(|(k, table)| (k, table.clone()))
             .collect();
         assert_eq!(pairs[0].0, vec![0, 1], "pairs are sorted by unpacked key");
-        let back = VoteTables::from_unpacked_groups(&codec, pairs, t.overall().clone());
+        let back = VoteTables::from_unpacked_groups(&codec, pairs, t.overall().clone()).unwrap();
         assert_eq!(back, t);
+    }
+
+    /// Corrupted wire pairs (wrong key width, out-of-range level, or
+    /// duplicated key) must be rejected with a typed error, never packed.
+    #[test]
+    fn from_unpacked_groups_rejects_malformed_wire_pairs() {
+        let codec = codec();
+        let table = {
+            let mut t = FreqTable::new();
+            t.add(7);
+            t
+        };
+        let overall = table.clone();
+        assert_eq!(
+            VoteTables::from_unpacked_groups(
+                &codec,
+                vec![(vec![0, 1, 2], table.clone())],
+                overall.clone()
+            ),
+            Err(VoteWireError::KeyLength {
+                expected: 2,
+                got: 3
+            })
+        );
+        assert_eq!(
+            VoteTables::from_unpacked_groups(
+                &codec,
+                vec![(vec![0, 3], table.clone())],
+                overall.clone()
+            ),
+            Err(VoteWireError::LevelOutOfRange {
+                position: 1,
+                level: 3,
+                card: 3
+            })
+        );
+        assert_eq!(
+            VoteTables::from_unpacked_groups(
+                &codec,
+                vec![(vec![0, 1], table.clone()), (vec![0, 1], table)],
+                overall
+            ),
+            Err(VoteWireError::DuplicateKey)
+        );
     }
 
     /// Regression: probing packed tables with a wide key (or vice versa)

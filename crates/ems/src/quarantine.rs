@@ -249,6 +249,77 @@ mod tests {
         assert_eq!(q.entries()[0].strikes, 1);
     }
 
+    /// Boundary precision of the expiry window: with `expiry_rounds = 1`
+    /// a pair quarantined in round `r` is suppressed in `r` and `r + 1`
+    /// exactly, and the release happens *at the start* of round `r + 2`
+    /// (`begin_round` reports it), not a round early or late.
+    #[test]
+    fn strike_expiry_is_exact_at_the_threshold_round() {
+        let mut q = Quarantine::new(QuarantinePolicy {
+            enabled: true,
+            strikes: 2,
+            expiry_rounds: 1,
+        });
+        q.begin_round(); // round 1
+        assert!(!q.record_offense(P, 6, Basis::LocalVote));
+        assert!(q.record_offense(P, 6, Basis::LocalVote), "second strike");
+        assert!(q.is_quarantined(P, 6), "suppressed in the offense round");
+        assert_eq!(q.begin_round(), 0, "round 2: the one expiry round");
+        assert!(q.is_quarantined(P, 6));
+        assert_eq!(q.begin_round(), 1, "round 3: released exactly here");
+        assert!(!q.is_quarantined(P, 6));
+        assert!(q.is_empty(), "release clears the record entirely");
+    }
+
+    /// A released pair that re-offends starts from a clean slate: it
+    /// needs the full strike count again, and its new quarantine window
+    /// is anchored at the re-offense round, not the original one.
+    #[test]
+    fn appeal_then_reoffend_requires_full_strikes_and_reanchors() {
+        let mut q = Quarantine::new(QuarantinePolicy {
+            enabled: true,
+            strikes: 2,
+            expiry_rounds: 1,
+        });
+        q.begin_round(); // round 1
+        q.record_offense(P, 6, Basis::LocalVote);
+        q.record_offense(P, 6, Basis::LocalVote);
+        q.begin_round(); // round 2: suppressed
+        assert_eq!(q.begin_round(), 1); // round 3: appeal granted
+        assert!(!q.is_quarantined(P, 6));
+        // Re-offend once: one strike is below the threshold again.
+        assert!(!q.record_offense(P, 6, Basis::GlobalVote));
+        assert!(!q.is_quarantined(P, 6), "one post-appeal strike is free");
+        // The second post-appeal strike re-quarantines, anchored now.
+        assert!(q.record_offense(P, 6, Basis::GlobalVote));
+        assert_eq!(q.entries()[0].quarantined_at, Some(3));
+        assert_eq!(q.entries()[0].strikes, 2, "old strikes did not carry");
+        assert_eq!(q.begin_round(), 0); // round 4: new window holds
+        assert!(q.is_quarantined(P, 6));
+        assert_eq!(q.begin_round(), 1); // round 5: new window expires
+        assert!(!q.is_quarantined(P, 6));
+    }
+
+    /// The disabled ledger stays inert under the exact offense/round
+    /// sequence that drives the two boundary tests above: no strikes, no
+    /// suppression, no releases.
+    #[test]
+    fn disabled_ledger_is_inert_under_the_boundary_sequence() {
+        let mut q = Quarantine::disabled();
+        q.begin_round();
+        assert!(!q.record_offense(P, 6, Basis::LocalVote));
+        assert!(!q.record_offense(P, 6, Basis::LocalVote));
+        assert!(!q.is_quarantined(P, 6));
+        assert_eq!(q.begin_round(), 0);
+        assert!(!q.is_quarantined(P, 6));
+        assert_eq!(q.begin_round(), 0, "nothing to release, ever");
+        assert!(!q.record_offense(P, 6, Basis::GlobalVote));
+        assert!(!q.record_offense(P, 6, Basis::GlobalVote));
+        assert!(!q.is_quarantined(P, 6));
+        assert!(q.is_empty());
+        assert_eq!(q.round(), 3, "the round clock still advances");
+    }
+
     #[test]
     fn entries_are_sorted_for_reporting() {
         let mut q = Quarantine::new(QuarantinePolicy {

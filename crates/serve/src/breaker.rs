@@ -1,0 +1,225 @@
+//! A seeded circuit breaker on simulated time.
+//!
+//! Closed → (N consecutive primary-path failures) → Open →
+//! (cooldown + seeded jitter elapses) → HalfOpen → one probe request →
+//! Closed on success, Open again on failure.
+//!
+//! The jitter is drawn from a per-shard ChaCha stream, so a fleet of
+//! shards tripped by the same fault storm does not half-open — and
+//! re-hammer a struggling dependency — in lockstep, while the same seed
+//! still reproduces the exact reopen schedule.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Breaker thresholds and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive primary-path failures that open the breaker.
+    pub trip_after: u32,
+    /// Simulated µs the breaker stays open before half-opening.
+    pub cooldown_us: u64,
+    /// Upper bound of the seeded jitter added to each cooldown.
+    pub jitter_us: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 3,
+            cooldown_us: 50_000,
+            jitter_us: 10_000,
+        }
+    }
+}
+
+/// Where the breaker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    Closed,
+    /// Rejecting until the stored instant.
+    Open {
+        until_us: u64,
+    },
+    /// Admitting one probe request.
+    HalfOpen,
+}
+
+/// Lifetime transition counters, for the chaos report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerStats {
+    pub opened: u64,
+    pub half_opened: u64,
+    pub closed_from_half_open: u64,
+    pub reopened_from_half_open: u64,
+}
+
+/// The breaker itself. Not thread-safe on its own — it lives inside the
+/// shard's control mutex.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    rng: ChaCha8Rng,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with a seeded jitter stream.
+    pub fn new(config: BreakerConfig, seed: u64) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            stats: BreakerStats::default(),
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+
+    /// Admission check at `now_us`. An open breaker whose cooldown has
+    /// elapsed half-opens and admits the caller as the probe.
+    pub fn admit(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_us } => {
+                if now_us >= until_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.stats.half_opened += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A primary-path success: closes a half-open breaker, clears the
+    /// failure run.
+    pub fn on_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.stats.closed_from_half_open += 1;
+        }
+        self.consecutive_failures = 0;
+    }
+
+    /// A primary-path failure at `now_us`: reopens a half-open breaker
+    /// immediately, opens a closed one after `trip_after` consecutive
+    /// failures. Returns `true` when this call opened the breaker.
+    pub fn on_failure(&mut self, now_us: u64) -> bool {
+        self.consecutive_failures += 1;
+        let reopen = self.state == BreakerState::HalfOpen;
+        if reopen || self.consecutive_failures >= self.config.trip_after {
+            let jitter = if self.config.jitter_us == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=self.config.jitter_us)
+            };
+            self.state = BreakerState::Open {
+                until_us: now_us + self.config.cooldown_us + jitter,
+            };
+            self.consecutive_failures = 0;
+            self.stats.opened += 1;
+            if reopen {
+                self.stats.reopened_from_half_open += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets to closed (shard restart).
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig {
+                trip_after: 3,
+                cooldown_us: 1_000,
+                jitter_us: 100,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = breaker();
+        assert!(!b.on_failure(0));
+        assert!(!b.on_failure(10));
+        b.on_success(); // run broken
+        assert!(!b.on_failure(20));
+        assert!(!b.on_failure(30));
+        assert!(b.on_failure(40), "third consecutive failure trips");
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        assert!(!b.admit(41));
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_then_closes_on_probe_success() {
+        let mut b = breaker();
+        for t in [0, 1, 2] {
+            b.on_failure(t);
+        }
+        let BreakerState::Open { until_us } = b.state() else {
+            panic!("not open");
+        };
+        assert!((1_002..=1_102).contains(&until_us), "cooldown + jitter");
+        assert!(!b.admit(until_us - 1));
+        assert!(b.admit(until_us), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().closed_from_half_open, 1);
+    }
+
+    #[test]
+    fn probe_failure_reopens_immediately() {
+        let mut b = breaker();
+        for t in [0, 1, 2] {
+            b.on_failure(t);
+        }
+        let BreakerState::Open { until_us } = b.state() else {
+            panic!("not open");
+        };
+        assert!(b.admit(until_us));
+        assert!(b.on_failure(until_us), "single probe failure reopens");
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        assert_eq!(b.stats().reopened_from_half_open, 1);
+        assert_eq!(b.stats().opened, 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_reopen_schedule() {
+        let run = || {
+            let mut b = breaker();
+            for t in [0, 1, 2] {
+                b.on_failure(t);
+            }
+            let BreakerState::Open { until_us } = b.state() else {
+                panic!("not open");
+            };
+            until_us
+        };
+        assert_eq!(run(), run());
+    }
+}

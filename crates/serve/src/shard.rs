@@ -1,0 +1,784 @@
+//! One per-market model shard: an `Arc`-swappable CF model behind a
+//! worker thread, a virtual-time admission queue, a panic-containment
+//! boundary, and the Warming → Ready → Degraded → Draining state
+//! machine.
+//!
+//! ## Determinism model
+//!
+//! Admission control runs entirely in *virtual* time: each request
+//! carries its simulated submission instant, the shard tracks when its
+//! single worker would finish each admitted request, and queue depth /
+//! deadline / breaker decisions are made from that state under the
+//! shard's control mutex. Fault draws happen at admission, in admission
+//! order, from a per-shard seeded stream. As long as each market's
+//! requests are submitted in `submitted_us` order (one client thread per
+//! market in the load generator), every admission decision — and hence
+//! the whole chaos report — is a pure function of (snapshot, models,
+//! schedule, fault plan seed). The worker thread still *really executes*
+//! every admitted request, with a per-request `catch_unwind`, so panic
+//! containment and `Arc` hot-swaps are exercised for real; its results
+//! are deterministic because the model and inputs are.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use auric_core::recommend::{recommend_pairwise, recommend_singular, ConfigRecommendation};
+use auric_core::CfModel;
+use auric_kpi::report::KpiReport;
+use auric_model::{MarketId, NetworkSnapshot, ParamKind};
+use auric_obs::Recorder;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Answer, Body, DegradeReason, Rejection, Request, RequestKind, ShardState};
+use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+use crate::fault::{
+    draw_refit_faults, draw_request_faults, InjectedPanic, ShardFaultCounts, ShardFaultPlan,
+};
+use rand::SeedableRng;
+
+/// Virtual service cost (µs) per request kind, and the latency-spike
+/// multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCosts {
+    pub cold_start_us: u64,
+    pub pairwise_us: u64,
+    pub singular_us: u64,
+    pub kpi_us: u64,
+    /// A latency-spike fault multiplies the request's cost by this.
+    pub spike_factor: u64,
+}
+
+impl Default for ServiceCosts {
+    fn default() -> Self {
+        Self {
+            cold_start_us: 400,
+            pairwise_us: 250,
+            singular_us: 150,
+            kpi_us: 50,
+            spike_factor: 20,
+        }
+    }
+}
+
+impl ServiceCosts {
+    fn base(&self, kind: &RequestKind) -> u64 {
+        match kind {
+            RequestKind::ColdStart(_) => self.cold_start_us,
+            RequestKind::Pairwise { .. } => self.pairwise_us,
+            RequestKind::Singular { .. } => self.singular_us,
+            RequestKind::Kpi { .. } => self.kpi_us,
+        }
+    }
+}
+
+/// Shard policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Admitted-but-unfinished requests the virtual queue holds
+    /// (in-service included) before `Overloaded` rejections.
+    pub queue_capacity: usize,
+    /// Contained panics since the last restart that trip the shard to
+    /// Degraded. Kept above the breaker's `trip_after` so a panic storm
+    /// opens the breaker first and degrades the shard second.
+    pub panic_threshold: u32,
+    /// Simulated µs a (re)started shard spends Warming.
+    pub warmup_us: u64,
+    /// Simulated µs between degrading and the automatic restart.
+    pub restart_delay_us: u64,
+    pub breaker: BreakerConfig,
+    pub costs: ServiceCosts,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            panic_threshold: 5,
+            warmup_us: 20_000,
+            restart_delay_us: 100_000,
+            breaker: BreakerConfig::default(),
+            costs: ServiceCosts::default(),
+        }
+    }
+}
+
+/// Typed refit failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefitError {
+    /// The refit addressed a market the service has no shard for.
+    UnknownMarket,
+    /// The fault plan injected a refit failure; the stale model stays.
+    Injected,
+    /// The serialized model failed to load (see
+    /// [`auric_core::ModelLoadError`]); the stale model stays.
+    Load(auric_core::ModelLoadError),
+}
+
+impl std::fmt::Display for RefitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefitError::UnknownMarket => write!(f, "refit addressed an unknown market"),
+            RefitError::Injected => write!(f, "refit failed (injected fault); stale model kept"),
+            RefitError::Load(e) => write!(f, "refit model rejected: {e}; stale model kept"),
+        }
+    }
+}
+
+impl std::error::Error for RefitError {}
+
+/// Per-rejection-kind counters (shard level; `UnknownMarket` is counted
+/// by the service front door).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectionCounts {
+    pub draining: u64,
+    pub breaker_open: u64,
+    pub overloaded: u64,
+    pub deadline_expired: u64,
+}
+
+impl RejectionCounts {
+    pub fn total(&self) -> u64 {
+        self.draining + self.breaker_open + self.overloaded + self.deadline_expired
+    }
+}
+
+/// A deterministic snapshot of one shard's lifetime accounting, for the
+/// chaos report and the invariant checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    pub market: u16,
+    pub state: ShardState,
+    /// Requests past admission control (exactly these reach the worker).
+    pub admitted: u64,
+    /// First-class answers.
+    pub answered: u64,
+    /// Degraded answers (fallback chain, warming/degraded service).
+    pub degraded_answers: u64,
+    pub rejected: RejectionCounts,
+    /// Panics the per-request `catch_unwind` contained.
+    pub panics_contained: u64,
+    pub faults: ShardFaultCounts,
+    pub breaker: BreakerStats,
+    pub refits_ok: u64,
+    pub refits_failed: u64,
+    /// Model swaps since construction (initial model is epoch 0).
+    pub model_epoch: u64,
+    /// Jobs the worker thread actually executed. The chaos invariant
+    /// `dispatched == admitted` proves shed/rejected requests did no
+    /// shard work and admitted ones did exactly one unit.
+    pub dispatched: u64,
+    pub restarts: u64,
+}
+
+/// Mutable shard control state, all under one mutex so admission
+/// decisions and post-completion accounting are serialized per shard.
+struct ShardCtl {
+    state: ShardState,
+    warm_until_us: u64,
+    restart_at_us: Option<u64>,
+    poisoned: bool,
+    panics_since_restart: u32,
+    /// Virtual instant the worker finishes its last admitted request.
+    virtual_done_us: u64,
+    /// Virtual completion instants of admitted, unfinished requests.
+    inflight: VecDeque<u64>,
+    breaker: CircuitBreaker,
+    request_rng: ChaCha8Rng,
+    refit_rng: ChaCha8Rng,
+    // Deterministic lifetime accounting.
+    admitted: u64,
+    answered: u64,
+    degraded_answers: u64,
+    rejected: RejectionCounts,
+    panics_contained: u64,
+    faults: ShardFaultCounts,
+    refits_ok: u64,
+    refits_failed: u64,
+    model_epoch: u64,
+    restarts: u64,
+}
+
+/// What the admission decided for an admitted request.
+struct Admission {
+    /// Virtual completion instant.
+    done_us: u64,
+    /// Serve mode the worker should use.
+    mode: ServeMode,
+    /// State that serves the request (for the answer + histograms).
+    state: ShardState,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ServeMode {
+    /// Full service: primary path, fallback chain on panic.
+    Primary { inject_panic: bool, poisoned: bool },
+    /// Warming/Degraded service: market-mode only, explicit reason.
+    MarketMode(DegradeReason),
+}
+
+/// One unit of worker work.
+struct Job {
+    kind: RequestKind,
+    mode: ServeMode,
+    reply: mpsc::SyncSender<WorkerReply>,
+}
+
+struct WorkerReply {
+    body: Body,
+    degraded: bool,
+    reason: Option<DegradeReason>,
+    /// A panic was contained while serving this request.
+    panicked: bool,
+}
+
+/// A per-market shard. Construct via the service.
+pub struct Shard {
+    market: MarketId,
+    model: Arc<RwLock<Arc<CfModel>>>,
+    config: ShardConfig,
+    plan: ShardFaultPlan,
+    ctl: Mutex<ShardCtl>,
+    tx: Option<mpsc::Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+    /// Jobs the worker actually executed (the "shard work" ledger).
+    dispatched: Arc<AtomicU64>,
+    obs: Recorder,
+}
+
+fn mix_seed(seed: u64, market: u16, stream: u64) -> u64 {
+    seed ^ (u64::from(market) + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03))
+}
+
+impl Shard {
+    /// Builds the shard and starts its worker thread. The shard begins
+    /// Warming and becomes Ready once `config.warmup_us` of simulated
+    /// time has passed.
+    pub fn new(
+        market: MarketId,
+        snapshot: Arc<NetworkSnapshot>,
+        model: CfModel,
+        kpi: Arc<Option<KpiReport>>,
+        plan: ShardFaultPlan,
+        config: ShardConfig,
+        obs: Recorder,
+    ) -> Self {
+        crate::fault::silence_injected_panics();
+        let model = Arc::new(RwLock::new(Arc::new(model)));
+        let dispatched = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let worker = {
+            let snapshot = Arc::clone(&snapshot);
+            let model = Arc::clone(&model);
+            let dispatched = Arc::clone(&dispatched);
+            std::thread::spawn(move || worker_loop(rx, snapshot, model, kpi, dispatched))
+        };
+        let m = market.0;
+        let ctl = ShardCtl {
+            state: ShardState::Warming,
+            warm_until_us: config.warmup_us,
+            restart_at_us: None,
+            poisoned: false,
+            panics_since_restart: 0,
+            virtual_done_us: 0,
+            inflight: VecDeque::new(),
+            breaker: CircuitBreaker::new(config.breaker, mix_seed(plan.seed, m, 2)),
+            request_rng: ChaCha8Rng::seed_from_u64(mix_seed(plan.seed, m, 0)),
+            refit_rng: ChaCha8Rng::seed_from_u64(mix_seed(plan.seed, m, 1)),
+            admitted: 0,
+            answered: 0,
+            degraded_answers: 0,
+            rejected: RejectionCounts::default(),
+            panics_contained: 0,
+            faults: ShardFaultCounts::default(),
+            refits_ok: 0,
+            refits_failed: 0,
+            model_epoch: 0,
+            restarts: 0,
+        };
+        Self {
+            market,
+            model,
+            config,
+            plan,
+            ctl: Mutex::new(ctl),
+            tx: Some(tx),
+            worker: Some(worker),
+            dispatched,
+            obs,
+        }
+    }
+
+    pub fn market(&self) -> MarketId {
+        self.market
+    }
+
+    /// The current model `Arc` (hot-swapped by refits).
+    pub fn model(&self) -> Arc<CfModel> {
+        Arc::clone(&self.model.read().expect("model lock poisoned"))
+    }
+
+    /// Serves one request end to end: deterministic admission under the
+    /// control mutex, real execution on the worker thread, deterministic
+    /// post-completion accounting. Callers must present one market's
+    /// requests in non-decreasing `submitted_us` order.
+    pub fn call(&self, req: &Request) -> Result<Answer, Rejection> {
+        let admission = {
+            let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+            self.admit(&mut ctl, req)?
+        };
+        // Dispatch to the worker and wait. The real channel is unbounded
+        // because backpressure was already applied in virtual time.
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            kind: req.kind.clone(),
+            mode: admission.mode,
+            reply: reply_tx,
+        };
+        self.tx
+            .as_ref()
+            .expect("shard already shut down")
+            .send(job)
+            .expect("shard worker gone");
+        let reply = reply_rx.recv().expect("shard worker dropped the reply");
+
+        let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+        self.settle(&mut ctl, req, &admission, &reply);
+        let latency_us = admission.done_us - req.submitted_us;
+        self.obs.observe(
+            match admission.state {
+                ShardState::Warming => "serve.latency_us.warming",
+                ShardState::Ready => "serve.latency_us.ready",
+                ShardState::Degraded => "serve.latency_us.degraded",
+                ShardState::Draining => unreachable!("draining admits nothing"),
+            },
+            latency_us,
+        );
+        Ok(Answer {
+            id: req.id,
+            degraded: reply.degraded,
+            reason: reply.reason,
+            state: admission.state,
+            latency_us,
+            body: reply.body,
+        })
+    }
+
+    /// Deterministic admission control at `req.submitted_us`.
+    fn admit(&self, ctl: &mut ShardCtl, req: &Request) -> Result<Admission, Rejection> {
+        let now = req.submitted_us;
+        self.advance_state(ctl, now);
+
+        match ctl.state {
+            ShardState::Draining => {
+                ctl.rejected.draining += 1;
+                self.obs.inc("serve.rejected.draining");
+                return Err(Rejection::Draining);
+            }
+            ShardState::Ready => {
+                let was = ctl.breaker.state();
+                if !ctl.breaker.admit(now) {
+                    ctl.rejected.breaker_open += 1;
+                    self.obs.inc("serve.rejected.breaker_open");
+                    return Err(Rejection::BreakerOpen);
+                }
+                if was != ctl.breaker.state() {
+                    self.obs.inc("serve.breaker.half_open");
+                }
+            }
+            ShardState::Warming | ShardState::Degraded => {}
+        }
+
+        // Shed already-expired requests before anything else touches
+        // them: no queue slot, no fault draw, no worker dispatch.
+        if now > req.deadline_us {
+            ctl.rejected.deadline_expired += 1;
+            self.obs.inc("serve.shed.deadline");
+            return Err(Rejection::DeadlineExpired);
+        }
+        // Virtual queue: retire completions, then check capacity.
+        while ctl.inflight.front().is_some_and(|&done| done <= now) {
+            ctl.inflight.pop_front();
+        }
+        if ctl.inflight.len() >= self.config.queue_capacity {
+            ctl.rejected.overloaded += 1;
+            self.obs.inc("serve.shed.overload");
+            return Err(Rejection::Overloaded);
+        }
+        // Proactive shedding: a request that cannot *start* before its
+        // deadline is dead on arrival too.
+        let start_us = ctl.virtual_done_us.max(now);
+        if start_us > req.deadline_us {
+            ctl.rejected.deadline_expired += 1;
+            self.obs.inc("serve.shed.deadline");
+            return Err(Rejection::DeadlineExpired);
+        }
+
+        // Admitted: draw request-path faults (admission order = stream
+        // order), price the request, book the virtual completion.
+        let faults = draw_request_faults(&mut ctl.request_rng, &self.plan.rates);
+        let mut cost = self.config.costs.base(&req.kind);
+        if faults.latency_spike {
+            cost = cost.saturating_mul(self.config.costs.spike_factor);
+            ctl.faults.latency_spikes += 1;
+            self.obs.inc("serve.fault.latency_spike");
+        }
+        let done_us = start_us + cost;
+        ctl.virtual_done_us = done_us;
+        ctl.inflight.push_back(done_us);
+        ctl.admitted += 1;
+        self.obs.inc("serve.admitted");
+
+        let mode = match ctl.state {
+            ShardState::Warming => ServeMode::MarketMode(DegradeReason::Warming),
+            ShardState::Degraded => ServeMode::MarketMode(DegradeReason::ShardDegraded),
+            ShardState::Ready => {
+                let inject = faults.worker_panic;
+                if inject {
+                    ctl.faults.worker_panics += 1;
+                    self.obs.inc("serve.fault.worker_panic");
+                }
+                ServeMode::Primary {
+                    inject_panic: inject,
+                    poisoned: ctl.poisoned,
+                }
+            }
+            ShardState::Draining => unreachable!("rejected above"),
+        };
+        Ok(Admission {
+            done_us,
+            mode,
+            state: ctl.state,
+        })
+    }
+
+    /// Time-driven state transitions at `now`: scheduled restart, warmup
+    /// completion.
+    fn advance_state(&self, ctl: &mut ShardCtl, now: u64) {
+        if ctl.state == ShardState::Degraded && ctl.restart_at_us.is_some_and(|at| now >= at) {
+            ctl.state = ShardState::Warming;
+            ctl.warm_until_us = now + self.config.warmup_us;
+            ctl.restart_at_us = None;
+            ctl.poisoned = false;
+            ctl.panics_since_restart = 0;
+            ctl.breaker.reset();
+            ctl.restarts += 1;
+            self.obs.inc("serve.shard.restarted");
+        }
+        if ctl.state == ShardState::Warming && now >= ctl.warm_until_us {
+            ctl.state = ShardState::Ready;
+            self.obs.inc("serve.shard.ready");
+        }
+    }
+
+    /// Post-completion accounting: panic containment, breaker feedback,
+    /// the Degraded trip.
+    fn settle(&self, ctl: &mut ShardCtl, req: &Request, admission: &Admission, r: &WorkerReply) {
+        if r.degraded {
+            ctl.degraded_answers += 1;
+            self.obs.inc("serve.answered.degraded");
+        } else {
+            ctl.answered += 1;
+            self.obs.inc("serve.answered.ok");
+        }
+        if r.panicked {
+            ctl.panics_contained += 1;
+            self.obs.inc("serve.panics.contained");
+        }
+        // Breaker + degradation feedback applies to full-service
+        // requests only; market-mode service has no primary path.
+        if let ServeMode::Primary { .. } = admission.mode {
+            let now = req.submitted_us;
+            if r.panicked {
+                let was_half_open = ctl.breaker.state() == BreakerState::HalfOpen;
+                if ctl.breaker.on_failure(now) {
+                    self.obs.inc("serve.breaker.opened");
+                    if was_half_open {
+                        self.obs.inc("serve.breaker.reopened");
+                    }
+                }
+                ctl.panics_since_restart += 1;
+                if ctl.state == ShardState::Ready
+                    && ctl.panics_since_restart >= self.config.panic_threshold
+                {
+                    ctl.state = ShardState::Degraded;
+                    ctl.restart_at_us = Some(now + self.config.restart_delay_us);
+                    self.obs.inc("serve.shard.degraded");
+                }
+            } else {
+                let was_half_open = ctl.breaker.state() == BreakerState::HalfOpen;
+                ctl.breaker.on_success();
+                if was_half_open {
+                    self.obs.inc("serve.breaker.closed");
+                }
+            }
+        }
+    }
+
+    /// Hot refit: swaps the model `Arc` on success. An injected refit
+    /// failure (or a poisoned swap) follows the shard's seeded refit
+    /// fault stream; either way the shard keeps answering — stale model
+    /// beats no model.
+    pub fn refit(&self, model: CfModel, _now_us: u64) -> Result<(), RefitError> {
+        let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+        let faults = draw_refit_faults(&mut ctl.refit_rng, &self.plan.rates);
+        if faults.refit_failure {
+            ctl.refits_failed += 1;
+            ctl.faults.refit_failures += 1;
+            self.obs.inc("serve.refit.failed");
+            return Err(RefitError::Injected);
+        }
+        *self.model.write().expect("model lock poisoned") = Arc::new(model);
+        ctl.model_epoch += 1;
+        ctl.refits_ok += 1;
+        self.obs.inc("serve.refit.ok");
+        if faults.poisoned {
+            ctl.poisoned = true;
+            ctl.faults.poisoned_models += 1;
+            self.obs.inc("serve.fault.poisoned_model");
+        }
+        Ok(())
+    }
+
+    /// Refit from serialized bytes: a corrupt model file is a typed
+    /// error and the stale model keeps serving. Only a successfully
+    /// parsed model consumes a refit fault draw, so a deterministic
+    /// byte stream keeps the fault stream deterministic.
+    pub fn install_model_json(&self, bytes: &[u8], now_us: u64) -> Result<(), RefitError> {
+        let model = CfModel::from_json_bytes(bytes).map_err(|e| {
+            self.obs.inc("serve.refit.rejected_bytes");
+            let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+            ctl.refits_failed += 1;
+            RefitError::Load(e)
+        })?;
+        self.refit(model, now_us)
+    }
+
+    /// Enters Draining: all new requests get a typed rejection.
+    pub fn drain(&self) {
+        let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+        if ctl.state != ShardState::Draining {
+            ctl.state = ShardState::Draining;
+            self.obs.inc("serve.shard.draining");
+        }
+    }
+
+    /// Deterministic stats snapshot (safe between requests).
+    pub fn stats(&self) -> ShardStats {
+        let ctl = self.ctl.lock().expect("shard ctl poisoned");
+        ShardStats {
+            market: self.market.0,
+            state: ctl.state,
+            admitted: ctl.admitted,
+            answered: ctl.answered,
+            degraded_answers: ctl.degraded_answers,
+            rejected: ctl.rejected,
+            panics_contained: ctl.panics_contained,
+            faults: ctl.faults,
+            breaker: ctl.breaker.stats(),
+            refits_ok: ctl.refits_ok,
+            refits_failed: ctl.refits_failed,
+            model_epoch: ctl.model_epoch,
+            dispatched: self.dispatched.load(Ordering::SeqCst),
+            restarts: ctl.restarts,
+        }
+    }
+
+    /// Stops the worker thread (drops the channel, joins).
+    pub fn shutdown(&mut self) {
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The worker thread: really executes every admitted request against
+/// the current model `Arc`, one `catch_unwind` per request.
+fn worker_loop(
+    rx: mpsc::Receiver<Job>,
+    snapshot: Arc<NetworkSnapshot>,
+    model: Arc<RwLock<Arc<CfModel>>>,
+    kpi: Arc<Option<KpiReport>>,
+    dispatched: Arc<AtomicU64>,
+) {
+    while let Ok(job) = rx.recv() {
+        dispatched.fetch_add(1, Ordering::SeqCst);
+        let model = Arc::clone(&model.read().expect("model lock poisoned"));
+        let reply = serve_job(&snapshot, &model, kpi.as_ref().as_ref(), &job);
+        // A dropped receiver means the front door gave up; nothing to do.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Serves one job through the fallback chain. Every stage runs under
+/// `catch_unwind`; a stage that panics falls through to the next, and
+/// the final market-mode stage is panic-free by construction (and still
+/// guarded — an empty answer beats a lost one).
+fn serve_job(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    kpi: Option<&KpiReport>,
+    job: &Job,
+) -> WorkerReply {
+    let (inject, poisoned, market_only_reason) = match job.mode {
+        ServeMode::Primary {
+            inject_panic,
+            poisoned,
+        } => (inject_panic, poisoned, None),
+        ServeMode::MarketMode(reason) => (false, false, Some(reason)),
+    };
+    if let Some(reason) = market_only_reason {
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            market_mode_body(snapshot, model, kpi, &job.kind)
+        }))
+        .unwrap_or_else(|_| empty_body(&job.kind));
+        return WorkerReply {
+            body,
+            degraded: true,
+            reason: Some(reason),
+            panicked: false,
+        };
+    }
+
+    // Primary path. Injected panics (one-shot or poisoned-model) fire
+    // inside the unwind boundary, exactly where a genuine model panic
+    // would.
+    let primary = catch_unwind(AssertUnwindSafe(|| {
+        if inject || poisoned {
+            std::panic::panic_any(InjectedPanic);
+        }
+        primary_body(snapshot, model, kpi, &job.kind)
+    }));
+    if let Ok(body) = primary {
+        let kpi_missing = matches!(body, Body::KpiHealth(None));
+        return WorkerReply {
+            body,
+            degraded: kpi_missing,
+            reason: kpi_missing.then_some(DegradeReason::KpiUnavailable),
+            panicked: false,
+        };
+    }
+
+    // Fallback chain: pairwise → singular → market mode.
+    let secondary = match &job.kind {
+        RequestKind::Pairwise { new_carrier, .. } => catch_unwind(AssertUnwindSafe(|| {
+            Body::Recommendations(recommend_singular(snapshot, model, new_carrier))
+        }))
+        .ok(),
+        _ => None,
+    };
+    let body = secondary.unwrap_or_else(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            market_mode_body(snapshot, model, kpi, &job.kind)
+        }))
+        .unwrap_or_else(|_| empty_body(&job.kind))
+    });
+    WorkerReply {
+        body,
+        degraded: true,
+        reason: Some(DegradeReason::PanicFallback),
+        panicked: true,
+    }
+}
+
+/// Full-service answer for one request kind.
+fn primary_body(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    kpi: Option<&KpiReport>,
+    kind: &RequestKind,
+) -> Body {
+    match kind {
+        RequestKind::ColdStart(nc) => {
+            Body::Recommendations(recommend_singular(snapshot, model, nc))
+        }
+        RequestKind::Pairwise {
+            new_carrier,
+            neighbor,
+        } => Body::Recommendations(recommend_pairwise(snapshot, model, new_carrier, *neighbor)),
+        RequestKind::Singular { carrier } => {
+            let mut recs = Vec::new();
+            for def in snapshot.catalog.defs() {
+                if def.kind != ParamKind::Singular {
+                    continue;
+                }
+                let r = model.recommend_local_singular(snapshot, def.id, *carrier, false);
+                recs.push(ConfigRecommendation {
+                    param: def.id,
+                    name: def.name.clone(),
+                    value: r.value,
+                    concrete: def.range.value(r.value),
+                    basis: r.basis,
+                    support: r.support,
+                    voters: r.voters,
+                    matched_on: Vec::new(),
+                });
+            }
+            Body::Recommendations(recs)
+        }
+        RequestKind::Kpi { carrier } => {
+            Body::KpiHealth(kpi.and_then(|rep| rep.kpi(*carrier)).map(|k| k.health()))
+        }
+    }
+}
+
+/// The degraded last-resort answer: per-parameter market mode (scope
+/// plurality, else catalog default) — no probe keys, no neighborhood
+/// scans, nothing that can panic.
+fn market_mode_body(
+    snapshot: &NetworkSnapshot,
+    model: &CfModel,
+    kpi: Option<&KpiReport>,
+    kind: &RequestKind,
+) -> Body {
+    let wanted = match kind {
+        RequestKind::ColdStart(_) | RequestKind::Singular { .. } => ParamKind::Singular,
+        RequestKind::Pairwise { .. } => ParamKind::Pairwise,
+        RequestKind::Kpi { carrier } => {
+            // KPI queries degrade to the same cached lookup; the cache
+            // never panics.
+            return Body::KpiHealth(kpi.and_then(|rep| rep.kpi(*carrier)).map(|k| k.health()));
+        }
+    };
+    let n_fitted = model.params().len();
+    let mut recs = Vec::new();
+    for def in snapshot.catalog.defs() {
+        if def.kind != wanted || def.id.index() >= n_fitted {
+            continue;
+        }
+        let r = model.market_mode(def.id);
+        recs.push(ConfigRecommendation {
+            param: def.id,
+            name: def.name.clone(),
+            value: r.value,
+            concrete: def.range.value(r.value),
+            basis: r.basis,
+            support: r.support,
+            voters: r.voters,
+            matched_on: Vec::new(),
+        });
+    }
+    Body::Recommendations(recs)
+}
+
+/// The absolute floor: an explicitly empty answer (only reachable if
+/// even market mode panicked, which would itself be a bug — but a lost
+/// reply would violate exactly-once terminal outcomes).
+fn empty_body(kind: &RequestKind) -> Body {
+    match kind {
+        RequestKind::Kpi { .. } => Body::KpiHealth(None),
+        _ => Body::Recommendations(Vec::new()),
+    }
+}

@@ -1,0 +1,481 @@
+//! Chaos-facing integration tests for the serving layer: the shard
+//! state machine, deadline shedding, load shedding, breaker cycling,
+//! panic containment, refit fault handling, determinism, and the
+//! exactly-once terminal-outcome invariants.
+
+use std::sync::Arc;
+
+use auric_core::recommend::NewCarrier;
+use auric_core::{CfConfig, CfModel, Scope};
+use auric_model::{CarrierId, MarketId, NetworkSnapshot};
+use auric_netgen::{generate, NetScale, TuningKnobs};
+use auric_obs::Recorder;
+use auric_serve::{
+    Body, BreakerConfig, DegradeReason, RefitError, Rejection, Request, RequestKind, Service,
+    ServiceConfig, ShardFaultPlan, ShardFaultRates, ShardState,
+};
+
+fn snapshot() -> Arc<NetworkSnapshot> {
+    Arc::new(generate(&NetScale::tiny(), &TuningKnobs::none()).snapshot)
+}
+
+fn fit_market(snap: &NetworkSnapshot, m: MarketId) -> CfModel {
+    CfModel::fit(snap, &Scope::market(snap, m), CfConfig::default())
+}
+
+fn fitted(snap: &NetworkSnapshot) -> Vec<(MarketId, CfModel)> {
+    snap.markets
+        .iter()
+        .map(|m| (m.id, fit_market(snap, m.id)))
+        .collect()
+}
+
+/// A config whose shards are Ready from t=0 (no warmup) unless a test
+/// wants otherwise.
+fn ready_config() -> ServiceConfig {
+    let mut c = ServiceConfig::default();
+    c.shard.warmup_us = 0;
+    c
+}
+
+fn service(snap: &Arc<NetworkSnapshot>, plan: ShardFaultPlan, config: ServiceConfig) -> Service {
+    Service::new(
+        Arc::clone(snap),
+        fitted(snap),
+        plan,
+        config,
+        Recorder::disabled(),
+    )
+}
+
+fn clone_of(snap: &NetworkSnapshot, c: CarrierId) -> NewCarrier {
+    NewCarrier {
+        attrs: snap.carrier(c).attrs.clone(),
+        neighbors: snap.x2.neighbors(c).to_vec(),
+    }
+}
+
+fn singular(id: u64, market: MarketId, carrier: CarrierId, t: u64, deadline: u64) -> Request {
+    Request {
+        id,
+        market,
+        submitted_us: t,
+        deadline_us: deadline,
+        kind: RequestKind::Singular { carrier },
+    }
+}
+
+#[test]
+fn warming_serves_degraded_market_mode_then_ready_serves_first_class() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(1), ServiceConfig::default());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    // Default warmup is 20ms of simulated time: t=0 is Warming.
+    let a = svc.call(&singular(1, m, c, 0, u64::MAX)).expect("answered");
+    assert!(a.degraded, "warming answers are degraded, not errors");
+    assert_eq!(a.reason, Some(DegradeReason::Warming));
+    assert_eq!(a.state, ShardState::Warming);
+    let Body::Recommendations(recs) = &a.body else {
+        panic!("expected recommendations");
+    };
+    assert!(!recs.is_empty(), "market mode still answers every param");
+
+    let a = svc
+        .call(&singular(2, m, c, 30_000, u64::MAX))
+        .expect("answered");
+    assert!(!a.degraded, "past warmup the shard serves first-class");
+    assert_eq!(a.state, ShardState::Ready);
+    assert!(svc.invariant_violations(&[(m, 2)]).is_empty());
+}
+
+#[test]
+fn expired_requests_are_shed_before_any_shard_work() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(2), ready_config());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    // Fill the virtual worker: one admitted request finishing at t=150.
+    assert!(svc.call(&singular(1, m, c, 0, u64::MAX)).is_ok());
+    // Cannot start before its deadline (worker busy until 150 > 100).
+    assert_eq!(
+        svc.call(&singular(2, m, c, 0, 100)),
+        Err(Rejection::DeadlineExpired)
+    );
+    // Already expired on arrival.
+    assert_eq!(
+        svc.call(&singular(3, m, c, 200, 100)),
+        Err(Rejection::DeadlineExpired)
+    );
+
+    let stats = svc.stats();
+    let shard = stats.shards.iter().find(|s| s.market == m.0).unwrap();
+    assert_eq!(shard.admitted, 1);
+    assert_eq!(shard.rejected.deadline_expired, 2);
+    assert_eq!(
+        shard.dispatched, 1,
+        "shed requests must never reach the worker"
+    );
+    assert!(svc.invariant_violations(&[(m, 3)]).is_empty());
+}
+
+#[test]
+fn bounded_queue_rejects_overload_with_typed_backpressure() {
+    let snap = snapshot();
+    let mut config = ready_config();
+    config.shard.queue_capacity = 2;
+    let svc = service(&snap, ShardFaultPlan::none(3), config);
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    let mut outcomes = Vec::new();
+    for id in 0..5 {
+        outcomes.push(svc.call(&singular(id, m, c, 0, u64::MAX)));
+    }
+    assert!(outcomes[0].is_ok() && outcomes[1].is_ok());
+    for o in &outcomes[2..] {
+        assert_eq!(*o, Err(Rejection::Overloaded).map(|_: ()| unreachable!()));
+    }
+    let stats = svc.stats();
+    let shard = stats.shards.iter().find(|s| s.market == m.0).unwrap();
+    assert_eq!(shard.rejected.overloaded, 3);
+    // Once the queue drains in virtual time, admission resumes.
+    assert!(svc.call(&singular(9, m, c, 10_000, u64::MAX)).is_ok());
+    assert!(svc.invariant_violations(&[(m, 6)]).is_empty());
+}
+
+#[test]
+fn injected_panics_are_contained_and_the_fallback_chain_answers() {
+    let snap = snapshot();
+    let plan = ShardFaultPlan {
+        seed: 4,
+        rates: ShardFaultRates {
+            worker_panic: 1.0,
+            ..ShardFaultRates::none()
+        },
+    };
+    let svc = service(&snap, plan, ready_config());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+    let nc = clone_of(&snap, c);
+
+    // Every primary path panics; every answer must still arrive,
+    // degraded, with the panic-fallback reason and a non-empty body.
+    for (id, kind) in [
+        RequestKind::ColdStart(nc.clone()),
+        RequestKind::Pairwise {
+            new_carrier: nc.clone(),
+            neighbor: nc.neighbors[0],
+        },
+        RequestKind::Singular { carrier: c },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let a = svc
+            .call(&Request {
+                id: id as u64,
+                market: m,
+                submitted_us: id as u64 * 10,
+                deadline_us: u64::MAX,
+                kind,
+            })
+            .expect("panic must degrade the answer, not lose it");
+        assert!(a.degraded);
+        assert_eq!(a.reason, Some(DegradeReason::PanicFallback));
+        let Body::Recommendations(recs) = &a.body else {
+            panic!("expected recommendations");
+        };
+        assert!(!recs.is_empty());
+    }
+    let stats = svc.stats();
+    let shard = stats.shards.iter().find(|s| s.market == m.0).unwrap();
+    assert_eq!(shard.panics_contained, 3);
+    assert_eq!(shard.faults.worker_panics, 3);
+    assert_eq!(
+        shard.breaker.opened, 1,
+        "three consecutive failures open the breaker"
+    );
+    assert!(svc.invariant_violations(&[(m, 3)]).is_empty());
+}
+
+#[test]
+fn poisoned_refit_walks_breaker_then_degraded_then_restart() {
+    let snap = snapshot();
+    let plan = ShardFaultPlan {
+        seed: 5,
+        rates: ShardFaultRates {
+            poisoned_shard: 1.0,
+            ..ShardFaultRates::none()
+        },
+    };
+    let mut config = ready_config();
+    config.shard.breaker = BreakerConfig {
+        trip_after: 3,
+        cooldown_us: 50_000,
+        jitter_us: 10_000,
+    };
+    config.shard.panic_threshold = 5;
+    config.shard.restart_delay_us = 100_000;
+    let svc = service(&snap, plan, config);
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    // A refit that swaps in a poisoned model: every primary call panics.
+    svc.refit(m, fit_market(&snap, m), 0)
+        .expect("swap succeeds");
+
+    let mut submitted = 0u64;
+    let mut t = 1_000;
+    let mut id = 0;
+    let mut outcomes: Vec<Result<ShardState, Rejection>> = Vec::new();
+    // March simulated time forward; ~1 request per ms for 400ms covers
+    // trip → cooldown → probe → re-trip → degrade → restart.
+    while t < 400_000 {
+        let r = svc.call(&singular(id, m, c, t, u64::MAX));
+        outcomes.push(r.map(|a| a.state));
+        submitted += 1;
+        id += 1;
+        t += 1_000;
+    }
+    let stats = svc.stats();
+    let shard = stats.shards.iter().find(|s| s.market == m.0).unwrap();
+    assert!(
+        shard.breaker.opened >= 2,
+        "breaker must open and re-open from failed probes (opened={})",
+        shard.breaker.opened
+    );
+    assert!(
+        shard.rejected.breaker_open > 0,
+        "open breaker must reject instead of hammering a panicking model"
+    );
+    assert_eq!(
+        shard.panics_contained, 5,
+        "degradation trips at the panic threshold"
+    );
+    assert_eq!(shard.restarts, 1, "degraded shard restarts on schedule");
+    assert_eq!(shard.faults.poisoned_models, 1);
+    assert!(
+        outcomes.contains(&Ok(ShardState::Degraded)),
+        "degraded shard still answers (market mode)"
+    );
+    assert_eq!(
+        *outcomes.last().unwrap(),
+        Ok(ShardState::Ready),
+        "restart clears the poison and returns to full service"
+    );
+    assert!(svc.invariant_violations(&[(m, submitted)]).is_empty());
+}
+
+#[test]
+fn injected_refit_failure_keeps_the_stale_model_serving() {
+    let snap = snapshot();
+    let plan = ShardFaultPlan {
+        seed: 6,
+        rates: ShardFaultRates {
+            refit_failure: 1.0,
+            ..ShardFaultRates::none()
+        },
+    };
+    let svc = service(&snap, plan, ready_config());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    let before = svc.model(m).expect("shard exists");
+    assert_eq!(
+        svc.refit(m, fit_market(&snap, m), 0),
+        Err(RefitError::Injected)
+    );
+    let after = svc.model(m).expect("shard exists");
+    assert!(
+        Arc::ptr_eq(&before, &after),
+        "failed refit must not swap the model"
+    );
+    // And the stale model keeps serving first-class answers.
+    let a = svc.call(&singular(1, m, c, 10, u64::MAX)).unwrap();
+    assert!(!a.degraded);
+    let stats = svc.stats();
+    let shard = stats.shards.iter().find(|s| s.market == m.0).unwrap();
+    assert_eq!(shard.refits_failed, 1);
+    assert_eq!(shard.model_epoch, 0);
+}
+
+#[test]
+fn corrupt_model_bytes_are_a_typed_error_and_stale_model_survives() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(7), ready_config());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    let before = svc.model(m).expect("shard exists");
+    let err = svc
+        .install_model_json(m, b"{ not a model }", 0)
+        .expect_err("corrupt bytes must fail typed");
+    assert!(matches!(err, RefitError::Load(_)), "got {err:?}");
+    assert!(Arc::ptr_eq(&before, &svc.model(m).unwrap()));
+    assert!(!svc.call(&singular(1, m, c, 10, u64::MAX)).unwrap().degraded);
+
+    // Unknown markets are typed too, at every entry point.
+    let ghost = MarketId(9_999);
+    assert_eq!(
+        svc.install_model_json(ghost, b"{}", 0),
+        Err(RefitError::UnknownMarket)
+    );
+    assert_eq!(
+        svc.call(&singular(2, ghost, c, 20, u64::MAX)),
+        Err(Rejection::UnknownMarket)
+    );
+    assert_eq!(svc.stats().unknown_market, 1);
+}
+
+#[test]
+fn draining_rejects_new_work_other_shards_unaffected() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(8), ready_config());
+    assert!(snap.markets.len() >= 2, "tiny scale has multiple markets");
+    let m0 = snap.markets[0].id;
+    let m1 = snap.markets[1].id;
+    let c0 = snap.carriers_in_market(m0)[0];
+    let c1 = snap.carriers_in_market(m1)[0];
+
+    assert!(svc.drain(m0));
+    assert_eq!(
+        svc.call(&singular(1, m0, c0, 0, u64::MAX)),
+        Err(Rejection::Draining)
+    );
+    assert!(svc.call(&singular(2, m1, c1, 0, u64::MAX)).is_ok());
+    assert!(!svc.drain(MarketId(9_999)));
+}
+
+#[test]
+fn kpi_queries_serve_from_the_cached_report() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(9), ready_config());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    let a = svc
+        .call(&Request {
+            id: 1,
+            market: m,
+            submitted_us: 0,
+            deadline_us: u64::MAX,
+            kind: RequestKind::Kpi { carrier: c },
+        })
+        .unwrap();
+    let Body::KpiHealth(health) = a.body else {
+        panic!("expected KPI health");
+    };
+    let h = health.expect("simulated report covers every carrier");
+    assert!((0.0..=1.0).contains(&h), "health {h} out of range");
+    assert!(!a.degraded);
+}
+
+/// Two same-seed services fed the same mixed chaos schedule must agree
+/// exactly — outcome by outcome and stat by stat.
+#[test]
+fn same_seed_chaos_runs_are_deterministic() {
+    let snap = snapshot();
+    let run = || {
+        let svc = service(&snap, ShardFaultPlan::uniform(42, 0.2), ready_config());
+        let mut log: Vec<String> = Vec::new();
+        let mut submitted: Vec<(MarketId, u64)> =
+            snap.markets.iter().map(|m| (m.id, 0u64)).collect();
+        let mut id = 0u64;
+        for step in 0..300u64 {
+            let mi = (step % snap.markets.len() as u64) as usize;
+            let m = snap.markets[mi].id;
+            let carriers = snap.carriers_in_market(m);
+            let c = carriers[(step as usize / snap.markets.len()) % carriers.len()];
+            let t = step * 120;
+            let kind = match step % 4 {
+                0 => RequestKind::Singular { carrier: c },
+                1 => RequestKind::Kpi { carrier: c },
+                2 => RequestKind::ColdStart(clone_of(&snap, c)),
+                _ => {
+                    let nc = clone_of(&snap, c);
+                    let neighbor = nc.neighbors[0];
+                    RequestKind::Pairwise {
+                        new_carrier: nc,
+                        neighbor,
+                    }
+                }
+            };
+            if step % 97 == 0 {
+                let _ = svc.refit(m, fit_market(&snap, m), t);
+            }
+            let outcome = svc.call(&Request {
+                id,
+                market: m,
+                submitted_us: t,
+                deadline_us: t + 2_000,
+                kind,
+            });
+            submitted[mi].1 += 1;
+            id += 1;
+            log.push(match outcome {
+                Ok(a) => format!(
+                    "{} ok state={} degraded={} reason={:?} latency={}",
+                    a.id,
+                    a.state.label(),
+                    a.degraded,
+                    a.reason.map(|r| r.label()),
+                    a.latency_us
+                ),
+                Err(r) => format!("{id} rej {}", r.label()),
+            });
+        }
+        let violations = svc.invariant_violations(&submitted);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        let stats = serde_json::to_string(&svc.stats()).expect("stats serialize");
+        (log, stats)
+    };
+    let (log_a, stats_a) = run();
+    let (log_b, stats_b) = run();
+    assert_eq!(log_a, log_b, "per-request outcomes must be reproducible");
+    assert_eq!(stats_a, stats_b, "chaos report must be reproducible");
+}
+
+/// Real-threads smoke test: concurrent callers per market while the
+/// main thread hot-swaps models. Not deterministic — it checks the
+/// exactly-once and no-lost-answer invariants under genuine concurrency.
+#[test]
+fn concurrent_callers_survive_hot_refits() {
+    let snap = snapshot();
+    let svc = Arc::new(service(&snap, ShardFaultPlan::none(10), ready_config()));
+    let mut handles = Vec::new();
+    for m in &snap.markets {
+        let svc = Arc::clone(&svc);
+        let snap = Arc::clone(&snap);
+        let market = m.id;
+        handles.push(std::thread::spawn(move || {
+            let carriers = snap.carriers_in_market(market);
+            let mut submitted = 0u64;
+            for i in 0..200u64 {
+                let c = carriers[i as usize % carriers.len()];
+                let r = svc.call(&singular(i, market, c, i * 500, u64::MAX));
+                assert!(r.is_ok(), "faultless plan, generous deadline: {r:?}");
+                submitted += 1;
+            }
+            (market, submitted)
+        }));
+    }
+    // Hot-swap every market's model while traffic flows.
+    for round in 0..3u64 {
+        for m in &snap.markets {
+            svc.refit(m.id, fit_market(&snap, m.id), round * 1_000)
+                .expect("faultless refits succeed");
+        }
+    }
+    let submitted: Vec<(MarketId, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("caller thread panicked"))
+        .collect();
+    let violations = svc.invariant_violations(&submitted);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    for shard in svc.stats().shards {
+        assert_eq!(shard.model_epoch, 3, "all swaps landed");
+    }
+}

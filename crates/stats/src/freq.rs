@@ -374,12 +374,37 @@ impl Serialize for FreqTable {
 }
 
 impl Deserialize for FreqTable {
+    /// Strict parse: the wire pairs must be internally consistent — no
+    /// duplicate values, no zero counts, and a `total` that equals the sum
+    /// of the counts. The serializer can only emit such tables, so honest
+    /// files round-trip unchanged; a corrupted or hand-mutated file gets a
+    /// typed error here instead of an inconsistent table that trips
+    /// arithmetic assertions (e.g. leave-one-out exclusion) much later.
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let counts: Vec<(u16, usize)> = Deserialize::from_value(map_field(v, "counts")?)?;
         let total: usize = Deserialize::from_value(map_field(v, "total")?)?;
         let mut t = FreqTable::new();
-        for (value, count) in counts {
+        let mut sum = 0usize;
+        for &(value, count) in &counts {
+            if count == 0 {
+                return Err(DeError::custom(format!(
+                    "freq table: zero count for value {value}"
+                )));
+            }
+            if t.count(value) != 0 {
+                return Err(DeError::custom(format!(
+                    "freq table: duplicate value {value}"
+                )));
+            }
+            sum = sum
+                .checked_add(count)
+                .ok_or_else(|| DeError::custom("freq table: count sum overflows"))?;
             t.set_count(value, count);
+        }
+        if sum != total {
+            return Err(DeError::custom(format!(
+                "freq table: total {total} != sum of counts {sum}"
+            )));
         }
         t.total = total;
         Ok(t)

@@ -12,4 +12,5 @@ pub use auric_learners as learners;
 pub use auric_model as model;
 pub use auric_netgen as netgen;
 pub use auric_rulebook as rulebook;
+pub use auric_serve as serve;
 pub use auric_stats as stats;

@@ -2,11 +2,27 @@
 //! voting semantics, value-grid round trips, one-hot structure, X2 graph
 //! symmetry, and chi-square monotonicity.
 
-use auric_repro::model::{CarrierId, ValueRange, X2Graph};
+use auric_repro::core::{CfConfig, CfModel, Scope};
+use auric_repro::model::{CarrierId, ParamId, ValueRange, X2Graph};
+use auric_repro::netgen::{generate, NetScale, TuningKnobs};
 use auric_repro::stats::chi2::{chi2_cdf, chi2_critical};
 use auric_repro::stats::freq::FreqTable;
 use auric_repro::stats::onehot::OneHotEncoder;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A serialized tiny fitted model, built once for the mutation proptest.
+fn model_json() -> &'static [u8] {
+    static JSON: OnceLock<Vec<u8>> = OnceLock::new();
+    JSON.get_or_init(|| {
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let scope = Scope::whole(&net.snapshot);
+        let model = CfModel::fit(&net.snapshot, &scope, CfConfig::default());
+        serde_json::to_string(&model)
+            .expect("serialize fitted model")
+            .into_bytes()
+    })
+}
 
 proptest! {
     /// The majority under leave-one-out never reports more support than
@@ -92,6 +108,34 @@ proptest! {
         // Degree sum equals the directed pair count.
         let deg_sum: usize = (0..30).map(|i| g.degree(CarrierId(i))).sum();
         prop_assert_eq!(deg_sum, g.n_pairs());
+    }
+
+    /// Corrupting a serialized model — overwriting arbitrary bytes and/or
+    /// truncating the tail — must yield `Ok` or a typed error from
+    /// `CfModel::from_json_bytes`, never a panic; and any mutant that
+    /// still loads must answer probes without panicking (the serving
+    /// layer hot-swaps whatever loads).
+    #[test]
+    fn model_load_survives_byte_mutations(
+        mutations in proptest::collection::vec((0usize..1_000_000, 0u16..256), 1..8),
+        truncate in proptest::collection::vec(0usize..1_000_000, 0..2),
+    ) {
+        let mut bytes = model_json().to_vec();
+        for &(idx, byte) in &mutations {
+            let i = idx % bytes.len();
+            bytes[i] = byte as u8;
+        }
+        if let Some(&t) = truncate.first() {
+            bytes.truncate(t % (bytes.len() + 1));
+        }
+        if let Ok(model) = CfModel::from_json_bytes(&bytes) {
+            for (i, pc) in model.params().iter().enumerate() {
+                let param = ParamId(i as u16);
+                let _ = model.market_mode(param);
+                let key = vec![0u16; pc.dependent.len()];
+                let _ = model.recommend_global(param, &key, None);
+            }
+        }
     }
 
     /// The chi-square CDF is monotone in x and the critical value inverts
