@@ -148,6 +148,7 @@ fn main() {
             FitOptions {
                 obs: obs.clone(),
                 threads: Some(threads),
+                key_cache: None,
             },
         );
         let fit_s = t0.elapsed().as_secs_f64();

@@ -1,15 +1,25 @@
 //! Emits `BENCH_serve.json`: a deterministic chaos/load report for the
 //! `auric-serve` front door.
 //!
-//! Six scenarios run back to back against fresh per-market services —
-//! `none`, then each shard fault in isolation at an aggressive rate
-//! (`latency_spike`, `worker_panic`, `poisoned_shard`, `refit_failure`),
-//! then `mixed` with every fault at a moderate rate. Each scenario
-//! drives mixed traffic (singular, pairwise, cold-start, KPI queries)
-//! from one client thread per market, refitting shards mid-flight, and
-//! then checks the serving invariants: every submission gets exactly
-//! one typed terminal outcome, and shed/rejected requests do zero
-//! shard work.
+//! Six chaos scenarios run back to back against fresh per-market
+//! services — `none`, then each shard fault in isolation at an
+//! aggressive rate (`latency_spike`, `worker_panic`, `poisoned_shard`,
+//! `refit_failure`), then `mixed` with every fault at a moderate rate.
+//! Each scenario drives mixed traffic (singular, pairwise, cold-start,
+//! KPI queries) from one client thread per market, refitting shards
+//! mid-flight, and then checks the serving invariants: every submission
+//! gets exactly one typed terminal outcome, and shed/rejected requests
+//! do zero shard work.
+//!
+//! Two perf scenarios (`hot_key`, `uniform_key`) then run the *same*
+//! pre-built seeded request plan twice at equal fault rates: baseline
+//! (cache disabled, one request at a time) vs batched (coalescing
+//! batches of 8 with the default epoch-validated cache), with refits
+//! aligned to the same request positions on both sides. Virtual
+//! throughput is `answered / busy_us` — the work the shard actually
+//! booked — so the speedup and hit-rate numbers are deterministic. The
+//! bench self-enforces the hot-key budget (speedup ≥ 3×, hit rate
+//! ≥ 0.5) and exits nonzero when it regresses.
 //!
 //! Everything in the report is *virtual*: latencies are simulated µs,
 //! throughput is simulated rps, and fault schedules are seeded — so the
@@ -307,6 +317,214 @@ fn run_scenario(
     (section, violations)
 }
 
+/// Refit alignment for the perf A/B runs: a multiple of `PERF_WINDOW`
+/// so the one-at-a-time and batched sides refit at the same request
+/// positions.
+const PERF_REFIT_EVERY: usize = 200;
+/// Batch window for the batched side of the perf A/B runs.
+const PERF_WINDOW: usize = 8;
+
+/// Pre-builds one market's seeded request plan for the perf scenarios.
+/// `hot` skews 95% of the traffic onto three hot carriers (cache-hit
+/// territory); otherwise carriers draw uniformly. Deadlines are
+/// generous so both sides answer (rather than shed) the same plan.
+fn build_plan(
+    snap: &NetworkSnapshot,
+    market: MarketId,
+    seed: u64,
+    n_requests: u64,
+    hot: bool,
+) -> Vec<Request> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let carriers = snap.carriers_in_market(market);
+    let hot_set: Vec<CarrierId> = carriers.iter().copied().take(3).collect();
+    let mut t: u64 = 0;
+    (0..n_requests)
+        .map(|i| {
+            t += rng.random_range(80..400u64);
+            let deadline = t + rng.random_range(50_000..100_000u64);
+            let c = if hot && rng.random_range(0..100u64) < 95 {
+                hot_set[rng.random_range(0..hot_set.len() as u64) as usize]
+            } else {
+                carriers[rng.random_range(0..carriers.len() as u64) as usize]
+            };
+            let draw = rng.random_range(0..100u64);
+            let kind = if draw < 40 {
+                RequestKind::Singular { carrier: c }
+            } else if draw < 65 {
+                let nc = clone_of(snap, c);
+                match nc.neighbors.first().copied() {
+                    Some(neighbor) => RequestKind::Pairwise {
+                        new_carrier: nc,
+                        neighbor,
+                    },
+                    None => RequestKind::Singular { carrier: c },
+                }
+            } else if draw < 85 {
+                RequestKind::ColdStart(clone_of(snap, c))
+            } else {
+                RequestKind::Kpi { carrier: c }
+            };
+            Request {
+                id: u64::from(market.0) << 32 | i,
+                market,
+                submitted_us: t,
+                deadline_us: deadline,
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Runs every market's plan against a fresh service (one client thread
+/// per market, windows of `window` requests per `call_batch`) and
+/// returns `(answered, busy_us, stats, violations)`.
+fn run_perf_side(
+    snap: &Arc<NetworkSnapshot>,
+    plans: &[(MarketId, Vec<Request>)],
+    seed: u64,
+    config: ServiceConfig,
+    window: usize,
+) -> (u64, u64, auric_serve::ServiceStats, Vec<String>) {
+    let models = snap
+        .markets
+        .iter()
+        .map(|m| (m.id, fit_market(snap, m.id)))
+        .collect();
+    let plan = ShardFaultPlan {
+        seed,
+        rates: ShardFaultRates::none(),
+    };
+    let svc = Arc::new(Service::new(
+        Arc::clone(snap),
+        models,
+        plan,
+        config,
+        Recorder::disabled(),
+    ));
+    let answered: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|(market, plan)| {
+                let svc = Arc::clone(&svc);
+                let snap = Arc::clone(snap);
+                let market = *market;
+                s.spawn(move || {
+                    let mut answered = 0u64;
+                    let mut served = 0usize;
+                    for chunk in plan.chunks(window) {
+                        // Refit at fixed request positions; the window
+                        // divides the stride, so both A/B sides refit at
+                        // identical points in the plan.
+                        if served > 0 && served.is_multiple_of(PERF_REFIT_EVERY) {
+                            let _ =
+                                svc.refit(market, fit_market(&snap, market), chunk[0].submitted_us);
+                        }
+                        answered +=
+                            svc.call_batch(chunk).iter().filter(|r| r.is_ok()).count() as u64;
+                        served += chunk.len();
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("perf client thread panicked"))
+            .sum()
+    });
+    let submitted: Vec<(MarketId, u64)> = plans.iter().map(|(m, p)| (*m, p.len() as u64)).collect();
+    let violations = svc.invariant_violations(&submitted);
+    let stats = svc.stats();
+    let busy_us: u64 = stats.shards.iter().map(|s| s.busy_us).sum();
+    let svc = Arc::try_unwrap(svc).unwrap_or_else(|_| panic!("service still shared"));
+    svc.shutdown();
+    (answered, busy_us, stats, violations)
+}
+
+/// One perf A/B scenario: the same plan unbatched/uncached vs
+/// batched/cached. Returns the report section plus any invariant
+/// violations; the returned `(speedup, hit_rate)` feed the hot-key
+/// budget check.
+fn run_perf_scenario(
+    snap: &Arc<NetworkSnapshot>,
+    name: &str,
+    hot: bool,
+    seed: u64,
+    n_requests: u64,
+) -> (Value, Vec<String>, f64, f64) {
+    let wall = Instant::now();
+    let plans: Vec<(MarketId, Vec<Request>)> = snap
+        .markets
+        .iter()
+        .map(|m| {
+            let plan_seed = seed ^ (u64::from(m.id.0) + 1).wrapping_mul(0xC3C3_3C3C_9876_1234);
+            (m.id, build_plan(snap, m.id, plan_seed, n_requests, hot))
+        })
+        .collect();
+
+    let mut baseline_cfg = ServiceConfig::default();
+    baseline_cfg.shard.cache_capacity = 0;
+    let (base_answered, base_busy, base_stats, mut violations) =
+        run_perf_side(snap, &plans, seed, baseline_cfg, 1);
+    let (batch_answered, batch_busy, batch_stats, batch_violations) =
+        run_perf_side(snap, &plans, seed, ServiceConfig::default(), PERF_WINDOW);
+    violations.extend(batch_violations);
+
+    let rps = |answered: u64, busy_us: u64| {
+        if busy_us == 0 {
+            0.0
+        } else {
+            (answered as f64 / (busy_us as f64 / 1e6) * 10.0).round() / 10.0
+        }
+    };
+    let base_rps = rps(base_answered, base_busy);
+    let batch_rps = rps(batch_answered, batch_busy);
+    let speedup = if base_rps == 0.0 {
+        0.0
+    } else {
+        (batch_rps / base_rps * 100.0).round() / 100.0
+    };
+    let admitted: u64 = batch_stats.shards.iter().map(|s| s.admitted).sum();
+    let hits: u64 = batch_stats.shards.iter().map(|s| s.cache_hits).sum();
+    let coalesced: u64 = batch_stats.shards.iter().map(|s| s.coalesced).sum();
+    let rate = |n: u64| {
+        if admitted == 0 {
+            0.0
+        } else {
+            (n as f64 / admitted as f64 * 10_000.0).round() / 10_000.0
+        }
+    };
+    let hit_rate = rate(hits);
+    let section = json!({
+        "scenario": name,
+        "baseline": json!({
+            "answered": base_answered,
+            "busy_us": base_busy,
+            "virtual_rps": base_rps,
+            "dispatched": base_stats.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+        }),
+        "batched": json!({
+            "answered": batch_answered,
+            "busy_us": batch_busy,
+            "virtual_rps": batch_rps,
+            "dispatched": batch_stats.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+            "cache_hits": hits,
+            "coalesced": coalesced,
+            "hit_rate": hit_rate,
+            "coalesce_rate": rate(coalesced),
+        }),
+        "speedup": speedup,
+        "invariant_violations": violations,
+    });
+    eprintln!(
+        "bench_serve: perf {name}: {base_rps:.1} -> {batch_rps:.1} virtual rps \
+         ({speedup:.2}x, hit rate {hit_rate:.3}), {:.2}s wall",
+        wall.elapsed().as_secs_f64()
+    );
+    (section, violations, speedup, hit_rate)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_name = "tiny".to_string();
@@ -356,6 +574,34 @@ fn main() {
         all_violations.extend(violations.into_iter().map(|v| format!("{name}: {v}")));
     }
 
+    let mut perf_sections = Vec::new();
+    let mut budget_failures = Vec::new();
+    for (idx, (name, hot)) in [("hot_key", true), ("uniform_key", false)]
+        .into_iter()
+        .enumerate()
+    {
+        let scenario_seed = seed ^ ((idx as u64 + 16) << 40);
+        let (section, violations, speedup, hit_rate) =
+            run_perf_scenario(&snap, name, hot, scenario_seed, n_requests);
+        perf_sections.push(section);
+        all_violations.extend(violations.into_iter().map(|v| format!("{name}: {v}")));
+        if hot {
+            // The serving-hot-path budget: batching + caching must buy
+            // at least 3x virtual throughput on hot-key traffic, and
+            // the cache must actually absorb most of it.
+            if speedup < 3.0 {
+                budget_failures.push(format!(
+                    "hot_key speedup {speedup:.2}x below the 3.0x budget"
+                ));
+            }
+            if hit_rate < 0.5 {
+                budget_failures.push(format!(
+                    "hot_key cache hit rate {hit_rate:.3} below the 0.5 budget"
+                ));
+            }
+        }
+    }
+
     let report = json!({
         "bench": "serve_chaos",
         "scale": scale_name,
@@ -364,18 +610,31 @@ fn main() {
         "n_carriers": snap.n_carriers(),
         "requests_per_market_per_scenario": n_requests,
         "scenarios": sections,
+        "perf": json!({
+            "requests_per_market": n_requests,
+            "refit_every": PERF_REFIT_EVERY as u64,
+            "batch_window": PERF_WINDOW as u64,
+            "scenarios": perf_sections,
+            "budget_failures": budget_failures,
+        }),
         "total_invariant_violations": all_violations.len(),
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, &text).expect("write report");
     println!("{text}");
-    if all_violations.is_empty() {
-        eprintln!("bench_serve: all scenarios clean (wrote {out})");
-    } else {
+    if !all_violations.is_empty() {
         eprintln!("bench_serve: INVARIANT VIOLATIONS (wrote {out}):");
         for v in &all_violations {
             eprintln!("  {v}");
         }
         std::process::exit(1);
     }
+    if !budget_failures.is_empty() {
+        eprintln!("bench_serve: PERF BUDGET FAILURES (wrote {out}):");
+        for f in &budget_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("bench_serve: all scenarios clean (wrote {out})");
 }

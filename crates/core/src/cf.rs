@@ -69,6 +69,14 @@ pub struct FitOptions {
     /// Worker threads for the fit pool; `None` uses the machine default
     /// (see [`fit_worker_threads`]).
     pub threads: Option<usize>,
+    /// A key-column cache shared across fits of the **same snapshot**.
+    /// Key columns span the whole snapshot regardless of the fitting
+    /// scope, so per-market fits (the paper's methodology) that select
+    /// the same ordered dependent set for a parameter rebuild
+    /// byte-identical fleet-sized columns — unless they share a cache.
+    /// `None` gives each fit a private cache (sharing only within the
+    /// fit, which Table-1 layouts rarely allow).
+    pub key_cache: Option<SharedKeyColumns>,
 }
 
 /// How a recommendation was produced — the fallback chain position.
@@ -174,6 +182,52 @@ struct KeyColumnCache {
     built: AtomicU64,
     shared: AtomicU64,
     bytes: AtomicU64,
+    /// Address and `(n_carriers, n_pairs)` of the first snapshot this
+    /// cache served — a cached column is only valid for the snapshot it
+    /// was packed from, so cross-snapshot reuse is a caller bug caught
+    /// here. The address catches equal-shape snapshots with different
+    /// attribute content (two live snapshots never share an address).
+    fleet: OnceLock<(usize, usize, usize)>,
+}
+
+/// A [`KeyColumnCache`] handle that outlives one fit, for sharing packed
+/// key columns across **fits of the same snapshot** (per-market models,
+/// hot refits). Cheap to clone; thread-safe. Passing a cache that saw a
+/// different snapshot panics at fit time rather than aliasing wrong
+/// columns.
+#[derive(Clone, Default)]
+pub struct SharedKeyColumns(Arc<KeyColumnCache>);
+
+impl SharedKeyColumns {
+    /// An empty cache, to be shared by every fit of one snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct `(kind, ordered dependent set)` columns physically built.
+    pub fn built(&self) -> u64 {
+        self.0.built.load(Ordering::Relaxed)
+    }
+
+    /// Column requests satisfied by an already-built column.
+    pub fn shared(&self) -> u64 {
+        self.0.shared.load(Ordering::Relaxed)
+    }
+
+    /// Bytes held by the built columns.
+    pub fn bytes(&self) -> u64 {
+        self.0.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for SharedKeyColumns {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedKeyColumns")
+            .field("built", &self.built())
+            .field("shared", &self.shared())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
 }
 
 /// The cache key: a key column is fully determined by the parameter kind
@@ -183,14 +237,33 @@ type ColumnLayout = (ParamKind, Vec<PredictorAttr>);
 /// One cache entry: a build-once cell holding the shared column.
 type ColumnCell = Arc<OnceLock<Arc<[u128]>>>;
 
-impl KeyColumnCache {
-    fn new() -> Self {
+impl Default for KeyColumnCache {
+    fn default() -> Self {
         Self {
             entries: Mutex::new(HashMap::new()),
             built: AtomicU64::new(0),
             shared: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            fleet: OnceLock::new(),
         }
+    }
+}
+
+impl KeyColumnCache {
+    /// Pins the cache to one snapshot; panics if a fit hands it a
+    /// different snapshot (cached columns would alias wrong keys
+    /// silently otherwise).
+    fn guard_fleet(&self, snapshot: &NetworkSnapshot) {
+        let id = (
+            snapshot as *const NetworkSnapshot as usize,
+            snapshot.n_carriers(),
+            snapshot.x2.n_pairs(),
+        );
+        let fleet = *self.fleet.get_or_init(|| id);
+        assert_eq!(
+            fleet, id,
+            "SharedKeyColumns reused across different snapshots"
+        );
     }
 
     fn get_or_build(
@@ -360,20 +433,29 @@ impl CfModel {
         config: CfConfig,
         opts: FitOptions,
     ) -> Self {
-        let FitOptions { obs, threads } = opts;
+        let FitOptions {
+            obs,
+            threads,
+            key_cache,
+        } = opts;
         let n_params = snapshot.catalog.len();
         let span = obs.span("cf.fit");
         // The shared read-only inputs of every fit job: the columnar
         // attribute arena (built once, before the pool starts) and the
         // key-column cache the jobs dedup their fleet-sized columns in.
+        // A caller-provided cache extends the dedup across fits of the
+        // same snapshot (per-market models, refits); a private one only
+        // dedups within this fit.
         let arena = AttrArena::from_snapshot(snapshot);
         obs.gauge_max("cf.fit.arena.bytes", arena.bytes() as u64);
-        let cache = KeyColumnCache::new();
+        let cache = key_cache.unwrap_or_default();
+        let cache = &*cache.0;
+        cache.guard_fleet(snapshot);
         let params = parallel_map_with(n_params, threads, |i| {
             fit_param(
                 snapshot,
                 &arena,
-                &cache,
+                cache,
                 scope,
                 ParamId(i as u16),
                 &config,
@@ -410,6 +492,45 @@ impl CfModel {
     /// All fitted parameter states.
     pub fn params(&self) -> &[ParamCf] {
         &self.params
+    }
+
+    /// Resolves a carrier's **serving probe**: the packed vote key of
+    /// every singular parameter, in `catalog.singular_ids()` order. Two
+    /// carriers with equal probes are indistinguishable to every
+    /// singular vote table of this model, so the serving layer can use
+    /// the probe as an equality-comparable `(ParamId, u128)` handle —
+    /// resolved once at admission — for batching, coalescing, and
+    /// response caching. `None` when the model does not cover the
+    /// catalog or any singular layout is wider than 128 bits (no integer
+    /// handle; such requests are served unbatched).
+    pub fn probe_singular(&self, snapshot: &NetworkSnapshot, attrs: &AttrVec) -> Option<Vec<u128>> {
+        snapshot
+            .catalog
+            .singular_ids()
+            .map(|p| {
+                let pc = self.params.get(p.index())?;
+                pc.codec.fits_u128().then(|| pc.packed_for_carrier(attrs))
+            })
+            .collect()
+    }
+
+    /// Resolves a directed pair's serving probe: the packed vote key of
+    /// every pair-wise parameter, in `catalog.pairwise_ids()` order.
+    /// Same contract as [`CfModel::probe_singular`].
+    pub fn probe_pairwise(
+        &self,
+        snapshot: &NetworkSnapshot,
+        src: &AttrVec,
+        dst: &AttrVec,
+    ) -> Option<Vec<u128>> {
+        snapshot
+            .catalog
+            .pairwise_ids()
+            .map(|p| {
+                let pc = self.params.get(p.index())?;
+                pc.codec.fits_u128().then(|| pc.packed_for_pair(src, dst))
+            })
+            .collect()
     }
 
     /// Global recommendation for an unpacked vote key. `exclude` is the
@@ -1460,7 +1581,7 @@ mod tests {
                     // Wide layouts never reach the column cache.
                     return Ok(());
                 }
-                let cache = KeyColumnCache::new();
+                let cache = KeyColumnCache::default();
                 let col = cache.get_or_build(kind, &dependent, || {
                     pack_key_column(&arena, &codec, &dependent, kind)
                 });

@@ -79,6 +79,7 @@ pub fn alpha_sweep(opts: &RunOptions) -> ExpOutput {
             auric_core::FitOptions {
                 obs: opts.obs.clone(),
                 threads: None,
+                key_cache: None,
             },
         );
         let mean_deps = model
@@ -156,6 +157,7 @@ pub fn dependency_selection(opts: &RunOptions) -> ExpOutput {
             auric_core::FitOptions {
                 obs: opts.obs.clone(),
                 threads: None,
+                key_cache: None,
             },
         );
         let mean_deps = model

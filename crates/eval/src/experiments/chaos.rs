@@ -58,6 +58,7 @@ pub fn ops_chaos(opts: &RunOptions) -> ExpOutput {
         FitOptions {
             obs: opts.obs.clone(),
             threads: None,
+            key_cache: None,
         },
     );
     fit_span.close();

@@ -162,6 +162,7 @@ pub fn run_global_learners_filtered(
                 auric_core::FitOptions {
                     obs: opts.obs.clone(),
                     threads: None,
+                    key_cache: None,
                 },
             );
             let cf_report = evaluate_cf(snap, &scope, &cf, false);

@@ -129,6 +129,7 @@ pub fn kpi_loop(opts: &RunOptions) -> ExpOutput {
         FitOptions {
             obs: opts.obs.clone(),
             threads: None,
+            key_cache: None,
         },
     );
     fit_span.close();

@@ -10,10 +10,11 @@ pub mod kpi_loop;
 pub mod local_learner;
 pub mod mismatch_labels;
 pub mod operations;
+pub mod serve_batch;
 pub mod variability;
 
 use crate::RunOptions;
-use auric_core::{CfConfig, CfModel, FitOptions, Scope};
+use auric_core::{CfConfig, CfModel, FitOptions, Scope, SharedKeyColumns};
 use auric_model::{NetworkSnapshot, ParamId, ParamKind};
 use auric_netgen::{generate, GeneratedNetwork, NetScale};
 use auric_obs::Recorder;
@@ -33,6 +34,9 @@ pub fn fit_per_market(
     obs: &Recorder,
 ) -> Vec<(Scope, CfModel)> {
     let span = obs.span("eval.fit_per_market");
+    // Key columns span the whole snapshot, not the fit scope, so per-market
+    // fits that land on the same (kind, ordered layout) can reuse them.
+    let key_cache = SharedKeyColumns::new();
     let models = snapshot
         .markets
         .iter()
@@ -41,6 +45,7 @@ pub fn fit_per_market(
             let opts = FitOptions {
                 obs: obs.clone(),
                 threads: None,
+                key_cache: Some(key_cache.clone()),
             };
             let model = CfModel::fit_with(snapshot, &scope, config, opts);
             (scope, model)

@@ -49,6 +49,7 @@ pub fn table5(opts: &RunOptions) -> ExpOutput {
         FitOptions {
             obs: opts.obs.clone(),
             threads: None,
+            key_cache: None,
         },
     );
     fit_span.close();

@@ -1,0 +1,160 @@
+//! `serve-batch` — deterministic batched-serving scenario (ours; the
+//! paper stops at model quality, serving is our deployment layer).
+//!
+//! Drives a small fixed request script through the `auric-serve` front
+//! door with batching, coalescing, and the epoch-validated response
+//! cache all active, in three waves per market:
+//!
+//! 1. a cold batch with duplicate probes — exercises coalescing,
+//! 2. the same batch again — exercises cache hits,
+//! 3. a hot refit, then the batch a third time — exercises epoch
+//!    invalidation (the refit must clear the cache, so wave 3 misses
+//!    and re-dispatches).
+//!
+//! Everything is seeded and single-threaded per market, so the serving
+//! counters (`serve.batch.*`, `serve.cache.*`) land deterministically
+//! on `opts.obs` — CI pins them with an obs-baseline diff.
+
+use std::sync::Arc;
+
+use crate::experiments::{fit_per_market, network};
+use crate::render::TextTable;
+use crate::{ExpOutput, RunOptions};
+use auric_core::recommend::NewCarrier;
+use auric_core::CfConfig;
+use auric_model::{CarrierId, MarketId, NetworkSnapshot};
+use auric_netgen::NetScale;
+use auric_serve::{Request, RequestKind, Service, ServiceConfig, ShardFaultPlan, ShardFaultRates};
+use serde_json::json;
+
+fn clone_of(snap: &NetworkSnapshot, c: CarrierId) -> NewCarrier {
+    NewCarrier {
+        attrs: snap.carrier(c).attrs.clone(),
+        neighbors: snap.x2.neighbors(c).to_vec(),
+    }
+}
+
+/// One market's wave: eight requests over four carriers with the first
+/// two probes duplicated (the coalescing bait).
+fn wave(snap: &NetworkSnapshot, market: MarketId, t: u64, id_base: u64) -> Vec<Request> {
+    let carriers = snap.carriers_in_market(market);
+    let c = |i: usize| carriers[i % carriers.len()];
+    let kinds = vec![
+        RequestKind::Singular { carrier: c(0) },
+        RequestKind::Singular { carrier: c(0) },
+        RequestKind::Singular { carrier: c(1) },
+        RequestKind::ColdStart(clone_of(snap, c(1))),
+        RequestKind::Kpi { carrier: c(2) },
+        RequestKind::Singular { carrier: c(1) },
+        RequestKind::ColdStart(clone_of(snap, c(1))),
+        RequestKind::Singular { carrier: c(3) },
+    ];
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| Request {
+            id: id_base + i as u64,
+            market,
+            submitted_us: t,
+            deadline_us: t + 50_000,
+            kind,
+        })
+        .collect()
+}
+
+/// The batched-serving scenario.
+pub fn serve_batch(opts: &RunOptions) -> ExpOutput {
+    let net = network(opts, NetScale::tiny());
+    let snap = Arc::new(net.snapshot);
+    let fits = fit_per_market(&snap, CfConfig::default(), &opts.obs);
+    let models = snap
+        .markets
+        .iter()
+        .map(|m| m.id)
+        .zip(fits.into_iter().map(|(_, model)| model))
+        .collect();
+    let mut config = ServiceConfig::default();
+    config.shard.warmup_us = 0;
+    let svc = Service::new(
+        Arc::clone(&snap),
+        models,
+        ShardFaultPlan {
+            seed: opts.seed,
+            rates: ShardFaultRates::none(),
+        },
+        config,
+        opts.obs.clone(),
+    );
+
+    let mut answered = 0u64;
+    let mut submitted = Vec::new();
+    for (mi, m) in snap.markets.iter().enumerate() {
+        let id_base = u64::from(m.id.0) << 32;
+        let mut count = |reqs: &[Request]| {
+            answered += svc.call_batch(reqs).iter().filter(|r| r.is_ok()).count() as u64;
+        };
+        count(&wave(&snap, m.id, 0, id_base));
+        count(&wave(&snap, m.id, 10_000, id_base + 8));
+        svc.refit(
+            m.id,
+            fit_per_market(&snap, CfConfig::default(), &opts.obs)
+                .swap_remove(mi)
+                .1,
+            20_000,
+        )
+        .expect("faultless refit");
+        count(&wave(&snap, m.id, 20_000, id_base + 16));
+        submitted.push((m.id, 24u64));
+    }
+
+    let violations = svc.invariant_violations(&submitted);
+    assert!(violations.is_empty(), "serving invariants: {violations:?}");
+    let stats = svc.stats();
+
+    let mut table = TextTable::new(vec![
+        "market",
+        "admitted",
+        "dispatched",
+        "cache hits",
+        "coalesced",
+        "epoch",
+    ]);
+    for s in &stats.shards {
+        table.row(vec![
+            format!("{}", s.market),
+            format!("{}", s.admitted),
+            format!("{}", s.dispatched),
+            format!("{}", s.cache_hits),
+            format!("{}", s.coalesced),
+            format!("{}", s.model_epoch),
+        ]);
+    }
+    let total =
+        |f: fn(&auric_serve::ShardStats) -> u64| -> u64 { stats.shards.iter().map(f).sum() };
+    let text = format!(
+        "serve-batch — batching, coalescing, and epoch-validated caching\n\
+         three waves per market: cold (coalesce), warm (cache hit), post-refit (invalidated)\n\n{}\n\
+         answered {answered}, dispatched {} of {} admitted \
+         (cache absorbed {}, coalescing {})\n",
+        table.render(),
+        total(|s| s.dispatched),
+        total(|s| s.admitted),
+        total(|s| s.cache_hits),
+        total(|s| s.coalesced),
+    );
+    let json = json!({
+        "answered": answered,
+        "admitted": total(|s| s.admitted),
+        "dispatched": total(|s| s.dispatched),
+        "cache_hits": total(|s| s.cache_hits),
+        "coalesced": total(|s| s.coalesced),
+        "shards": stats.shards,
+    });
+    svc.shutdown();
+    ExpOutput {
+        id: "serve-batch".into(),
+        title: "Batched serving: coalescing + epoch-validated cache".into(),
+        text,
+        json,
+    }
+}

@@ -25,6 +25,7 @@
 //! | `table5`        | Table 5 — SmartLaunch campaign                   |
 //! | `ops-chaos`     | fault-rate × retry-policy resilience sweep (ours)|
 //! | `kpi_loop`      | §6 closed loop — KPI rollback + quarantine (ours)|
+//! | `serve-batch`   | batched serving: coalescing + epoch cache (ours) |
 //! | `ablation-vote` | voting-threshold sweep (ours)                    |
 //! | `ablation-alpha`| significance-level sweep (ours)                  |
 //! | `ablation-hops` | locality-radius sweep (ours)                     |
@@ -75,7 +76,7 @@ pub struct ExpOutput {
 }
 
 /// The registry of experiment names, in presentation order.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "table3",
     "fig2",
     "fig3",
@@ -88,6 +89,7 @@ pub const EXPERIMENTS: [&str; 16] = [
     "table5",
     "ops-chaos",
     "kpi_loop",
+    "serve-batch",
     "ablation-vote",
     "ablation-alpha",
     "ablation-hops",
@@ -119,6 +121,7 @@ fn dispatch(name: &str, opts: &RunOptions) -> Result<ExpOutput, String> {
         "table5" => Ok(experiments::operations::table5(opts)),
         "ops-chaos" => Ok(experiments::chaos::ops_chaos(opts)),
         "kpi_loop" => Ok(experiments::kpi_loop::kpi_loop(opts)),
+        "serve-batch" => Ok(experiments::serve_batch::serve_batch(opts)),
         "ablation-vote" => Ok(experiments::ablation::vote_threshold(opts)),
         "ablation-alpha" => Ok(experiments::ablation::alpha_sweep(opts)),
         "ablation-hops" => Ok(experiments::ablation::hops_sweep(opts)),

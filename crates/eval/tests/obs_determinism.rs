@@ -5,9 +5,10 @@
 //! A fast subset covers the instrumented layers — `table5` (CF fit plus
 //! the SmartLaunch/EMS campaign), `ops-chaos` (fault injection and
 //! retries), `global-vs-local` (per-market fits), `kpi_loop` (the KPI
-//! post-check, rollback and quarantine counters). The full 16-experiment
-//! sweep is exercised by `auric-eval all --obs` (see EXPERIMENTS.md);
-//! running it twice here would dominate the test suite.
+//! post-check, rollback and quarantine counters), `serve-batch` (the
+//! batched serving counters). The full 17-experiment sweep is exercised
+//! by `auric-eval all --obs` (see EXPERIMENTS.md); running it twice
+//! here would dominate the test suite.
 
 use auric_eval::{run_experiment, RunOptions};
 use auric_netgen::NetScale;
@@ -26,7 +27,13 @@ fn obs_report(name: &str) -> String {
 
 #[test]
 fn obs_reports_are_byte_identical_across_runs() {
-    for name in ["table5", "ops-chaos", "global-vs-local", "kpi_loop"] {
+    for name in [
+        "table5",
+        "ops-chaos",
+        "global-vs-local",
+        "kpi_loop",
+        "serve-batch",
+    ] {
         let a = obs_report(name);
         let b = obs_report(name);
         assert_eq!(a, b, "{name}: obs reports differ between identical runs");
@@ -53,6 +60,22 @@ fn obs_reports_are_byte_identical_across_runs() {
                 "\"ems.quarantine.added\"",
                 "\"ems.quarantine.released\"",
                 "\"ems.rollback.total\"",
+            ] {
+                assert!(a.contains(counter), "{name}: missing {counter}");
+            }
+        }
+
+        // The batched-serving experiment must surface its coalescing
+        // and epoch-validated-cache counters.
+        if name == "serve-batch" {
+            for counter in [
+                "\"serve.batch.size\"",
+                "\"serve.batch.groups\"",
+                "\"serve.batch.coalesced\"",
+                "\"serve.cache.hit\"",
+                "\"serve.cache.miss\"",
+                "\"serve.cache.insert\"",
+                "\"serve.cache.invalidated\"",
             ] {
                 assert!(a.contains(counter), "{name}: missing {counter}");
             }

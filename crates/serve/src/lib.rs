@@ -19,6 +19,12 @@
 //! - **Hot refit** — each shard's model is an `Arc` swapped under a
 //!   lock; a refitting, degraded, or poisoned shard serves the stale
 //!   model rather than erroring.
+//! - **Batched hot path** — admission resolves each request once into a
+//!   packed-key [`ProbeKey`]; a batch coalesces duplicate probes into
+//!   one worker dispatch (leads sorted by packed key), and a bounded
+//!   per-shard [`ResponseCache`] serves repeats, validated against a
+//!   model epoch bumped on every refit swap so stale bodies never
+//!   serve.
 //!
 //! Everything is driven by simulated time and seeded fault plans
 //! ([`ShardFaultPlan`], mirroring `auric_ems::fault`), so the
@@ -27,12 +33,16 @@
 
 pub mod api;
 pub mod breaker;
+pub mod cache;
 pub mod fault;
+pub mod probe;
 pub mod service;
 pub mod shard;
 
 pub use api::{Answer, Body, DegradeReason, Rejection, Request, RequestKind, ShardState};
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+pub use cache::{CacheLookup, ResponseCache};
 pub use fault::{ShardFaultCounts, ShardFaultPlan, ShardFaultRates};
+pub use probe::ProbeKey;
 pub use service::{Service, ServiceConfig, ServiceStats};
 pub use shard::{RefitError, RejectionCounts, ServiceCosts, Shard, ShardConfig, ShardStats};

@@ -1,0 +1,84 @@
+//! Request → serving-probe resolution: the packed-key serving index.
+//!
+//! A [`ProbeKey`] is the *complete functional identity* of a request
+//! under a fixed `(model epoch, snapshot, KPI report)`: two requests
+//! with equal probes are guaranteed to produce byte-identical primary
+//! bodies, so the shard may compute one and fan the answer out — or
+//! serve it straight from the epoch-validated response cache.
+//!
+//! Cold-start and pairwise requests resolve to the packed `u128` vote
+//! key of every fitted parameter (the PR 6 top-aligned codec: one
+//! integer per parameter, resolved **once at admission**) plus the exact
+//! planned-neighbor list — the only other input the local-vote path
+//! reads. Singular and KPI requests are keyed by carrier id: the model
+//! answers them from the carrier's fitted state alone.
+//!
+//! Resolution returns `None` when the model cannot hand out integer
+//! handles (a layout wider than 128 bits, or a model that does not
+//! cover the catalog); such requests are served unbatched and uncached,
+//! never guessed about.
+
+use auric_core::CfModel;
+use auric_model::{CarrierId, NetworkSnapshot};
+
+use crate::api::RequestKind;
+
+/// An equality-comparable serving handle. `Ord` sorts by the packed key
+/// vectors first, so a batch sorted by `ProbeKey` walks each frozen
+/// key-sorted vote table as sequential runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProbeKey {
+    /// Packed singular keys of the new carrier's attributes + the exact
+    /// planned-neighbor list (vote order matters to tie-breaks).
+    ColdStart {
+        keys: Vec<u128>,
+        neighbors: Vec<CarrierId>,
+    },
+    /// Packed pair keys toward `neighbor`, plus the planned-neighbor
+    /// list the local vote scans. An unknown neighbor keys on the empty
+    /// key vector: its body is the deterministic empty set.
+    Pairwise {
+        keys: Vec<u128>,
+        neighbor: CarrierId,
+        neighbors: Vec<CarrierId>,
+    },
+    /// Existing-carrier singular service: the carrier id *is* the key.
+    Singular { carrier: CarrierId },
+    /// KPI health lookup from the shard's cached report.
+    Kpi { carrier: CarrierId },
+}
+
+/// Resolves a request to its probe under `model`. `None` means "no
+/// integer handle": serve it unbatched.
+pub fn resolve(
+    model: &CfModel,
+    snapshot: &NetworkSnapshot,
+    kind: &RequestKind,
+) -> Option<ProbeKey> {
+    match kind {
+        RequestKind::ColdStart(nc) => Some(ProbeKey::ColdStart {
+            keys: model.probe_singular(snapshot, &nc.attrs)?,
+            neighbors: nc.neighbors.clone(),
+        }),
+        RequestKind::Pairwise {
+            new_carrier,
+            neighbor,
+        } => {
+            let keys = if neighbor.index() < snapshot.n_carriers() {
+                let dst = &snapshot.carrier(*neighbor).attrs;
+                model.probe_pairwise(snapshot, &new_carrier.attrs, dst)?
+            } else {
+                // No relation to configure; the primary body is empty
+                // regardless of the new carrier's attributes.
+                Vec::new()
+            };
+            Some(ProbeKey::Pairwise {
+                keys,
+                neighbor: *neighbor,
+                neighbors: new_carrier.neighbors.clone(),
+            })
+        }
+        RequestKind::Singular { carrier } => Some(ProbeKey::Singular { carrier: *carrier }),
+        RequestKind::Kpi { carrier } => Some(ProbeKey::Kpi { carrier: *carrier }),
+    }
+}

@@ -114,6 +114,34 @@ impl Service {
         }
     }
 
+    /// Serves a batch of requests, one typed terminal outcome each, in
+    /// input order. Consecutive same-market runs go to their shard as
+    /// one coalescing batch (the shard splits at `max_batch`); per
+    /// market the batch must be in non-decreasing `submitted_us` order.
+    pub fn call_batch(&self, reqs: &[Request]) -> Vec<Result<Answer, Rejection>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut i = 0;
+        while i < reqs.len() {
+            let market = reqs[i].market;
+            let mut j = i + 1;
+            while j < reqs.len() && reqs[j].market == market {
+                j += 1;
+            }
+            match self.shard(market) {
+                Some(shard) => out.extend(shard.call_batch(&reqs[i..j])),
+                None => {
+                    for _ in i..j {
+                        self.unknown_market.fetch_add(1, Ordering::SeqCst);
+                        self.obs.inc("serve.rejected.unknown_market");
+                        out.push(Err(Rejection::UnknownMarket));
+                    }
+                }
+            }
+            i = j;
+        }
+        out
+    }
+
     /// Hot-refits one market's model (subject to the shard's seeded
     /// refit fault stream). The old model keeps serving on failure.
     pub fn refit(&self, market: MarketId, model: CfModel, now_us: u64) -> Result<(), RefitError> {
@@ -170,11 +198,16 @@ impl Service {
         let stats = self.stats();
         let mut violations = Vec::new();
         for shard in &stats.shards {
-            if shard.dispatched != shard.admitted {
+            if shard.dispatched + shard.cache_hits + shard.coalesced != shard.admitted {
                 violations.push(format!(
-                    "market {}: worker executed {} jobs but admission admitted {} \
-                     (shed/rejected requests must do no shard work)",
-                    shard.market, shard.dispatched, shard.admitted
+                    "market {}: {} executed + {} cache hits + {} coalesced != {} admitted \
+                     (every admitted request is served exactly once — by the worker, \
+                     the cache, or a coalesced batch-mate; shed/rejected do no work)",
+                    shard.market,
+                    shard.dispatched,
+                    shard.cache_hits,
+                    shard.coalesced,
+                    shard.admitted
                 ));
             }
             if shard.answered + shard.degraded_answers != shard.admitted {

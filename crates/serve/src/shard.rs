@@ -35,10 +35,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::api::{Answer, Body, DegradeReason, Rejection, Request, RequestKind, ShardState};
 use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+use crate::cache::{CacheLookup, ResponseCache};
 use crate::fault::{
     draw_refit_faults, draw_request_faults, InjectedPanic, ShardFaultCounts, ShardFaultPlan,
 };
+use crate::probe::{self, ProbeKey};
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Virtual service cost (µs) per request kind, and the latency-spike
 /// multiplier.
@@ -48,6 +51,10 @@ pub struct ServiceCosts {
     pub pairwise_us: u64,
     pub singular_us: u64,
     pub kpi_us: u64,
+    /// Cost of serving straight from the response cache (no worker).
+    pub cache_hit_us: u64,
+    /// Cost of fanning a coalesced batch-mate's answer out (no worker).
+    pub coalesced_us: u64,
     /// A latency-spike fault multiplies the request's cost by this.
     pub spike_factor: u64,
 }
@@ -59,6 +66,8 @@ impl Default for ServiceCosts {
             pairwise_us: 250,
             singular_us: 150,
             kpi_us: 50,
+            cache_hit_us: 20,
+            coalesced_us: 25,
             spike_factor: 20,
         }
     }
@@ -89,6 +98,12 @@ pub struct ShardConfig {
     pub warmup_us: u64,
     /// Simulated µs between degrading and the automatic restart.
     pub restart_delay_us: u64,
+    /// Largest admission batch processed as one coalescing group;
+    /// `call_batch` splits longer inputs into chunks of this size.
+    pub max_batch: usize,
+    /// Response-cache entries per shard; `0` disables caching (the
+    /// unbatched/uncached A/B baseline).
+    pub cache_capacity: usize,
     pub breaker: BreakerConfig,
     pub costs: ServiceCosts,
 }
@@ -100,6 +115,8 @@ impl Default for ShardConfig {
             panic_threshold: 5,
             warmup_us: 20_000,
             restart_delay_us: 100_000,
+            max_batch: 8,
+            cache_capacity: 256,
             breaker: BreakerConfig::default(),
             costs: ServiceCosts::default(),
         }
@@ -168,9 +185,18 @@ pub struct ShardStats {
     /// Model swaps since construction (initial model is epoch 0).
     pub model_epoch: u64,
     /// Jobs the worker thread actually executed. The chaos invariant
-    /// `dispatched == admitted` proves shed/rejected requests did no
-    /// shard work and admitted ones did exactly one unit.
+    /// `dispatched + cache_hits + coalesced == admitted` proves
+    /// shed/rejected requests did no shard work and every admitted
+    /// request was either executed once, served from cache, or fanned
+    /// out from a coalesced batch-mate.
     pub dispatched: u64,
+    /// Admitted requests served from the epoch-validated response cache.
+    pub cache_hits: u64,
+    /// Admitted requests that shared a batch-mate's model lookup.
+    pub coalesced: u64,
+    /// Total virtual µs of booked service time (the busy ledger the
+    /// bench divides answers by for honest virtual throughput).
+    pub busy_us: u64,
     pub restarts: u64,
 }
 
@@ -189,6 +215,8 @@ struct ShardCtl {
     breaker: CircuitBreaker,
     request_rng: ChaCha8Rng,
     refit_rng: ChaCha8Rng,
+    /// Epoch-validated response cache (seeded eviction stream).
+    cache: ResponseCache,
     // Deterministic lifetime accounting.
     admitted: u64,
     answered: u64,
@@ -199,6 +227,9 @@ struct ShardCtl {
     refits_ok: u64,
     refits_failed: u64,
     model_epoch: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    busy_us: u64,
     restarts: u64,
 }
 
@@ -212,6 +243,31 @@ struct Admission {
     state: ShardState,
 }
 
+/// Where one batched request goes after admission + classification.
+enum Disposition {
+    /// A typed rejection, already counted at admission.
+    Reject(Rejection),
+    /// Served from the response cache: no worker dispatch at all.
+    CacheHit {
+        done_us: u64,
+        state: ShardState,
+        body: Body,
+    },
+    /// Coalesced onto the lead at `reqs[lead]` (same probe, same batch):
+    /// the lead's answer fans out here.
+    Member {
+        lead: usize,
+        done_us: u64,
+        state: ShardState,
+    },
+    /// Executes on the worker. `key` is `Some` for cacheable lookups
+    /// (Ready-state primary service, no injected/poisoned panic).
+    Lead {
+        admission: Admission,
+        key: Option<ProbeKey>,
+    },
+}
+
 #[derive(Debug, Clone, Copy)]
 enum ServeMode {
     /// Full service: primary path, fallback chain on panic.
@@ -220,10 +276,14 @@ enum ServeMode {
     MarketMode(DegradeReason),
 }
 
-/// One unit of worker work.
+/// One unit of worker work. Carries the model `Arc` read under the
+/// control mutex at admission, so the whole batch — probe resolution,
+/// execution, and cache tagging — sees one consistent epoch even if a
+/// refit swaps the shard's model mid-flight.
 struct Job {
     kind: RequestKind,
     mode: ServeMode,
+    model: Arc<CfModel>,
     reply: mpsc::SyncSender<WorkerReply>,
 }
 
@@ -238,6 +298,7 @@ struct WorkerReply {
 /// A per-market shard. Construct via the service.
 pub struct Shard {
     market: MarketId,
+    snapshot: Arc<NetworkSnapshot>,
     model: Arc<RwLock<Arc<CfModel>>>,
     config: ShardConfig,
     plan: ShardFaultPlan,
@@ -274,9 +335,8 @@ impl Shard {
         let (tx, rx) = mpsc::channel::<Job>();
         let worker = {
             let snapshot = Arc::clone(&snapshot);
-            let model = Arc::clone(&model);
             let dispatched = Arc::clone(&dispatched);
-            std::thread::spawn(move || worker_loop(rx, snapshot, model, kpi, dispatched))
+            std::thread::spawn(move || worker_loop(rx, snapshot, kpi, dispatched))
         };
         let m = market.0;
         let ctl = ShardCtl {
@@ -290,6 +350,7 @@ impl Shard {
             breaker: CircuitBreaker::new(config.breaker, mix_seed(plan.seed, m, 2)),
             request_rng: ChaCha8Rng::seed_from_u64(mix_seed(plan.seed, m, 0)),
             refit_rng: ChaCha8Rng::seed_from_u64(mix_seed(plan.seed, m, 1)),
+            cache: ResponseCache::new(config.cache_capacity, mix_seed(plan.seed, m, 3)),
             admitted: 0,
             answered: 0,
             degraded_answers: 0,
@@ -299,10 +360,14 @@ impl Shard {
             refits_ok: 0,
             refits_failed: 0,
             model_epoch: 0,
+            cache_hits: 0,
+            coalesced: 0,
+            busy_us: 0,
             restarts: 0,
         };
         Self {
             market,
+            snapshot,
             model,
             config,
             plan,
@@ -323,54 +388,194 @@ impl Shard {
         Arc::clone(&self.model.read().expect("model lock poisoned"))
     }
 
-    /// Serves one request end to end: deterministic admission under the
-    /// control mutex, real execution on the worker thread, deterministic
-    /// post-completion accounting. Callers must present one market's
-    /// requests in non-decreasing `submitted_us` order.
+    /// Serves one request end to end: a batch of one. A single request
+    /// can still hit the response cache; coalescing needs batch-mates.
     pub fn call(&self, req: &Request) -> Result<Answer, Rejection> {
-        let admission = {
-            let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
-            self.admit(&mut ctl, req)?
-        };
-        // Dispatch to the worker and wait. The real channel is unbounded
-        // because backpressure was already applied in virtual time.
-        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        let job = Job {
-            kind: req.kind.clone(),
-            mode: admission.mode,
-            reply: reply_tx,
-        };
-        self.tx
-            .as_ref()
-            .expect("shard already shut down")
-            .send(job)
-            .expect("shard worker gone");
-        let reply = reply_rx.recv().expect("shard worker dropped the reply");
-
-        let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
-        self.settle(&mut ctl, req, &admission, &reply);
-        let latency_us = admission.done_us - req.submitted_us;
-        self.obs.observe(
-            match admission.state {
-                ShardState::Warming => "serve.latency_us.warming",
-                ShardState::Ready => "serve.latency_us.ready",
-                ShardState::Degraded => "serve.latency_us.degraded",
-                ShardState::Draining => unreachable!("draining admits nothing"),
-            },
-            latency_us,
-        );
-        Ok(Answer {
-            id: req.id,
-            degraded: reply.degraded,
-            reason: reply.reason,
-            state: admission.state,
-            latency_us,
-            body: reply.body,
-        })
+        self.call_batch(std::slice::from_ref(req))
+            .pop()
+            .expect("one request, one terminal outcome")
     }
 
-    /// Deterministic admission control at `req.submitted_us`.
-    fn admit(&self, ctl: &mut ShardCtl, req: &Request) -> Result<Admission, Rejection> {
+    /// Serves a batch end to end: deterministic admission +
+    /// classification under the control mutex, one worker dispatch per
+    /// *distinct* lookup (sorted by packed key so the frozen vote groups
+    /// are scanned as sequential runs), then deterministic settlement
+    /// that fans each lead's answer out to its coalesced batch-mates.
+    /// Outcomes come back in input order, one per request. Callers must
+    /// present one market's requests in non-decreasing `submitted_us`
+    /// order; batches longer than `config.max_batch` are split.
+    pub fn call_batch(&self, reqs: &[Request]) -> Vec<Result<Answer, Rejection>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(self.config.max_batch.max(1)) {
+            self.serve_chunk(chunk, &mut out);
+        }
+        out
+    }
+
+    fn serve_chunk(&self, reqs: &[Request], out: &mut Vec<Result<Answer, Rejection>>) {
+        // Phase 1 (ctl lock): admission, fault draws, classification.
+        // The model Arc and epoch are read together under the lock —
+        // refits swap both in one critical section — so every probe in
+        // this batch resolves against one consistent (model, epoch).
+        let (model, epoch, dispositions) = {
+            let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+            let model = Arc::clone(&self.model.read().expect("model lock poisoned"));
+            let epoch = ctl.model_epoch;
+            let mut seen: HashMap<ProbeKey, usize> = HashMap::new();
+            let dispositions: Vec<Disposition> = reqs
+                .iter()
+                .enumerate()
+                .map(|(i, req)| self.admit_classify(&mut ctl, req, &model, epoch, &mut seen, i))
+                .collect();
+            let n_admitted = dispositions
+                .iter()
+                .filter(|d| !matches!(d, Disposition::Reject(_)))
+                .count() as u64;
+            let n_leads = dispositions
+                .iter()
+                .filter(|d| matches!(d, Disposition::Lead { .. }))
+                .count() as u64;
+            if n_admitted > 0 {
+                self.obs.observe("serve.batch.size", n_admitted);
+                self.obs.observe("serve.batch.groups", n_leads);
+            }
+            (model, epoch, dispositions)
+        };
+
+        // Phase 2 (no locks): dispatch the leads, sorted by probe key so
+        // equal-prefix packed keys land on the worker back to back, and
+        // collect their replies. Each lead gets its own reply channel;
+        // the single worker executes in dispatch order.
+        let mut lead_order: Vec<usize> = dispositions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| matches!(d, Disposition::Lead { .. }).then_some(i))
+            .collect();
+        lead_order.sort_by(|&a, &b| {
+            let key_of = |i: usize| match &dispositions[i] {
+                Disposition::Lead { key, .. } => key.as_ref(),
+                _ => unreachable!("lead_order holds leads only"),
+            };
+            match (key_of(a), key_of(b)) {
+                (Some(ka), Some(kb)) => ka.cmp(kb).then(a.cmp(&b)),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.cmp(&b),
+            }
+        });
+        let mut replies: Vec<Option<WorkerReply>> = reqs.iter().map(|_| None).collect();
+        let rxs: Vec<(usize, mpsc::Receiver<WorkerReply>)> = lead_order
+            .iter()
+            .map(|&i| {
+                let Disposition::Lead { admission, .. } = &dispositions[i] else {
+                    unreachable!("lead_order holds leads only");
+                };
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                self.tx
+                    .as_ref()
+                    .expect("shard already shut down")
+                    .send(Job {
+                        kind: reqs[i].kind.clone(),
+                        mode: admission.mode,
+                        model: Arc::clone(&model),
+                        reply: reply_tx,
+                    })
+                    .expect("shard worker gone");
+                (i, reply_rx)
+            })
+            .collect();
+        for (i, rx) in rxs {
+            replies[i] = Some(rx.recv().expect("shard worker dropped the reply"));
+        }
+
+        // Phase 3 (ctl lock): settle in input order, fan out, cache.
+        let n_admitted = dispositions
+            .iter()
+            .filter(|d| !matches!(d, Disposition::Reject(_)))
+            .count();
+        let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+        for (i, req) in reqs.iter().enumerate() {
+            let outcome = match &dispositions[i] {
+                Disposition::Reject(r) => Err(*r),
+                Disposition::CacheHit {
+                    done_us,
+                    state,
+                    body,
+                } => {
+                    let (degraded, reason) = degrade_from_body(&req.kind, body);
+                    self.count_answer(&mut ctl, degraded);
+                    // A cache hit is a primary-path success: the cached
+                    // body was computed by a successful primary serve of
+                    // this same probe under this same epoch.
+                    let was_half_open = ctl.breaker.state() == BreakerState::HalfOpen;
+                    ctl.breaker.on_success();
+                    if was_half_open {
+                        self.obs.inc("serve.breaker.closed");
+                    }
+                    Ok(self.answer(req, *done_us, *state, degraded, reason, body.clone()))
+                }
+                Disposition::Member {
+                    lead,
+                    done_us,
+                    state,
+                } => {
+                    let r = replies[*lead].as_ref().expect("lead executed");
+                    // The lead owns the breaker feedback and any
+                    // contained-panic accounting; members only share the
+                    // answer (degraded status included).
+                    self.count_answer(&mut ctl, r.degraded);
+                    Ok(self.answer(req, *done_us, *state, r.degraded, r.reason, r.body.clone()))
+                }
+                Disposition::Lead { admission, key } => {
+                    // `as_ref`, not `take`: members settle after their
+                    // lead (input order) and still need the reply.
+                    let r = replies[i].as_ref().expect("lead executed");
+                    self.settle(&mut ctl, req, admission, r);
+                    // Cache only clean primary bodies, and only if the
+                    // epoch this batch resolved under is still current —
+                    // a refit mid-batch cleared the cache and bumped the
+                    // epoch, and a stale insert would just waste a slot
+                    // (epoch validation would refuse to serve it).
+                    if let Some(key) = key {
+                        if !r.panicked && ctl.model_epoch == epoch {
+                            let evicted = ctl.cache.insert(key.clone(), epoch, r.body.clone());
+                            self.obs.inc("serve.cache.insert");
+                            if evicted {
+                                self.obs.inc("serve.cache.evict");
+                            }
+                        }
+                    }
+                    Ok(self.answer(
+                        req,
+                        admission.done_us,
+                        admission.state,
+                        r.degraded,
+                        r.reason,
+                        r.body.clone(),
+                    ))
+                }
+            };
+            if let Ok(a) = &outcome {
+                self.observe_latency(a.state, a.latency_us, n_admitted);
+            }
+            out.push(outcome);
+        }
+    }
+
+    /// Deterministic admission + classification for one batched request
+    /// at `req.submitted_us`. Rejections are counted here; admitted
+    /// requests draw their faults (admission order = stream order,
+    /// batched or not), get classified as cache hit / coalesced member /
+    /// lead, and book their class's virtual cost.
+    fn admit_classify(
+        &self,
+        ctl: &mut ShardCtl,
+        req: &Request,
+        model: &CfModel,
+        epoch: u64,
+        seen: &mut HashMap<ProbeKey, usize>,
+        idx: usize,
+    ) -> Disposition {
         let now = req.submitted_us;
         self.advance_state(ctl, now);
 
@@ -378,14 +583,14 @@ impl Shard {
             ShardState::Draining => {
                 ctl.rejected.draining += 1;
                 self.obs.inc("serve.rejected.draining");
-                return Err(Rejection::Draining);
+                return Disposition::Reject(Rejection::Draining);
             }
             ShardState::Ready => {
                 let was = ctl.breaker.state();
                 if !ctl.breaker.admit(now) {
                     ctl.rejected.breaker_open += 1;
                     self.obs.inc("serve.rejected.breaker_open");
-                    return Err(Rejection::BreakerOpen);
+                    return Disposition::Reject(Rejection::BreakerOpen);
                 }
                 if was != ctl.breaker.state() {
                     self.obs.inc("serve.breaker.half_open");
@@ -395,11 +600,11 @@ impl Shard {
         }
 
         // Shed already-expired requests before anything else touches
-        // them: no queue slot, no fault draw, no worker dispatch.
+        // them: no queue slot, no fault draw, no cache probe.
         if now > req.deadline_us {
             ctl.rejected.deadline_expired += 1;
             self.obs.inc("serve.shed.deadline");
-            return Err(Rejection::DeadlineExpired);
+            return Disposition::Reject(Rejection::DeadlineExpired);
         }
         // Virtual queue: retire completions, then check capacity.
         while ctl.inflight.front().is_some_and(|&done| done <= now) {
@@ -408,53 +613,198 @@ impl Shard {
         if ctl.inflight.len() >= self.config.queue_capacity {
             ctl.rejected.overloaded += 1;
             self.obs.inc("serve.shed.overload");
-            return Err(Rejection::Overloaded);
+            return Disposition::Reject(Rejection::Overloaded);
         }
         // Proactive shedding: a request that cannot *start* before its
-        // deadline is dead on arrival too.
+        // deadline is dead on arrival too (whatever its class would
+        // have been — classification must not resurrect it, or A/B
+        // runs would shed different request sets).
         let start_us = ctl.virtual_done_us.max(now);
         if start_us > req.deadline_us {
             ctl.rejected.deadline_expired += 1;
             self.obs.inc("serve.shed.deadline");
-            return Err(Rejection::DeadlineExpired);
+            return Disposition::Reject(Rejection::DeadlineExpired);
         }
 
-        // Admitted: draw request-path faults (admission order = stream
-        // order), price the request, book the virtual completion.
+        // Admitted: draw request-path faults. Every admitted request
+        // draws, whatever its class, so the fault stream — and with it
+        // the whole chaos schedule — is identical across batched,
+        // unbatched, cached, and uncached runs of the same plan.
         let faults = draw_request_faults(&mut ctl.request_rng, &self.plan.rates);
-        let mut cost = self.config.costs.base(&req.kind);
         if faults.latency_spike {
-            cost = cost.saturating_mul(self.config.costs.spike_factor);
             ctl.faults.latency_spikes += 1;
             self.obs.inc("serve.fault.latency_spike");
         }
-        let done_us = start_us + cost;
-        ctl.virtual_done_us = done_us;
-        ctl.inflight.push_back(done_us);
-        ctl.admitted += 1;
-        self.obs.inc("serve.admitted");
+        let state = ctl.state;
 
-        let mode = match ctl.state {
-            ShardState::Warming => ServeMode::MarketMode(DegradeReason::Warming),
-            ShardState::Degraded => ServeMode::MarketMode(DegradeReason::ShardDegraded),
+        // Classification. Only Ready-state primary service without an
+        // injected or poisoned panic is eligible for the cache and for
+        // coalescing: a drawn panic must really fire (fault parity),
+        // and market-mode answers are degraded state, not lookups.
+        enum Class {
+            Hit(Body),
+            Member(usize),
+            Lead {
+                mode: ServeMode,
+                key: Option<ProbeKey>,
+            },
+        }
+        let class = match state {
+            ShardState::Warming => Class::Lead {
+                mode: ServeMode::MarketMode(DegradeReason::Warming),
+                key: None,
+            },
+            ShardState::Degraded => Class::Lead {
+                mode: ServeMode::MarketMode(DegradeReason::ShardDegraded),
+                key: None,
+            },
             ShardState::Ready => {
                 let inject = faults.worker_panic;
                 if inject {
                     ctl.faults.worker_panics += 1;
                     self.obs.inc("serve.fault.worker_panic");
                 }
-                ServeMode::Primary {
-                    inject_panic: inject,
-                    poisoned: ctl.poisoned,
+                if inject || ctl.poisoned {
+                    Class::Lead {
+                        mode: ServeMode::Primary {
+                            inject_panic: inject,
+                            poisoned: ctl.poisoned,
+                        },
+                        key: None,
+                    }
+                } else {
+                    let mode = ServeMode::Primary {
+                        inject_panic: false,
+                        poisoned: false,
+                    };
+                    match probe::resolve(model, &self.snapshot, &req.kind) {
+                        None => {
+                            self.obs.inc("serve.cache.unresolved");
+                            Class::Lead { mode, key: None }
+                        }
+                        Some(key) => {
+                            let looked_up = ctl.cache.get(&key, epoch);
+                            if matches!(looked_up, CacheLookup::Stale) {
+                                self.obs.inc("serve.cache.invalidated");
+                            }
+                            match looked_up {
+                                CacheLookup::Hit(body) => {
+                                    ctl.cache_hits += 1;
+                                    self.obs.inc("serve.cache.hit");
+                                    Class::Hit(body)
+                                }
+                                CacheLookup::Miss | CacheLookup::Stale => {
+                                    self.obs.inc("serve.cache.miss");
+                                    if let Some(&lead) = seen.get(&key) {
+                                        ctl.coalesced += 1;
+                                        self.obs.inc("serve.batch.coalesced");
+                                        Class::Member(lead)
+                                    } else {
+                                        seen.insert(key.clone(), idx);
+                                        Class::Lead {
+                                            mode,
+                                            key: Some(key),
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
             ShardState::Draining => unreachable!("rejected above"),
         };
-        Ok(Admission {
-            done_us,
-            mode,
-            state: ctl.state,
-        })
+
+        // Price the request by class and book the virtual completion.
+        let base = match &class {
+            Class::Hit(_) => self.config.costs.cache_hit_us,
+            Class::Member(_) => self.config.costs.coalesced_us,
+            Class::Lead { .. } => self.config.costs.base(&req.kind),
+        };
+        let cost = if faults.latency_spike {
+            base.saturating_mul(self.config.costs.spike_factor)
+        } else {
+            base
+        };
+        let done_us = start_us + cost;
+        ctl.virtual_done_us = done_us;
+        ctl.inflight.push_back(done_us);
+        ctl.busy_us += cost;
+        ctl.admitted += 1;
+        self.obs.inc("serve.admitted");
+
+        match class {
+            Class::Hit(body) => Disposition::CacheHit {
+                done_us,
+                state,
+                body,
+            },
+            Class::Member(lead) => Disposition::Member {
+                lead,
+                done_us,
+                state,
+            },
+            Class::Lead { mode, key } => Disposition::Lead {
+                admission: Admission {
+                    done_us,
+                    mode,
+                    state,
+                },
+                key,
+            },
+        }
+    }
+
+    /// Counts one answered request (first-class or degraded).
+    fn count_answer(&self, ctl: &mut ShardCtl, degraded: bool) {
+        if degraded {
+            ctl.degraded_answers += 1;
+            self.obs.inc("serve.answered.degraded");
+        } else {
+            ctl.answered += 1;
+            self.obs.inc("serve.answered.ok");
+        }
+    }
+
+    fn answer(
+        &self,
+        req: &Request,
+        done_us: u64,
+        state: ShardState,
+        degraded: bool,
+        reason: Option<DegradeReason>,
+        body: Body,
+    ) -> Answer {
+        Answer {
+            id: req.id,
+            degraded,
+            reason,
+            state,
+            latency_us: done_us - req.submitted_us,
+            body,
+        }
+    }
+
+    /// Per-state and per-batch-size latency histograms.
+    fn observe_latency(&self, state: ShardState, latency_us: u64, batch_size: usize) {
+        self.obs.observe(
+            match state {
+                ShardState::Warming => "serve.latency_us.warming",
+                ShardState::Ready => "serve.latency_us.ready",
+                ShardState::Degraded => "serve.latency_us.degraded",
+                ShardState::Draining => unreachable!("draining admits nothing"),
+            },
+            latency_us,
+        );
+        self.obs.observe(
+            match batch_size {
+                0 | 1 => "serve.batch.latency_us.b1",
+                2..=4 => "serve.batch.latency_us.b2_4",
+                5..=8 => "serve.batch.latency_us.b5_8",
+                _ => "serve.batch.latency_us.b9plus",
+            },
+            latency_us,
+        );
     }
 
     /// Time-driven state transitions at `now`: scheduled restart, warmup
@@ -535,6 +885,12 @@ impl Shard {
         }
         *self.model.write().expect("model lock poisoned") = Arc::new(model);
         ctl.model_epoch += 1;
+        // Same critical section as the swap + epoch bump: no lookup can
+        // see the new model with the old epoch's cache entries.
+        let dropped = ctl.cache.clear();
+        if dropped > 0 {
+            self.obs.add("serve.cache.invalidated", dropped as u64);
+        }
         ctl.refits_ok += 1;
         self.obs.inc("serve.refit.ok");
         if faults.poisoned {
@@ -585,6 +941,9 @@ impl Shard {
             refits_failed: ctl.refits_failed,
             model_epoch: ctl.model_epoch,
             dispatched: self.dispatched.load(Ordering::SeqCst),
+            cache_hits: ctl.cache_hits,
+            coalesced: ctl.coalesced,
+            busy_us: ctl.busy_us,
             restarts: ctl.restarts,
         }
     }
@@ -604,22 +963,34 @@ impl Drop for Shard {
     }
 }
 
-/// The worker thread: really executes every admitted request against
-/// the current model `Arc`, one `catch_unwind` per request.
+/// The worker thread: really executes every dispatched lead against the
+/// model `Arc` its batch was admitted under (epoch-pinned — a refit
+/// mid-batch does not change what this batch answers with), one
+/// `catch_unwind` per job.
 fn worker_loop(
     rx: mpsc::Receiver<Job>,
     snapshot: Arc<NetworkSnapshot>,
-    model: Arc<RwLock<Arc<CfModel>>>,
     kpi: Arc<Option<KpiReport>>,
     dispatched: Arc<AtomicU64>,
 ) {
     while let Ok(job) = rx.recv() {
         dispatched.fetch_add(1, Ordering::SeqCst);
-        let model = Arc::clone(&model.read().expect("model lock poisoned"));
-        let reply = serve_job(&snapshot, &model, kpi.as_ref().as_ref(), &job);
+        let reply = serve_job(&snapshot, &job.model, kpi.as_ref().as_ref(), &job);
         // A dropped receiver means the front door gave up; nothing to do.
         let _ = job.reply.send(reply);
     }
+}
+
+/// Degradation status a cached body implies: a `KpiHealth(None)` hit is
+/// still a degraded answer (the report does not cover the carrier),
+/// exactly as its original primary serve was.
+fn degrade_from_body(kind: &RequestKind, body: &Body) -> (bool, Option<DegradeReason>) {
+    let kpi_missing =
+        matches!(kind, RequestKind::Kpi { .. }) && matches!(body, Body::KpiHealth(None));
+    (
+        kpi_missing,
+        kpi_missing.then_some(DegradeReason::KpiUnavailable),
+    )
 }
 
 /// Serves one job through the fallback chain. Every stage runs under

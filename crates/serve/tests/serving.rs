@@ -7,12 +7,12 @@ use std::sync::Arc;
 
 use auric_core::recommend::NewCarrier;
 use auric_core::{CfConfig, CfModel, Scope};
-use auric_model::{CarrierId, MarketId, NetworkSnapshot};
+use auric_model::{CarrierId, MarketId, NetworkSnapshot, ParamKind, ValueIdx};
 use auric_netgen::{generate, NetScale, TuningKnobs};
 use auric_obs::Recorder;
 use auric_serve::{
-    Body, BreakerConfig, DegradeReason, RefitError, Rejection, Request, RequestKind, Service,
-    ServiceConfig, ShardFaultPlan, ShardFaultRates, ShardState,
+    Answer, Body, BreakerConfig, DegradeReason, RefitError, Rejection, Request, RequestKind,
+    Service, ServiceConfig, ShardFaultPlan, ShardFaultRates, ShardState,
 };
 
 fn snapshot() -> Arc<NetworkSnapshot> {
@@ -436,6 +436,222 @@ fn same_seed_chaos_runs_are_deterministic() {
     let (log_b, stats_b) = run();
     assert_eq!(log_a, log_b, "per-request outcomes must be reproducible");
     assert_eq!(stats_a, stats_b, "chaos report must be reproducible");
+}
+
+/// What the primary singular path would answer for `c` under `model` —
+/// the ground truth the cache/coalescing tests compare served bodies
+/// against.
+fn singular_values(snap: &NetworkSnapshot, model: &CfModel, c: CarrierId) -> Vec<ValueIdx> {
+    snap.catalog
+        .defs()
+        .iter()
+        .filter(|d| d.kind == ParamKind::Singular)
+        .map(|d| model.recommend_local_singular(snap, d.id, c, false).value)
+        .collect()
+}
+
+fn body_values(body: &Body) -> Vec<ValueIdx> {
+    let Body::Recommendations(recs) = body else {
+        panic!("expected recommendations");
+    };
+    recs.iter().map(|r| r.value).collect()
+}
+
+/// N identical concurrent requests in one batch: exactly one model
+/// lookup (the lead), N identical typed answers. A second identical
+/// batch is served entirely from the response cache — still one lookup
+/// lifetime-total.
+#[test]
+fn identical_batch_coalesces_to_one_lookup_with_identical_answers() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(21), ready_config());
+    let m = snap.markets[0].id;
+    let c = snap.carriers_in_market(m)[0];
+
+    let reqs: Vec<Request> = (0..5).map(|id| singular(id, m, c, 0, u64::MAX)).collect();
+    let answers: Vec<Answer> = svc
+        .call_batch(&reqs)
+        .into_iter()
+        .map(|r| r.expect("faultless plan answers everything"))
+        .collect();
+    assert_eq!(answers.len(), 5);
+    for a in &answers {
+        assert!(!a.degraded);
+        assert_eq!(a.body, answers[0].body, "fanned-out answers must agree");
+        assert_eq!(
+            body_values(&a.body),
+            singular_values(&snap, &svc.model(m).unwrap(), c)
+        );
+    }
+    let shard = svc.stats().shards[0];
+    assert_eq!(shard.dispatched, 1, "one lead, one model lookup");
+    assert_eq!(shard.coalesced, 4, "the other four rode along");
+    assert_eq!(shard.cache_hits, 0, "cold cache: nothing to hit yet");
+
+    // Same batch again: the lead's body is cached now.
+    let reqs: Vec<Request> = (5..10)
+        .map(|id| singular(id, m, c, 1_000, u64::MAX))
+        .collect();
+    for r in svc.call_batch(&reqs) {
+        let a = r.expect("answered");
+        assert_eq!(a.body, answers[0].body);
+        assert!(
+            a.latency_us < 150,
+            "cache hits are priced below a model lookup (got {})",
+            a.latency_us
+        );
+    }
+    let shard = svc.stats().shards[0];
+    assert_eq!(shard.dispatched, 1, "cache absorbed the whole second batch");
+    assert_eq!(shard.cache_hits, 5);
+    assert!(svc.invariant_violations(&[(m, 10)]).is_empty());
+}
+
+/// Mixed-market batches route per consecutive run and keep input order;
+/// unknown markets get typed rejections inline.
+#[test]
+fn service_batch_routes_per_market_and_keeps_order() {
+    let snap = snapshot();
+    let svc = service(&snap, ShardFaultPlan::none(22), ready_config());
+    let m0 = snap.markets[0].id;
+    let m1 = snap.markets[1].id;
+    let c0 = snap.carriers_in_market(m0)[0];
+    let c1 = snap.carriers_in_market(m1)[0];
+    let ghost = MarketId(9_999);
+
+    let reqs = vec![
+        singular(0, m0, c0, 0, u64::MAX),
+        singular(1, m0, c0, 0, u64::MAX),
+        singular(2, ghost, c0, 0, u64::MAX),
+        singular(3, m1, c1, 0, u64::MAX),
+    ];
+    let outcomes = svc.call_batch(&reqs);
+    assert_eq!(outcomes.len(), 4);
+    assert_eq!(outcomes[0].as_ref().unwrap().id, 0);
+    assert_eq!(outcomes[1].as_ref().unwrap().id, 1);
+    assert_eq!(outcomes[2], Err(Rejection::UnknownMarket));
+    assert_eq!(outcomes[3].as_ref().unwrap().id, 3);
+    assert!(svc.invariant_violations(&[(m0, 2), (m1, 1)]).is_empty());
+}
+
+/// The acceptance-criteria test: hammer one hot probe across
+/// alternating refits between two models with *provably different*
+/// answers. Every served body must match the model of the current
+/// epoch — a single stale-epoch cache serve would produce the previous
+/// model's body and fail the comparison.
+#[test]
+fn cache_never_serves_a_stale_epoch_answer_across_refits() {
+    let snap = snapshot();
+    let m = snap.markets[0].id;
+    let fit_a = || fit_market(&snap, m);
+    let fit_b = || CfModel::fit(&snap, &Scope::whole(&snap), CfConfig::default());
+    let (ma, mb) = (fit_a(), fit_b());
+    // A carrier the two models disagree on — the discriminator that
+    // makes stale serving observable.
+    let c = snap
+        .carriers_in_market(m)
+        .iter()
+        .copied()
+        .find(|&c| singular_values(&snap, &ma, c) != singular_values(&snap, &mb, c))
+        .expect("market-scope and whole-scope models must disagree somewhere");
+
+    let svc = Service::new(
+        Arc::clone(&snap),
+        vec![(m, fit_a())],
+        ShardFaultPlan::none(23),
+        ready_config(),
+        Recorder::disabled(),
+    );
+    let mut t = 0u64;
+    let mut id = 0u64;
+    let mut submitted = 0u64;
+    for round in 0..8u64 {
+        // Rounds 0, 2, .. serve model A; a successful refit flips to
+        // the other model (and must invalidate every cached body).
+        let expected = if round % 2 == 0 {
+            singular_values(&snap, &ma, c)
+        } else {
+            singular_values(&snap, &mb, c)
+        };
+        for _ in 0..6 {
+            let a = svc
+                .call(&singular(id, m, c, t, u64::MAX))
+                .expect("faultless plan");
+            assert_eq!(
+                body_values(&a.body),
+                expected,
+                "round {round} request {id}: answer from a stale model epoch"
+            );
+            id += 1;
+            submitted += 1;
+            t += 1_000;
+        }
+        let next = if round % 2 == 0 { fit_b() } else { fit_a() };
+        svc.refit(m, next, t).expect("faultless refit");
+    }
+    let shard = svc.stats().shards[0];
+    assert_eq!(shard.model_epoch, 8);
+    assert!(
+        shard.cache_hits >= 8 * 4,
+        "the hot probe must actually exercise the cache (hits={})",
+        shard.cache_hits
+    );
+    assert!(svc.invariant_violations(&[(m, submitted)]).is_empty());
+}
+
+/// Real-threads chaos: caller threads hammer hot probes in batches
+/// while the main thread refits every market as fast as it can. Checks
+/// the batched exactly-once invariants under genuine concurrency (the
+/// deterministic stale-epoch check lives above).
+#[test]
+fn concurrent_refit_hammering_with_cache_holds_invariants() {
+    let snap = snapshot();
+    let svc = Arc::new(service(&snap, ShardFaultPlan::none(24), ready_config()));
+    let mut handles = Vec::new();
+    for m in &snap.markets {
+        let svc = Arc::clone(&svc);
+        let snap = Arc::clone(&snap);
+        let market = m.id;
+        handles.push(std::thread::spawn(move || {
+            let carriers = snap.carriers_in_market(market);
+            let mut submitted = 0u64;
+            for batch in 0..60u64 {
+                // Hot probes: three carriers cycle, so batches coalesce
+                // and the cache hits across batches between refits.
+                let reqs: Vec<Request> = (0..4u64)
+                    .map(|k| {
+                        let c = carriers[(k % 3) as usize % carriers.len()];
+                        singular(batch * 4 + k, market, c, batch * 2_000, u64::MAX)
+                    })
+                    .collect();
+                for r in svc.call_batch(&reqs) {
+                    assert!(r.is_ok(), "faultless plan, generous deadline: {r:?}");
+                    submitted += 1;
+                }
+            }
+            (market, submitted)
+        }));
+    }
+    for round in 0..10u64 {
+        for m in &snap.markets {
+            svc.refit(m.id, fit_market(&snap, m.id), round * 10_000)
+                .expect("faultless refits succeed");
+        }
+    }
+    let submitted: Vec<(MarketId, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("caller thread panicked"))
+        .collect();
+    let violations = svc.invariant_violations(&submitted);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    let stats = svc.stats();
+    let hits: u64 = stats.shards.iter().map(|s| s.cache_hits).sum();
+    let coalesced: u64 = stats.shards.iter().map(|s| s.coalesced).sum();
+    assert!(hits > 0, "hot probes must hit the cache");
+    assert!(coalesced > 0, "hot batches must coalesce");
+    for shard in stats.shards {
+        assert_eq!(shard.model_epoch, 10, "all swaps landed");
+    }
 }
 
 /// Real-threads smoke test: concurrent callers per market while the
