@@ -1,5 +1,9 @@
 //! Emits `BENCH_scale.json`: the paper-scale engine run — generation,
-//! the fit thread curve, and a singular leave-one-out accuracy sweep.
+//! the fit thread curve, a singular leave-one-out accuracy sweep, and
+//! the streaming-ingestion row (carriers/s absorbed via `apply_delta`,
+//! plus a steady-state retune delta timed against a full refit with a
+//! self-enforced >= 10x transient-RSS budget; nonzero exit on a miss or
+//! on incremental/full divergence).
 //!
 //! Every `fit_thread_curve` row records the worker count the pool
 //! *actually* used (the request is clamped to the parameter count — the
@@ -15,9 +19,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use auric_core::{CfConfig, CfModel, FitOptions, Scope};
-use auric_model::{NetworkSnapshot, ParamId};
-use auric_netgen::{generate, NetScale, TuningKnobs};
+use auric_core::{CfConfig, CfModel, DeltaApply, FitOptions, Scope, SharedKeyColumns};
+use auric_model::{
+    apply_fleet_deltas, empty_snapshot, AttrArena, DeltaSlot, FleetDelta, NetworkSnapshot, ParamId,
+    Provenance,
+};
+use auric_netgen::{generate, stream, NetScale, TuningKnobs};
 use auric_obs::Recorder;
 use serde_json::json;
 
@@ -185,6 +192,116 @@ fn main() {
     peak_mb = peak_mb.max(loo_rss_mb);
     let evaluated: usize = rows.iter().map(|r| r.2).sum();
 
+    // ---- Streaming ingestion: absorb the fleet as a delta stream ----
+    // Replays the generator batch-by-batch from the empty fleet through
+    // `apply_delta`, then lands one steady-state retune batch twice —
+    // incrementally and as a full refit — comparing wall time and
+    // transient RSS (VmHWM delta over the current RSS after a reset).
+    // The budget below holds the incremental path to a >= 10x transient-
+    // RSS advantage whenever the full refit is big enough to measure
+    // (>= 16 MB transient — medium scale and up; tiny is page noise).
+    eprintln!("bench_scale: streaming ingestion replay...");
+    let mut sstream = stream(&scale, &TuningKnobs::default());
+    let mut snap2 = empty_snapshot(sstream.schema().clone(), sstream.catalog().clone());
+    let mut arena = AttrArena::from_snapshot(&snap2);
+    let mut scope2 = Scope::whole(&snap2);
+    let mut inc = CfModel::fit(&snap2, &scope2, config);
+    let mut absorb_batches = 0u64;
+    let mut absorb_events = 0u64;
+    let t0 = Instant::now();
+    while let Some(batch) = sstream.next_batch() {
+        let digest = apply_fleet_deltas(&mut snap2, &batch).expect("stream batch is consistent");
+        arena.append(&snap2);
+        let before = std::mem::replace(&mut scope2, Scope::whole(&snap2));
+        inc.apply_delta(&DeltaApply {
+            snapshot: &snap2,
+            arena: &arena,
+            scope_before: &before,
+            scope_after: &scope2,
+            batch: &digest,
+            key_cache: Some(SharedKeyColumns::new()),
+        });
+        absorb_batches += 1;
+        absorb_events += digest.events as u64;
+    }
+    let absorb_s = t0.elapsed().as_secs_f64();
+    let carriers_per_s = snap2.n_carriers() as f64 / absorb_s.max(1e-9);
+    eprintln!(
+        "bench_scale:   absorbed {} carriers over {absorb_batches} batches in {absorb_s:.1}s \
+         ({carriers_per_s:.0} carriers/s)",
+        snap2.n_carriers()
+    );
+
+    // The steady-state delta a long-running service sees: a spread of
+    // singular retunes, no fleet-shape change.
+    let sing_params: Vec<ParamId> = snap2.catalog.singular_ids().collect();
+    let retunes: Vec<FleetDelta> = snap2
+        .carriers
+        .iter()
+        .take(64)
+        .enumerate()
+        .map(|(k, c)| {
+            let p = sing_params[k % sing_params.len()];
+            let card = snap2.catalog.def(p).range.n_values() as u16;
+            FleetDelta::Retune {
+                param: p,
+                slot: DeltaSlot::Carrier(c.id),
+                value: (snap2.config.value(p, c.id) + 1) % card,
+                why: Provenance::Noise,
+            }
+        })
+        .collect();
+    let digest = apply_fleet_deltas(&mut snap2, &retunes).expect("retune batch is consistent");
+    arena.append(&snap2);
+    let before = std::mem::replace(&mut scope2, Scope::whole(&snap2));
+
+    reset_peak_rss();
+    let inc_base_mb = peak_rss_mb();
+    let t0 = Instant::now();
+    inc.apply_delta(&DeltaApply {
+        snapshot: &snap2,
+        arena: &arena,
+        scope_before: &before,
+        scope_after: &scope2,
+        batch: &digest,
+        key_cache: Some(SharedKeyColumns::new()),
+    });
+    let inc_s = t0.elapsed().as_secs_f64();
+    let inc_transient_mb = (peak_rss_mb() - inc_base_mb).max(0.0);
+
+    reset_peak_rss();
+    let full_base_mb = peak_rss_mb();
+    let t0 = Instant::now();
+    let refit = CfModel::fit(&snap2, &scope2, config);
+    let full_s = t0.elapsed().as_secs_f64();
+    let full_transient_mb = (peak_rss_mb() - full_base_mb).max(0.0);
+    peak_mb = peak_mb.max(peak_rss_mb());
+
+    let inc_json = serde_json::to_string(&inc).expect("model serializes");
+    let refit_json = serde_json::to_string(&refit).expect("model serializes");
+    if inc_json != refit_json {
+        eprintln!("bench_scale: FAIL — incremental model diverged from full refit");
+        std::process::exit(1);
+    }
+    drop(refit);
+    // A page-size floor keeps the ratio honest when the incremental
+    // absorb is too small for VmHWM (kB granularity) to see at all.
+    let rss_ratio = full_transient_mb / inc_transient_mb.max(1.0);
+    let refit_speedup = full_s / inc_s.max(1e-9);
+    eprintln!(
+        "bench_scale:   retune delta absorbed in {inc_s:.3}s / {inc_transient_mb:.0} MB transient \
+         vs full refit {full_s:.3}s / {full_transient_mb:.0} MB ({rss_ratio:.1}x RSS, \
+         {refit_speedup:.1}x wall); models byte-identical"
+    );
+    let mut budget_ok = true;
+    if full_transient_mb >= 16.0 && rss_ratio < 10.0 {
+        eprintln!(
+            "bench_scale: FAIL — incremental absorb transient RSS budget: \
+             {rss_ratio:.1}x < 10x advantage over a full refit"
+        );
+        budget_ok = false;
+    }
+
     let report = json!({
         "bench": "paper_scale_engine",
         "scale": scale_name,
@@ -209,6 +326,21 @@ fn main() {
             "micro_accuracy": micro,
             "macro_accuracy": macro_,
         }),
+        "stream_ingest": json!({
+            "absorb_batches": absorb_batches,
+            "absorb_events": absorb_events,
+            "absorb_s": absorb_s,
+            "carriers_per_s": carriers_per_s,
+            "retune_delta": json!({
+                "events": digest.events,
+                "incremental_s": inc_s,
+                "incremental_transient_mb": inc_transient_mb,
+                "full_refit_s": full_s,
+                "full_refit_transient_mb": full_transient_mb,
+                "transient_rss_ratio": rss_ratio,
+                "refit_speedup": refit_speedup,
+            }),
+        }),
         "peak_rss_mb": peak_mb,
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -218,4 +350,7 @@ fn main() {
         "bench_scale: done — run peak RSS {peak_mb:.0} MB, singular LoO micro {micro:.4} \
          (wrote BENCH_scale.json)"
     );
+    if !budget_ok {
+        std::process::exit(1);
+    }
 }

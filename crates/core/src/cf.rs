@@ -21,8 +21,8 @@ use crate::dependency::{PredictorAttr, Side};
 use crate::scope::Scope;
 use crate::voting::{KeyRef, VoteKey, VoteTables};
 use auric_model::{
-    AttrArena, AttrValue, AttrVec, CarrierId, NetworkSnapshot, PairIdx, ParamId, ParamKind,
-    ValueIdx,
+    AppliedBatch, AppliedRetune, AttrArena, AttrValue, AttrVec, CarrierId, DeltaSlot,
+    NetworkSnapshot, PairIdx, ParamId, ParamKind, ValueIdx,
 };
 use auric_obs::Recorder;
 use auric_stats::freq::FreqTable;
@@ -30,7 +30,7 @@ use auric_stats::packed::PackedKeyCodec;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Hyperparameters of the recommender. Paper values: `alpha = 0.01`,
 /// `support = 0.75`, `hops = 1`.
@@ -77,6 +77,60 @@ pub struct FitOptions {
     /// `None` gives each fit a private cache (sharing only within the
     /// fit, which Table-1 layouts rarely allow).
     pub key_cache: Option<SharedKeyColumns>,
+}
+
+/// Inputs of [`CfModel::apply_delta`]: the **post-batch** snapshot and
+/// arena, the model's learning scope before and after the batch, and the
+/// digest of what the batch did.
+///
+/// The caller owns snapshot evolution: apply the streamed events with
+/// [`auric_model::apply_fleet_deltas`], roll the arena forward with
+/// [`AttrArena::append`] (which reuses unchanged attribute columns
+/// instead of re-packing the fleet), recompute the scope under the *same*
+/// scoping rule, and hand everything here. The scoping rule must be
+/// **batch-stable**: a carrier present before and after the batch keeps
+/// its membership (true for [`Scope::whole`] and the per-market scopes —
+/// carriers never change market).
+pub struct DeltaApply<'a> {
+    /// The snapshot *after* the batch was applied.
+    pub snapshot: &'a NetworkSnapshot,
+    /// Columnar arena of the post-batch snapshot (see [`AttrArena::append`]).
+    pub arena: &'a AttrArena,
+    /// The scope this model was fitted over, evaluated pre-batch.
+    pub scope_before: &'a Scope,
+    /// The same scoping rule evaluated on the post-batch snapshot.
+    pub scope_after: &'a Scope,
+    /// What the batch did, in incremental-fit vocabulary.
+    pub batch: &'a AppliedBatch,
+    /// Key-column cache shared across models applying the **same** batch
+    /// to the same post-batch snapshot (per-market shard models): spliced
+    /// fleet-wide columns are built once and shared. `None` uses a
+    /// private cache.
+    pub key_cache: Option<SharedKeyColumns>,
+}
+
+/// What [`CfModel::apply_delta`] did, mirrored into the `cf.delta.*`
+/// observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaFitReport {
+    /// Parameters whose tables were updated in place (dependency
+    /// selection re-ran and landed on the same attribute set).
+    pub params_patched: usize,
+    /// Parameters refitted from scratch (selection changed, or the key
+    /// layout is wide and carries no incremental form).
+    pub params_rebuilt: usize,
+    /// Parameters the batch provably did not touch (no in-scope adds,
+    /// removes, or retunes): tables untouched, key column refreshed only
+    /// if the fleet changed shape.
+    pub params_untouched: usize,
+    /// In-scope observations added to patched tables (per parameter).
+    pub obs_added: u64,
+    /// In-scope observations removed from patched tables (per parameter).
+    pub obs_removed: u64,
+    /// Table increments that clamped at the counter ceiling instead of
+    /// overflowing (see `FreqTable::add_count`). Nonzero means vote
+    /// counts are saturated and support ratios are approximate.
+    pub count_saturated: u64,
 }
 
 /// How a recommendation was produced — the fallback chain position.
@@ -273,7 +327,13 @@ impl KeyColumnCache {
         build: impl FnOnce() -> Vec<u128>,
     ) -> Arc<[u128]> {
         let cell = {
-            let mut map = self.entries.lock().unwrap();
+            // A worker that panicked mid-fit (injected faults, a poisoned
+            // serving model) poisons this mutex, but the map it guards is
+            // only ever observed between a complete `entry` call — the
+            // column build itself runs outside the lock, inside the
+            // per-cell `OnceLock` — so the state is valid and later fits
+            // must keep working instead of panicking forever.
+            let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(
                 map.entry((kind, dependent.to_vec()))
                     .or_insert_with(|| Arc::new(OnceLock::new())),
@@ -471,6 +531,279 @@ impl CfModel {
             params,
             obs,
         }
+    }
+
+    /// Rolls the fitted model forward over one applied delta batch,
+    /// producing **byte-for-byte the model a full refit of the post-batch
+    /// snapshot would produce** (same wire JSON) at a fraction of the
+    /// work and peak memory:
+    ///
+    /// * Parameters with no in-scope adds, removes, or retunes keep their
+    ///   tables untouched — dependency selection over unchanged samples
+    ///   is deterministic, so re-running it would land on the same set.
+    /// * Touched parameters re-run dependency selection; if the selected
+    ///   set is unchanged the frozen tables are thawed, patched with the
+    ///   exact observation diff (retunes swap stale votes in event order,
+    ///   removed targets subtract, batch-born targets add), and
+    ///   re-frozen. Vote groups are key-sorted multisets, so patching to
+    ///   the same multiset yields identical bytes.
+    /// * Parameters whose selection changed (or whose key layout is wide)
+    ///   are refitted from scratch, exactly as a full refit would.
+    ///
+    /// Key columns span the whole fleet, so they are refreshed whenever
+    /// the fleet changed shape even for untouched parameters — by
+    /// splicing the surviving prefix (carrier columns; removes are LIFO,
+    /// adds append) or scattering through the pair remap, packing only
+    /// batch-born targets.
+    pub fn apply_delta(&mut self, apply: &DeltaApply<'_>) -> DeltaFitReport {
+        let DeltaApply {
+            snapshot,
+            arena,
+            scope_before,
+            scope_after,
+            batch,
+            key_cache,
+        } = apply;
+        let (snapshot, arena) = (*snapshot, *arena);
+        let (scope_before, scope_after) = (*scope_before, *scope_after);
+        let obs = self.obs.clone();
+        let span = obs.span("cf.delta.apply");
+        obs.add("cf.delta.events", batch.events as u64);
+
+        let n_after = snapshot.n_carriers();
+        let n_pairs_after = snapshot.x2.n_pairs();
+        debug_assert_eq!(
+            (arena.n_carriers(), arena.n_pairs()),
+            (n_after, n_pairs_after),
+            "arena must track the post-batch snapshot"
+        );
+
+        // The remap only matters when pair indices actually moved; a
+        // same-length identity map means every pair kept its index.
+        let remap: Option<&Vec<Option<PairIdx>>> = batch.pair_remap.as_ref().filter(|m| {
+            !(m.len() == n_pairs_after
+                && m.iter().enumerate().all(|(q, s)| *s == Some(q as PairIdx)))
+        });
+        let carriers_changed = !batch.added_carriers.is_empty() || !batch.removed.is_empty();
+        let pairs_changed = remap.is_some();
+        let added_pairs_all: Vec<PairIdx> = if pairs_changed {
+            batch.added_pairs(n_pairs_after)
+        } else {
+            Vec::new()
+        };
+
+        // Scope-filtered views of the digest. Membership of batch-born
+        // targets reads `scope_after`; removed targets are only known to
+        // `scope_before`. A removed pair belongs to the scope iff its
+        // source carrier does, matching how `Scope` collects pairs.
+        let in_carriers = |scope: &Scope, c: CarrierId| scope.carriers.binary_search(&c).is_ok();
+        let added_in_scope: Vec<CarrierId> = batch
+            .added_carriers
+            .iter()
+            .copied()
+            .filter(|&c| in_carriers(scope_after, c))
+            .collect();
+        let removed_in_scope: Vec<&auric_model::RemovedCarrier> = batch
+            .removed
+            .iter()
+            .filter(|rec| in_carriers(scope_before, rec.id))
+            .collect();
+        let added_pairs_in_scope: Vec<PairIdx> = added_pairs_all
+            .iter()
+            .copied()
+            .filter(|q| scope_after.pairs.binary_search(q).is_ok())
+            .collect();
+        let removed_pairs_in_scope: usize = removed_in_scope
+            .iter()
+            .map(|rec| {
+                rec.pairs
+                    .iter()
+                    .filter(|rp| in_carriers(scope_before, rp.src))
+                    .count()
+            })
+            .sum();
+
+        // Retunes land on pre-batch slots. A slot whose source carrier
+        // survived has batch-stable membership (the scoping contract), so
+        // either scope answers; a removed carrier's id sits at or beyond
+        // `n_after` (removes pop from the tail) and only `scope_before`
+        // knows it.
+        let retune_in_scope = |r: &AppliedRetune| {
+            let src = match r.slot {
+                DeltaSlot::Carrier(c) => c,
+                DeltaSlot::Pair(a, _) => a,
+            };
+            let scope = if src.index() >= n_after {
+                scope_before
+            } else {
+                scope_after
+            };
+            in_carriers(scope, src)
+        };
+        let mut retunes_by_param: HashMap<ParamId, Vec<&AppliedRetune>> = HashMap::new();
+        for r in batch.retunes.iter().filter(|r| retune_in_scope(r)) {
+            retunes_by_param.entry(r.param).or_default().push(r);
+        }
+
+        // Attribute lookup that also covers carriers the batch removed
+        // (their final attrs ride in the digest).
+        let removed_attrs: HashMap<CarrierId, &AttrVec> = batch
+            .removed
+            .iter()
+            .map(|rec| (rec.id, &rec.attrs))
+            .collect();
+        let attrs_of = |c: CarrierId| -> &AttrVec {
+            if c.index() < n_after {
+                &snapshot.carrier(c).attrs
+            } else {
+                removed_attrs[&c]
+            }
+        };
+
+        let cache = key_cache.clone().unwrap_or_default();
+        let cache = &*cache.0;
+        cache.guard_fleet(snapshot);
+
+        let mut report = DeltaFitReport::default();
+        let n_params = self.params.len();
+        debug_assert_eq!(n_params, snapshot.catalog.len());
+        for i in 0..n_params {
+            let param = ParamId(i as u16);
+            let kind = snapshot.catalog.def(param).kind;
+            let structural = match kind {
+                ParamKind::Singular => !added_in_scope.is_empty() || !removed_in_scope.is_empty(),
+                ParamKind::Pairwise => {
+                    !added_pairs_in_scope.is_empty() || removed_pairs_in_scope > 0
+                }
+            };
+            let retunes: &[&AppliedRetune] = retunes_by_param
+                .get(&param)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+
+            if !structural && retunes.is_empty() {
+                report.params_untouched += 1;
+                refresh_key_column(
+                    &mut self.params[i],
+                    kind,
+                    arena,
+                    cache,
+                    carriers_changed,
+                    pairs_changed,
+                    remap,
+                    &added_pairs_all,
+                );
+                continue;
+            }
+
+            // The batch may have shifted which attributes pass the
+            // chi-square test: re-select, exactly as a full refit would.
+            let dependent =
+                select_dependent(snapshot, arena, scope_after, param, &self.config, &obs);
+            if dependent != self.params[i].dependent || !self.params[i].codec.fits_u128() {
+                self.params[i] =
+                    fit_param_with_dependent(snapshot, arena, cache, scope_after, param, dependent);
+                report.params_rebuilt += 1;
+                continue;
+            }
+
+            // Same dependent set: patch the tables in place. Refresh the
+            // column first so batch-born targets can be keyed off it.
+            report.params_patched += 1;
+            refresh_key_column(
+                &mut self.params[i],
+                kind,
+                arena,
+                cache,
+                carriers_changed,
+                pairs_changed,
+                remap,
+                &added_pairs_all,
+            );
+            let pc = &mut self.params[i];
+            pc.tables.thaw();
+            // Retunes first, in event order: a slot retuned and then
+            // removed in the same batch carries its *final* value in the
+            // removal record, so the swap must land before the subtract.
+            for r in retunes {
+                let key = match r.slot {
+                    DeltaSlot::Carrier(c) => pc.packed_for_carrier(attrs_of(c)),
+                    DeltaSlot::Pair(a, b) => pc.packed_for_pair(attrs_of(a), attrs_of(b)),
+                };
+                pc.tables
+                    .remove_packed(key, r.old)
+                    .expect("patched tables are packed");
+                let sat = pc
+                    .tables
+                    .add_packed_count(key, r.new, 1)
+                    .expect("patched tables are packed");
+                report.count_saturated += sat as u64;
+            }
+            // Subtract everything that left the scope with a removal.
+            for rec in &removed_in_scope {
+                match kind {
+                    ParamKind::Singular => {
+                        let key = pc.packed_for_carrier(&rec.attrs);
+                        pc.tables
+                            .remove_packed(key, value_for(&rec.values, param))
+                            .expect("patched tables are packed");
+                        report.obs_removed += 1;
+                    }
+                    ParamKind::Pairwise => {
+                        for rp in rec
+                            .pairs
+                            .iter()
+                            .filter(|rp| in_carriers(scope_before, rp.src))
+                        {
+                            let key = pc.packed_for_pair(&rp.src_attrs, &rp.dst_attrs);
+                            pc.tables
+                                .remove_packed(key, value_for(&rp.values, param))
+                                .expect("patched tables are packed");
+                            report.obs_removed += 1;
+                        }
+                    }
+                }
+            }
+            // Add everything the batch created inside the scope.
+            match kind {
+                ParamKind::Singular => {
+                    for &c in &added_in_scope {
+                        let key = pc.packed_for_carrier(&snapshot.carrier(c).attrs);
+                        let sat = pc
+                            .tables
+                            .add_packed_count(key, snapshot.config.value(param, c), 1)
+                            .expect("patched tables are packed");
+                        report.count_saturated += sat as u64;
+                        report.obs_added += 1;
+                    }
+                }
+                ParamKind::Pairwise => {
+                    for &q in &added_pairs_in_scope {
+                        let (j, k) = snapshot.x2.pair(q);
+                        let key = pc.packed_for_pair(
+                            &snapshot.carrier(j).attrs,
+                            &snapshot.carrier(k).attrs,
+                        );
+                        let sat = pc
+                            .tables
+                            .add_packed_count(key, snapshot.config.pair_value(param, q), 1)
+                            .expect("patched tables are packed");
+                        report.count_saturated += sat as u64;
+                        report.obs_added += 1;
+                    }
+                }
+            }
+            pc.tables.freeze();
+        }
+
+        obs.add("cf.delta.params_patched", report.params_patched as u64);
+        obs.add("cf.delta.params_rebuilt", report.params_rebuilt as u64);
+        obs.add("cf.delta.params_untouched", report.params_untouched as u64);
+        obs.add("cf.delta.obs_added", report.obs_added);
+        obs.add("cf.delta.obs_removed", report.obs_removed);
+        obs.add("cf.delta.count_saturated", report.count_saturated);
+        span.close();
+        report
     }
 
     /// Attaches (or detaches, with [`Recorder::disabled`]) the sink for
@@ -1000,21 +1333,17 @@ fn pack_key_column(
     }
 }
 
-/// Fits one parameter: dependency selection, key-layout construction,
-/// key-column materialization (through the shared arena and cache), then
-/// vote-table construction.
-fn fit_param(
+/// Dependency selection for one parameter, honoring the configured
+/// selection flavor.
+fn select_dependent(
     snapshot: &NetworkSnapshot,
     arena: &AttrArena,
-    cache: &KeyColumnCache,
     scope: &Scope,
     param: ParamId,
     config: &CfConfig,
     obs: &Recorder,
-) -> ParamCf {
-    let span = obs.span("cf.fit/param");
-    let dep_span = span.child("dependency");
-    let dependent = if config.marginal_selection {
+) -> Vec<PredictorAttr> {
+    if config.marginal_selection {
         crate::dependency::select_dependent_marginal_with_obs_in(
             arena,
             snapshot,
@@ -1032,8 +1361,154 @@ fn fit_param(
             config.alpha,
             obs,
         )
-    };
+    }
+}
+
+/// The `(param, value)` slot of a removed-target record.
+fn value_for(values: &[(ParamId, ValueIdx)], param: ParamId) -> ValueIdx {
+    values
+        .iter()
+        .find(|(p, _)| *p == param)
+        .map(|(_, v)| *v)
+        .expect("removal records carry every parameter of their kind")
+}
+
+/// Brings one parameter's key column up to date with the post-batch
+/// arena, doing the least possible work:
+///
+/// * shape unchanged → the old column is still exact, keep it;
+/// * carrier column → splice: survivors keep indices `0..min(before,
+///   after)` (removes pop from the tail, adds append), so only the tail
+///   is packed fresh;
+/// * pair column → scatter the survivors through the batch's remap and
+///   pack only the batch-born pairs;
+/// * no old column (deserialized model) → full pack.
+///
+/// Built columns go through the cache, so parameters sharing a layout —
+/// and, with a [`SharedKeyColumns`] passed in, per-market models
+/// absorbing the same batch — splice once and share the `Arc`.
+#[allow(clippy::too_many_arguments)]
+fn refresh_key_column(
+    pc: &mut ParamCf,
+    kind: ParamKind,
+    arena: &AttrArena,
+    cache: &KeyColumnCache,
+    carriers_changed: bool,
+    pairs_changed: bool,
+    remap: Option<&Vec<Option<PairIdx>>>,
+    added_pairs_all: &[PairIdx],
+) {
+    if !pc.codec.fits_u128() {
+        return; // wide layouts never carry columns
+    }
+    match kind {
+        ParamKind::Singular => {
+            let old = match &pc.keys {
+                KeyColumn::Carrier(col) => Some(Arc::clone(col)),
+                _ => None,
+            };
+            if old.is_some() && !carriers_changed {
+                return;
+            }
+            let n_after = arena.n_carriers();
+            let col = cache.get_or_build(kind, &pc.dependent, || match &old {
+                Some(old) => {
+                    let keep = old.len().min(n_after);
+                    let mut v = Vec::with_capacity(n_after);
+                    v.extend_from_slice(&old[..keep]);
+                    let cols: Vec<&[AttrValue]> = pc
+                        .dependent
+                        .iter()
+                        .map(|pa| arena.column(pa.attr))
+                        .collect();
+                    v.extend((keep..n_after).map(|c| pc.codec.pack_with(|i| cols[i][c])));
+                    v
+                }
+                None => pack_key_column(arena, &pc.codec, &pc.dependent, kind),
+            });
+            pc.keys = KeyColumn::Carrier(col);
+        }
+        ParamKind::Pairwise => {
+            let old = match &pc.keys {
+                KeyColumn::Pair(col) => Some(Arc::clone(col)),
+                _ => None,
+            };
+            if old.is_some() && !pairs_changed {
+                return;
+            }
+            let n_pairs_after = arena.n_pairs();
+            let col = cache.get_or_build(kind, &pc.dependent, || match (&old, remap) {
+                (Some(old), Some(map)) => {
+                    debug_assert_eq!(old.len(), map.len(), "remap covers the pre-batch pairs");
+                    let mut v = vec![0u128; n_pairs_after];
+                    for (q_old, slot) in map.iter().enumerate() {
+                        if let Some(q_new) = slot {
+                            v[*q_new as usize] = old[q_old];
+                        }
+                    }
+                    let cols: Vec<&[AttrValue]> = pc
+                        .dependent
+                        .iter()
+                        .map(|pa| arena.column(pa.attr))
+                        .collect();
+                    let ends: Vec<&[u32]> = pc
+                        .dependent
+                        .iter()
+                        .map(|pa| match pa.side {
+                            Side::Src => arena.pair_src(),
+                            Side::Dst => arena.pair_dst(),
+                        })
+                        .collect();
+                    for &q in added_pairs_all {
+                        v[q as usize] = pc
+                            .codec
+                            .pack_with(|i| cols[i][ends[i][q as usize] as usize]);
+                    }
+                    v
+                }
+                _ => pack_key_column(arena, &pc.codec, &pc.dependent, kind),
+            });
+            pc.keys = KeyColumn::Pair(col);
+        }
+    }
+}
+
+/// Fits one parameter: dependency selection, key-layout construction,
+/// key-column materialization (through the shared arena and cache), then
+/// vote-table construction.
+fn fit_param(
+    snapshot: &NetworkSnapshot,
+    arena: &AttrArena,
+    cache: &KeyColumnCache,
+    scope: &Scope,
+    param: ParamId,
+    config: &CfConfig,
+    obs: &Recorder,
+) -> ParamCf {
+    let span = obs.span("cf.fit/param");
+    let dep_span = span.child("dependency");
+    let dependent = select_dependent(snapshot, arena, scope, param, config, obs);
     dep_span.close();
+    let pc = fit_param_with_dependent(snapshot, arena, cache, scope, param, dependent);
+    obs.inc("cf.fit.params");
+    obs.add("cf.fit.groups", pc.tables.n_groups() as u64);
+    obs.observe("cf.fit.dependent_attrs", pc.dependent.len() as u64);
+    drop(span);
+    pc
+}
+
+/// The build half of [`fit_param`]: key layout, key column (through the
+/// shared arena and cache), and vote tables for an already-selected
+/// dependent set. The incremental fit calls this directly when a delta
+/// batch changed a parameter's dependency selection.
+fn fit_param_with_dependent(
+    snapshot: &NetworkSnapshot,
+    arena: &AttrArena,
+    cache: &KeyColumnCache,
+    scope: &Scope,
+    param: ParamId,
+    dependent: Vec<PredictorAttr>,
+) -> ParamCf {
     let def = snapshot.catalog.def(param);
     let cards: Vec<u16> = dependent
         .iter()
@@ -1108,10 +1583,6 @@ fn fit_param(
         }
     }
     pc.tables.freeze();
-    obs.inc("cf.fit.params");
-    obs.add("cf.fit.groups", pc.tables.n_groups() as u64);
-    obs.observe("cf.fit.dependent_attrs", pc.dependent.len() as u64);
-    drop(span);
     pc
 }
 
@@ -1470,6 +1941,52 @@ mod tests {
                 assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn key_column_cache_survives_a_poisoned_lock() {
+        // A fit worker that panics (injected serving faults) can die while
+        // holding the cache's entries lock. The map is only mutated
+        // between complete `entry` calls, so the poison carries no torn
+        // state — later fits through the same cache must keep working,
+        // not panic forever on `lock().unwrap()`.
+        let net = generate(&NetScale::tiny(), &TuningKnobs::none());
+        let scope = Scope::whole(&net.snapshot);
+        let cache = SharedKeyColumns::new();
+        let first = CfModel::fit_with(
+            &net.snapshot,
+            &scope,
+            CfConfig::default(),
+            FitOptions {
+                key_cache: Some(cache.clone()),
+                ..FitOptions::default()
+            },
+        );
+        let built_before = cache.built();
+        assert!(built_before > 0, "first fit populated the cache");
+        let c2 = cache.clone();
+        std::thread::spawn(move || {
+            let _guard = c2.0.entries.lock().unwrap();
+            panic!("injected fault while holding the cache lock");
+        })
+        .join()
+        .expect_err("the poisoning thread panics");
+        let second = CfModel::fit_with(
+            &net.snapshot,
+            &scope,
+            CfConfig::default(),
+            FitOptions {
+                key_cache: Some(cache.clone()),
+                ..FitOptions::default()
+            },
+        );
+        // The poisoned lock neither panicked nor invalidated the cache:
+        // the second fit shared every column instead of rebuilding.
+        assert_eq!(cache.built(), built_before);
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod voting;
 
 pub use accuracy::{evaluate_cf, AccuracyReport, ParamAccuracy};
 pub use cf::{
-    fit_worker_threads, Basis, CfConfig, CfModel, FitOptions, ModelLoadError, Recommendation,
-    SharedKeyColumns,
+    fit_worker_threads, Basis, CfConfig, CfModel, DeltaApply, DeltaFitReport, FitOptions,
+    ModelLoadError, Recommendation, SharedKeyColumns,
 };
 pub use dependency::{select_dependent, PredictorAttr, Side};
 pub use mismatch::{label_for, MismatchLabel, MismatchReport};

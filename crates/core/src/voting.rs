@@ -245,6 +245,40 @@ impl VoteTables {
         Ok(())
     }
 
+    /// Records `count` observations of `value` under a packed `key` — the
+    /// bulk form of [`VoteTables::add_packed`], built on the saturating
+    /// [`FreqTable::add_count`] so a long-running incremental service can
+    /// never overflow a counter. Returns `true` when any count clamped at
+    /// its maximum (the `cf.delta.count_saturated` signal). Fails without
+    /// mutating anything on wide stores.
+    pub fn add_packed_count(
+        &mut self,
+        key: u128,
+        value: ValueIdx,
+        count: usize,
+    ) -> Result<bool, KeyShapeMismatch> {
+        if count == 0 {
+            return Ok(false);
+        }
+        let mut saturated = match &mut self.groups {
+            GroupStore::Packed(map) => map.entry(key).or_default().add_count(value, count),
+            GroupStore::PackedSorted(groups) => {
+                match groups.binary_search_by_key(&key, |&(gk, _)| gk) {
+                    Ok(i) => groups[i].1.add_count(value, count),
+                    Err(i) => {
+                        let mut t = FreqTable::new();
+                        let s = t.add_count(value, count);
+                        groups.insert(i, (key, t));
+                        s
+                    }
+                }
+            }
+            GroupStore::Wide(_) => return Err(KeyShapeMismatch { tables_wide: true }),
+        };
+        saturated |= self.overall.add_count(value, count);
+        Ok(saturated)
+    }
+
     /// Converts an accumulating packed map into the frozen sorted form
     /// (see the module docs). Idempotent; a no-op on wide stores, whose
     /// prefix queries scan instead.
@@ -254,6 +288,58 @@ impl VoteTables {
             groups.sort_unstable_by_key(|&(k, _)| k);
             self.groups = GroupStore::PackedSorted(groups);
         }
+    }
+
+    /// Converts the frozen sorted form back into the accumulating map —
+    /// the inverse of [`VoteTables::freeze`], used by the incremental
+    /// refit to batch-patch a fitted parameter at O(1) per observation
+    /// instead of O(n) sorted inserts. Idempotent; a no-op on wide
+    /// stores.
+    pub fn thaw(&mut self) {
+        if let GroupStore::PackedSorted(groups) = &mut self.groups {
+            let map: HashMap<u128, FreqTable, FastHash> =
+                std::mem::take(groups).into_iter().collect();
+            self.groups = GroupStore::Packed(map);
+        }
+    }
+
+    /// Removes one observation of `value` under a packed `key` — the
+    /// inverse of [`VoteTables::add_packed`]. The group table and the
+    /// scope-wide table shrink in lockstep, and a group whose last
+    /// observation leaves is excised entirely so no empty table lingers
+    /// in the sorted run (a stale empty group used to make
+    /// [`VoteTables::prefix_aggregate`] report a hit for a prefix with no
+    /// remaining observations). Fails without side effects on wide
+    /// stores.
+    ///
+    /// # Panics
+    /// Panics if no observation of `value` under `key` remains — removing
+    /// something never recorded is always a caller logic error, matching
+    /// [`FreqTable::remove`].
+    pub fn remove_packed(&mut self, key: u128, value: ValueIdx) -> Result<(), KeyShapeMismatch> {
+        match &mut self.groups {
+            GroupStore::Packed(map) => {
+                let t = map
+                    .get_mut(&key)
+                    .unwrap_or_else(|| panic!("removing from vote group {key:#x} never observed"));
+                t.remove(value);
+                if t.total() == 0 {
+                    map.remove(&key);
+                }
+            }
+            GroupStore::PackedSorted(groups) => {
+                let i = groups
+                    .binary_search_by_key(&key, |&(gk, _)| gk)
+                    .unwrap_or_else(|_| panic!("removing from vote group {key:#x} never observed"));
+                groups[i].1.remove(value);
+                if groups[i].1.total() == 0 {
+                    groups.remove(i);
+                }
+            }
+            GroupStore::Wide(_) => return Err(KeyShapeMismatch { tables_wide: true }),
+        }
+        self.overall.remove(value);
+        Ok(())
     }
 
     /// Records one observation of `value` under a wide `key`. Fails
@@ -366,7 +452,14 @@ impl VoteTables {
                 // `gk` because the mask selects the top bits.
                 let lo = groups.partition_point(|&(gk, _)| gk & mask < prefix);
                 let hi = groups.partition_point(|&(gk, _)| gk & mask <= prefix);
+                // Zero-total tables carry no observations: merging them
+                // is a no-op, but counting them as a hit would turn an
+                // emptied-out prefix into Some(empty) — a stale "group
+                // exists" answer the backoff chain then trusts.
                 for (_, t) in &groups[lo..hi] {
+                    if t.total() == 0 {
+                        continue;
+                    }
                     agg.merge(t);
                     any = true;
                 }
@@ -377,7 +470,7 @@ impl VoteTables {
                 // Deterministic despite map iteration order: merging is
                 // commutative and FreqTable is representation-independent.
                 for (&gk, t) in map {
-                    if gk & mask == prefix {
+                    if gk & mask == prefix && t.total() > 0 {
                         agg.merge(t);
                         any = true;
                     }
@@ -385,7 +478,7 @@ impl VoteTables {
             }
             (GroupStore::Wide(map), KeyRef::Wide(k)) => {
                 for (gk, t) in map {
-                    if gk.get(..l) == k.get(..l) {
+                    if gk.get(..l) == k.get(..l) && t.total() > 0 {
                         agg.merge(t);
                         any = true;
                     }
@@ -433,7 +526,9 @@ impl VoteTables {
         for (key, table) in self.unpacked_groups(codec, full_len) {
             let prefix = &key[..l];
             match out.last_mut() {
-                Some((last, agg)) if last[..] == *prefix => agg.merge(table),
+                Some((last, agg)) if last[..] == *prefix => {
+                    agg.merge(table);
+                }
                 _ => {
                     let mut agg = FreqTable::new();
                     agg.merge(table);
@@ -734,6 +829,142 @@ mod tests {
         assert_eq!(twice, frozen);
     }
 
+    /// Removing observations shrinks the group and the overall table in
+    /// lockstep, excising groups whose last observation leaves — on both
+    /// the accumulating and the frozen store.
+    #[test]
+    fn remove_packed_excises_empty_groups() {
+        for freeze_first in [false, true] {
+            let (codec, mut t) = tables();
+            if freeze_first {
+                t.freeze();
+            }
+            let k = codec.pack(&[2, 2]);
+            for _ in 0..3 {
+                t.remove_packed(k, 30).unwrap();
+            }
+            assert_eq!(t.n_groups(), 1, "emptied group must be excised");
+            assert_eq!(t.total(), 9);
+            assert_eq!(t.group(KeyRef::Packed(k)), None);
+            // The emptied group's prefix no longer aggregates anything.
+            let mut frozen = t.clone();
+            frozen.freeze();
+            assert_eq!(
+                frozen.prefix_aggregate(&codec, KeyRef::Packed(k), 1),
+                None,
+                "removed-out prefix must be a miss, not a stale empty table"
+            );
+            // Add-after-remove lands in a fresh group.
+            t.add_packed(k, 31).unwrap();
+            assert_eq!(t.n_groups(), 2);
+            assert_eq!(t.vote(KeyRef::Packed(k), None, 0.75), Some((31, 1, 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never observed")]
+    fn remove_packed_from_unknown_group_panics() {
+        let (codec, mut t) = tables();
+        t.remove_packed(codec.pack(&[1, 0]), 10).unwrap();
+    }
+
+    /// `remove_packed` against wide tables fails cleanly, like the
+    /// mismatched adds.
+    #[test]
+    fn remove_packed_on_wide_tables_is_an_error_without_side_effects() {
+        let mut wide = VoteTables::new_wide();
+        wide.add_wide(&[0, 1], 10).unwrap();
+        let before = wide.clone();
+        assert_eq!(
+            wide.remove_packed(7, 10),
+            Err(KeyShapeMismatch { tables_wide: true })
+        );
+        assert_eq!(wide, before);
+    }
+
+    /// thaw is the exact inverse of freeze: a thaw/patch/freeze cycle
+    /// equals patching the accumulating map directly.
+    #[test]
+    fn thaw_round_trips_and_supports_patching() {
+        let (codec, mut t) = tables();
+        t.freeze();
+        let frozen = t.clone();
+        t.thaw();
+        assert_eq!(t, frozen, "thaw preserves contents");
+        // Patch while thawed, then freeze: identical to a fresh fit of
+        // the patched stream.
+        t.remove_packed(codec.pack(&[0, 1]), 20).unwrap();
+        t.add_packed(codec.pack(&[1, 1]), 40).unwrap();
+        t.freeze();
+        let mut fresh = VoteTables::new();
+        for _ in 0..8 {
+            fresh.add_packed(codec.pack(&[0, 1]), 10).unwrap();
+        }
+        for _ in 0..3 {
+            fresh.add_packed(codec.pack(&[2, 2]), 30).unwrap();
+        }
+        fresh.add_packed(codec.pack(&[1, 1]), 40).unwrap();
+        fresh.freeze();
+        assert_eq!(t, fresh);
+        // Idempotent on both ends.
+        let mut twice = t.clone();
+        twice.thaw();
+        twice.thaw();
+        twice.freeze();
+        twice.freeze();
+        assert_eq!(twice, t);
+    }
+
+    /// The bulk add equals `count` single adds on both store forms, and
+    /// reports saturation instead of overflowing.
+    #[test]
+    fn add_packed_count_matches_repeated_adds_and_saturates() {
+        for freeze_first in [false, true] {
+            let (codec, mut bulk) = tables();
+            let (_, mut single) = tables();
+            if freeze_first {
+                bulk.freeze();
+                single.freeze();
+            }
+            let k = codec.pack(&[1, 2]);
+            assert!(!bulk.add_packed_count(k, 12, 4).unwrap());
+            for _ in 0..4 {
+                single.add_packed(k, 12).unwrap();
+            }
+            bulk.freeze();
+            single.freeze();
+            assert_eq!(bulk, single);
+            // Zero count is a no-op.
+            let before = bulk.clone();
+            assert!(!bulk.add_packed_count(k, 12, 0).unwrap());
+            assert_eq!(bulk, before);
+            // A count that would push past usize::MAX clamps and reports.
+            assert!(bulk.add_packed_count(k, 12, usize::MAX).unwrap());
+            assert_eq!(bulk.total(), usize::MAX);
+            assert_eq!(bulk.overall().count(12), usize::MAX);
+        }
+        // Wide stores reject the packed bulk form without side effects.
+        let mut wide = VoteTables::new_wide();
+        wide.add_wide(&[0, 1], 10).unwrap();
+        let before = wide.clone();
+        assert_eq!(
+            wide.add_packed_count(7, 10, 2),
+            Err(KeyShapeMismatch { tables_wide: true })
+        );
+        assert_eq!(wide, before);
+    }
+
+    /// A prefix run holding a single group aggregates to exactly that
+    /// group's table — identity, not a distorted merge.
+    #[test]
+    fn singleton_run_prefix_is_identity() {
+        let (codec, mut t) = tables();
+        t.freeze();
+        let k = KeyRef::Packed(codec.pack(&[2, 2]));
+        let agg = t.prefix_aggregate(&codec, k, 1).expect("run exists");
+        assert_eq!(&agg, t.group(k).unwrap());
+    }
+
     /// The full-length "prefix" is the group itself, and level 0 merges
     /// everything into the overall distribution.
     #[test]
@@ -876,6 +1107,62 @@ mod tests {
                             level.group(KeyRef::Packed(codec.prefix(k, l))).cloned();
                         let agg = full.prefix_aggregate(&codec, KeyRef::Packed(k), l);
                         prop_assert_eq!(agg, eager_hit, "probe {:?} level {}", key, l);
+                    }
+                }
+            }
+
+            /// Interleaved add/remove deltas against the frozen store
+            /// must keep every prefix level in agreement with eagerly
+            /// maintained per-level tables — including prefixes whose
+            /// last observation was removed (they must turn into misses,
+            /// not stale empty tables).
+            #[test]
+            fn prefix_aggregate_matches_eager_under_interleaved_deltas(
+                cards in collection::vec(2u16..6, 1..4),
+                ops in collection::vec((0u64..1_000_000, 0u16..5, 0u8..3), 1..60),
+            ) {
+                let codec = PackedKeyCodec::new(&cards);
+                let n = cards.len();
+                let mut full = VoteTables::new();
+                full.freeze(); // exercise the frozen add/remove path
+                let mut eager: Vec<VoteTables> =
+                    (0..=n).map(|_| VoteTables::new()).collect();
+                // Live observations, so removes always target something
+                // actually recorded.
+                let mut live: Vec<(u128, u16)> = Vec::new();
+                for &(raw, value, op) in &ops {
+                    let is_remove = op == 0 && !live.is_empty();
+                    if is_remove {
+                        let (k, v) = live.swap_remove(raw as usize % live.len());
+                        full.remove_packed(k, v).unwrap();
+                        for (l, t) in eager.iter_mut().enumerate() {
+                            t.remove_packed(codec.prefix(k, l), v).unwrap();
+                        }
+                    } else {
+                        let k = codec.pack(&key_from_raw(&cards, raw));
+                        full.add_packed(k, value).unwrap();
+                        for (l, t) in eager.iter_mut().enumerate() {
+                            t.add_packed(codec.prefix(k, l), value).unwrap();
+                        }
+                        live.push((k, value));
+                    }
+                }
+                prop_assert_eq!(full.total(), live.len());
+                // Probe both observed keys and arbitrary ones.
+                let probes: Vec<u128> = live
+                    .iter()
+                    .map(|&(k, _)| k)
+                    .chain((0..40).map(|raw| codec.pack(&key_from_raw(&cards, raw))))
+                    .collect();
+                for k in probes {
+                    for (l, level) in eager.iter().enumerate() {
+                        let agg = full.prefix_aggregate(&codec, KeyRef::Packed(k), l);
+                        let eager_hit =
+                            level.group(KeyRef::Packed(codec.prefix(k, l))).cloned();
+                        prop_assert_eq!(
+                            agg, eager_hit,
+                            "key {:#x} level {} diverges after deltas", k, l
+                        );
                     }
                 }
             }

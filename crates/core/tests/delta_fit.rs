@@ -1,0 +1,364 @@
+//! Differential suite for the incremental fit: a model rolled forward
+//! with [`CfModel::apply_delta`] must serialize **byte-identically** to a
+//! full refit of the post-batch snapshot — same dependency selections,
+//! same sorted vote groups, same defaults. The suite drives the streaming
+//! generator batch-by-batch (adds, pockets, retunes) and layers synthetic
+//! removal / edge-add / retune batches on top, at whole-network and
+//! per-market scopes.
+
+use auric_core::{CfConfig, CfModel, DeltaApply, Scope, SharedKeyColumns};
+use auric_model::{
+    apply_fleet_deltas, empty_snapshot, AppliedBatch, AttrArena, CarrierId, DeltaSlot, FleetDelta,
+    MarketId, NetworkSnapshot, Provenance,
+};
+use auric_netgen::{stream, NetScale, TuningKnobs};
+
+fn json(model: &CfModel) -> String {
+    serde_json::to_string(model).expect("model serializes")
+}
+
+fn full_fit(snapshot: &NetworkSnapshot, scope: &Scope) -> CfModel {
+    CfModel::fit(snapshot, scope, CfConfig::default())
+}
+
+/// Applies one event batch and rolls `arena`/`scope` forward, returning
+/// the digest and the pre-batch scope.
+fn roll_forward(
+    snapshot: &mut NetworkSnapshot,
+    arena: &mut AttrArena,
+    scope: &mut Scope,
+    batch: &[FleetDelta],
+) -> (AppliedBatch, Scope) {
+    let digest = apply_fleet_deltas(snapshot, batch).expect("consistent batch");
+    arena.append(snapshot);
+    let before = std::mem::replace(scope, Scope::whole(snapshot));
+    (digest, before)
+}
+
+/// Streams a fleet from the empty snapshot, applying every batch
+/// incrementally; compares against a full refit on every batch index
+/// where `compare` says so. Returns the final state for follow-on
+/// synthetic batches.
+fn run_stream_differential(
+    scale: NetScale,
+    compare: impl Fn(usize, bool) -> bool,
+) -> (NetworkSnapshot, AttrArena, Scope, CfModel) {
+    // Default knobs so Phase B emits real retune batches (stale trials,
+    // live trials, noise) — the pure-retune fast path needs exercise.
+    let mut s = stream(&scale, &TuningKnobs::default());
+    let mut snapshot = empty_snapshot(s.schema().clone(), s.catalog().clone());
+    let mut arena = AttrArena::from_snapshot(&snapshot);
+    let mut scope = Scope::whole(&snapshot);
+    let mut model = full_fit(&snapshot, &scope);
+    let mut i = 0usize;
+    let mut saw_untouched_retune_batch = false;
+    while let Some(batch) = s.next_batch() {
+        let (digest, before) = roll_forward(&mut snapshot, &mut arena, &mut scope, &batch);
+        let report = model.apply_delta(&DeltaApply {
+            snapshot: &snapshot,
+            arena: &arena,
+            scope_before: &before,
+            scope_after: &scope,
+            batch: &digest,
+            key_cache: None,
+        });
+        assert_eq!(
+            report.params_patched + report.params_rebuilt + report.params_untouched,
+            snapshot.catalog.len(),
+            "every parameter is accounted for"
+        );
+        // A pure-retune batch must leave the parameters it names as the
+        // only touched ones — that skip is the whole point of the
+        // incremental fit.
+        if !digest.structural() && !digest.retunes.is_empty() && report.params_untouched > 0 {
+            saw_untouched_retune_batch = true;
+        }
+        if compare(i, false) {
+            assert_eq!(
+                json(&model),
+                json(&full_fit(&snapshot, &scope)),
+                "batch {i}: incremental model diverged from full refit"
+            );
+        }
+        i += 1;
+    }
+    if compare(i, true) {
+        assert_eq!(
+            json(&model),
+            json(&full_fit(&snapshot, &scope)),
+            "final: incremental model diverged from full refit"
+        );
+    }
+    assert!(
+        saw_untouched_retune_batch,
+        "stream never exercised the untouched-parameter fast path"
+    );
+    (snapshot, arena, scope, model)
+}
+
+#[test]
+fn exhaustive_stream_matches_full_refit_on_every_batch() {
+    let scale = NetScale {
+        n_markets: 1,
+        enbs_per_market: 3,
+        seed: 11,
+    };
+    run_stream_differential(scale, |_, _| true);
+}
+
+#[test]
+fn tiny_stream_strided_matches_full_refit() {
+    run_stream_differential(NetScale::tiny(), |i, last| last || i % 7 == 0);
+}
+
+/// Picks two same-market carriers with no X2 edge between them.
+fn absent_edge(snapshot: &NetworkSnapshot) -> (CarrierId, CarrierId) {
+    for a in 0..snapshot.n_carriers() {
+        let ca = CarrierId(a as u32);
+        for b in (a + 1)..snapshot.n_carriers() {
+            let cb = CarrierId(b as u32);
+            if snapshot.carrier(ca).market == snapshot.carrier(cb).market
+                && !snapshot.x2.neighbors(ca).contains(&cb)
+            {
+                return (ca, cb);
+            }
+        }
+    }
+    panic!("fleet is a clique");
+}
+
+#[test]
+fn synthetic_retunes_removals_and_edge_adds_match_full_refit() {
+    let scale = NetScale {
+        n_markets: 2,
+        enbs_per_market: 4,
+        seed: 23,
+    };
+    let (mut snapshot, mut arena, mut scope, mut model) =
+        run_stream_differential(scale, |_, last| last);
+
+    let catalog = snapshot.catalog.clone();
+    let sing: Vec<_> = catalog.singular_ids().collect();
+    let pair_params: Vec<_> = catalog.pairwise_ids().collect();
+    let why = Provenance::Noise;
+
+    // Batch 1: pure retunes — a singular slot (twice, chaining values),
+    // and a pair slot.
+    let c0 = CarrierId(0);
+    let (pa, pb) = snapshot.x2.pair(0);
+    let p_sing = sing[0];
+    let p_pair = pair_params[0];
+    let v1 = (snapshot.config.value(p_sing, c0) + 1) % catalog.def(p_sing).range.n_values() as u16;
+    let v2 = (v1 + 1) % catalog.def(p_sing).range.n_values() as u16;
+    let pv =
+        (snapshot.config.pair_value(p_pair, 0) + 1) % catalog.def(p_pair).range.n_values() as u16;
+    let batches: Vec<Vec<FleetDelta>> = vec![
+        vec![
+            FleetDelta::Retune {
+                param: p_sing,
+                slot: DeltaSlot::Carrier(c0),
+                value: v1,
+                why,
+            },
+            FleetDelta::Retune {
+                param: p_sing,
+                slot: DeltaSlot::Carrier(c0),
+                value: v2,
+                why,
+            },
+            FleetDelta::Retune {
+                param: p_pair,
+                slot: DeltaSlot::Pair(pa, pb),
+                value: pv,
+                why,
+            },
+        ],
+        // Batch 2: a new X2 edge, plus a retune on one of its directed
+        // pairs (must fold into the add, not double-count).
+        {
+            let (ea, eb) = absent_edge(&snapshot);
+            let base: Vec<_> = pair_params
+                .iter()
+                .map(|&p| snapshot.config.pair_value(p, 0))
+                .collect();
+            vec![
+                FleetDelta::AddX2Edge {
+                    a: ea,
+                    b: eb,
+                    base_ab: base.clone(),
+                    base_ba: base,
+                },
+                FleetDelta::Retune {
+                    param: p_pair,
+                    slot: DeltaSlot::Pair(ea, eb),
+                    value: pv,
+                    why,
+                },
+            ]
+        },
+        // Batch 3: remove the tail carrier (its pairs leave with it).
+        vec![FleetDelta::RemoveCarrier {
+            id: CarrierId(snapshot.n_carriers() as u32 - 1),
+        }],
+        // Batch 4: retune-then-remove the (new) tail carrier in one batch
+        // — the removal record carries the retuned value, so the swap
+        // must land before the subtract.
+        {
+            let tail = CarrierId(snapshot.n_carriers() as u32 - 2);
+            let tv = (snapshot.config.value(p_sing, tail) + 1)
+                % catalog.def(p_sing).range.n_values() as u16;
+            vec![
+                FleetDelta::Retune {
+                    param: p_sing,
+                    slot: DeltaSlot::Carrier(tail),
+                    value: tv,
+                    why,
+                },
+                FleetDelta::RemoveCarrier { id: tail },
+            ]
+        },
+    ];
+
+    for (i, batch) in batches.iter().enumerate() {
+        let (digest, before) = roll_forward(&mut snapshot, &mut arena, &mut scope, batch);
+        model.apply_delta(&DeltaApply {
+            snapshot: &snapshot,
+            arena: &arena,
+            scope_before: &before,
+            scope_after: &scope,
+            batch: &digest,
+            key_cache: None,
+        });
+        assert_eq!(
+            json(&model),
+            json(&full_fit(&snapshot, &scope)),
+            "synthetic batch {i}: incremental model diverged from full refit"
+        );
+    }
+}
+
+#[test]
+fn per_market_models_with_a_shared_cache_match_scoped_refits() {
+    let scale = NetScale::tiny();
+    let mut s = stream(&scale, &TuningKnobs::none());
+    let mut snapshot = empty_snapshot(s.schema().clone(), s.catalog().clone());
+
+    // Phase A: build the fleet outright — per-market models start from a
+    // fitted state, as the serving layer does.
+    for _ in 0..scale.n_markets {
+        let batch = s.next_batch().expect("market batch");
+        apply_fleet_deltas(&mut snapshot, &batch).expect("consistent batch");
+    }
+    let mut arena = AttrArena::from_snapshot(&snapshot);
+    let markets: Vec<MarketId> = (0..scale.n_markets as u16).map(MarketId).collect();
+    let mut scopes: Vec<Scope> = markets
+        .iter()
+        .map(|&m| Scope::market(&snapshot, m))
+        .collect();
+    let mut models: Vec<CfModel> = scopes.iter().map(|sc| full_fit(&snapshot, sc)).collect();
+
+    // Phase B (retunes) plus a synthetic structural tail batch, applied
+    // to every market model through one shared key-column cache.
+    let mut batches: Vec<Vec<FleetDelta>> = Vec::new();
+    while let Some(b) = s.next_batch() {
+        batches.push(b);
+    }
+    batches.push(vec![FleetDelta::RemoveCarrier {
+        id: CarrierId(snapshot.n_carriers() as u32 - 1),
+    }]);
+
+    let n_batches = batches.len();
+    for (i, batch) in batches.iter().enumerate() {
+        let digest = apply_fleet_deltas(&mut snapshot, batch).expect("consistent batch");
+        arena.append(&snapshot);
+        let cache = SharedKeyColumns::new();
+        for (mi, &m) in markets.iter().enumerate() {
+            let after = Scope::market(&snapshot, m);
+            let before = std::mem::replace(&mut scopes[mi], after);
+            models[mi].apply_delta(&DeltaApply {
+                snapshot: &snapshot,
+                arena: &arena,
+                scope_before: &before,
+                scope_after: &scopes[mi],
+                batch: &digest,
+                key_cache: Some(cache.clone()),
+            });
+        }
+        if i % 9 == 0 || i + 1 == n_batches {
+            for (mi, model) in models.iter().enumerate() {
+                assert_eq!(
+                    json(model),
+                    json(&full_fit(&snapshot, &scopes[mi])),
+                    "batch {i}, market {mi}: incremental model diverged from scoped refit"
+                );
+            }
+        }
+        if i + 1 == n_batches {
+            // The structural batch respliced fleet-wide key columns;
+            // both market models need them, so the shared cache must
+            // have served at least one from the other's build.
+            assert!(
+                cache.shared() > 0,
+                "structural batch should share spliced columns across market models"
+            );
+        }
+    }
+
+    // The structural tail removed a carrier of one market: the other
+    // market's model must have seen every parameter as untouched.
+    let digest = AppliedBatch::default();
+    for model in &models {
+        // Sanity: rolling an *empty* digest forward is a no-op.
+        let before = Scope::whole(&snapshot);
+        let after = Scope::whole(&snapshot);
+        let mut m = model.clone();
+        let report = m.apply_delta(&DeltaApply {
+            snapshot: &snapshot,
+            arena: &arena,
+            scope_before: &before,
+            scope_after: &after,
+            batch: &digest,
+            key_cache: None,
+        });
+        assert_eq!(report.params_rebuilt + report.params_patched, 0);
+        assert_eq!(json(&m), json(model));
+    }
+}
+
+#[test]
+fn pure_retune_batches_only_touch_named_parameters() {
+    let scale = NetScale {
+        n_markets: 1,
+        enbs_per_market: 3,
+        seed: 29,
+    };
+    let (mut snapshot, mut arena, mut scope, mut model) =
+        run_stream_differential(scale, |_, last| last);
+    let sing = snapshot.catalog.singular_ids().next().unwrap();
+    let card = snapshot.catalog.def(sing).range.n_values() as u16;
+    let c0 = CarrierId(0);
+    let batch = vec![FleetDelta::Retune {
+        param: sing,
+        slot: DeltaSlot::Carrier(c0),
+        value: (snapshot.config.value(sing, c0) + 1) % card,
+        why: Provenance::Noise,
+    }];
+    let (digest, before) = roll_forward(&mut snapshot, &mut arena, &mut scope, &batch);
+    let report = model.apply_delta(&DeltaApply {
+        snapshot: &snapshot,
+        arena: &arena,
+        scope_before: &before,
+        scope_after: &scope,
+        batch: &digest,
+        key_cache: None,
+    });
+    // Exactly one parameter changed; everything else must ride the
+    // untouched fast path (no re-selection, no table churn).
+    assert_eq!(report.params_patched + report.params_rebuilt, 1);
+    assert_eq!(
+        report.params_untouched,
+        snapshot.catalog.len() - 1,
+        "a single retune must not disturb other parameters"
+    );
+    assert_eq!(json(&model), json(&full_fit(&snapshot, &scope)));
+}

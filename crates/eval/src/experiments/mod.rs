@@ -11,6 +11,7 @@ pub mod local_learner;
 pub mod mismatch_labels;
 pub mod operations;
 pub mod serve_batch;
+pub mod stream_ingest;
 pub mod variability;
 
 use crate::RunOptions;

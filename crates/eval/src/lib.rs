@@ -26,6 +26,7 @@
 //! | `ops-chaos`     | fault-rate × retry-policy resilience sweep (ours)|
 //! | `kpi_loop`      | §6 closed loop — KPI rollback + quarantine (ours)|
 //! | `serve-batch`   | batched serving: coalescing + epoch cache (ours) |
+//! | `stream-ingest` | streaming ingestion: incremental fit == refit (ours) |
 //! | `ablation-vote` | voting-threshold sweep (ours)                    |
 //! | `ablation-alpha`| significance-level sweep (ours)                  |
 //! | `ablation-hops` | locality-radius sweep (ours)                     |
@@ -76,7 +77,7 @@ pub struct ExpOutput {
 }
 
 /// The registry of experiment names, in presentation order.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "table3",
     "fig2",
     "fig3",
@@ -90,6 +91,7 @@ pub const EXPERIMENTS: [&str; 17] = [
     "ops-chaos",
     "kpi_loop",
     "serve-batch",
+    "stream-ingest",
     "ablation-vote",
     "ablation-alpha",
     "ablation-hops",
@@ -122,6 +124,7 @@ fn dispatch(name: &str, opts: &RunOptions) -> Result<ExpOutput, String> {
         "ops-chaos" => Ok(experiments::chaos::ops_chaos(opts)),
         "kpi_loop" => Ok(experiments::kpi_loop::kpi_loop(opts)),
         "serve-batch" => Ok(experiments::serve_batch::serve_batch(opts)),
+        "stream-ingest" => Ok(experiments::stream_ingest::stream_ingest(opts)),
         "ablation-vote" => Ok(experiments::ablation::vote_threshold(opts)),
         "ablation-alpha" => Ok(experiments::ablation::alpha_sweep(opts)),
         "ablation-hops" => Ok(experiments::ablation::hops_sweep(opts)),

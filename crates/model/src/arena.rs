@@ -60,6 +60,49 @@ impl AttrArena {
         }
     }
 
+    /// Extends the arena in place to cover `snapshot` after a delta batch.
+    ///
+    /// Carrier attributes are immutable once added, so an attribute column
+    /// whose length already matches is kept as the *same* `Arc` (zero
+    /// copy — this is what makes incremental refits cheap); grown columns
+    /// copy the old prefix and read only the appended carriers; shrunk
+    /// columns truncate (LIFO removal). The pair endpoint columns are
+    /// always rebuilt: edge changes re-index the whole CSR pair list.
+    ///
+    /// The caller must apply one delta batch at a time; a batch that both
+    /// removes and re-adds a carrier id would invalidate the shared
+    /// prefix (`apply_fleet_deltas` rejects such batches).
+    pub fn append(&mut self, snapshot: &NetworkSnapshot) {
+        let n_old = self.n_carriers();
+        let n_new = snapshot.carriers.len();
+        if n_new != n_old {
+            let mut columns: Vec<Vec<AttrValue>> = self
+                .columns
+                .iter()
+                .map(|col| {
+                    let mut v = Vec::with_capacity(n_new);
+                    v.extend_from_slice(&col[..n_old.min(n_new)]);
+                    v
+                })
+                .collect();
+            for carrier in &snapshot.carriers[n_old.min(n_new)..] {
+                for (col, &v) in columns.iter_mut().zip(carrier.attrs.as_slice()) {
+                    col.push(v);
+                }
+            }
+            self.columns = columns.into_iter().map(Arc::from).collect();
+        }
+        let n_pairs = snapshot.x2.n_pairs();
+        let mut pair_src = Vec::with_capacity(n_pairs);
+        let mut pair_dst = Vec::with_capacity(n_pairs);
+        for (_, j, k) in snapshot.x2.pairs() {
+            pair_src.push(j.index() as u32);
+            pair_dst.push(k.index() as u32);
+        }
+        self.pair_src = Arc::from(pair_src);
+        self.pair_dst = Arc::from(pair_dst);
+    }
+
     /// Number of attribute columns.
     pub fn n_attrs(&self) -> usize {
         self.columns.len()
@@ -225,6 +268,64 @@ mod tests {
         let arena = AttrArena::from_snapshot(&snap);
         let col = arena.column_arc(AttrId(1));
         assert!(Arc::ptr_eq(&col, &arena.columns[1]));
+    }
+
+    #[test]
+    fn append_matches_from_snapshot_and_shares_unchanged_columns() {
+        let mut snap = snapshot();
+        let mut arena = AttrArena::from_snapshot(&snap);
+
+        // Edge-only change: attr columns must stay Arc-identical, pair
+        // columns must follow the re-indexed CSR.
+        let col_before = arena.column_arc(AttrId(0));
+        snap.x2 = X2Graph::from_edges(
+            3,
+            &[
+                (CarrierId(0), CarrierId(1)),
+                (CarrierId(1), CarrierId(2)),
+                (CarrierId(0), CarrierId(2)),
+            ],
+        );
+        arena.append(&snap);
+        assert!(Arc::ptr_eq(&col_before, &arena.columns[0]));
+        let fresh = AttrArena::from_snapshot(&snap);
+        assert_eq!(arena.pair_src(), fresh.pair_src());
+        assert_eq!(arena.pair_dst(), fresh.pair_dst());
+
+        // Carrier growth: appended rows read from the snapshot only.
+        snap.carriers.push(Carrier {
+            id: CarrierId(3),
+            enodeb: EnodebId(0),
+            market: MarketId(0),
+            face: 1,
+            band: Band::Mid,
+            attrs: AttrVec::new(vec![1, 2]),
+        });
+        snap.x2 = X2Graph::from_edges(
+            4,
+            &[
+                (CarrierId(0), CarrierId(1)),
+                (CarrierId(1), CarrierId(2)),
+                (CarrierId(2), CarrierId(3)),
+            ],
+        );
+        arena.append(&snap);
+        let fresh = AttrArena::from_snapshot(&snap);
+        for a in snap.schema.attr_ids() {
+            assert_eq!(arena.column(a), fresh.column(a));
+        }
+        assert_eq!(arena.pair_src(), fresh.pair_src());
+        assert_eq!(arena.pair_dst(), fresh.pair_dst());
+
+        // LIFO shrink back to three carriers.
+        snap.carriers.pop();
+        snap.x2 = X2Graph::from_edges(3, &[(CarrierId(0), CarrierId(1))]);
+        arena.append(&snap);
+        let fresh = AttrArena::from_snapshot(&snap);
+        for a in snap.schema.attr_ids() {
+            assert_eq!(arena.column(a), fresh.column(a));
+        }
+        assert_eq!(arena.pair_src(), fresh.pair_src());
     }
 
     #[test]

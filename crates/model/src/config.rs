@@ -206,6 +206,68 @@ impl Configuration {
         }
     }
 
+    /// Appends one carrier slot to every singular parameter, filled with
+    /// the catalog default and [`Provenance::Rule`]. Delta-ingestion
+    /// plumbing: the caller overwrites the defaults with the carrier's
+    /// actual base values via [`Configuration::set_value`].
+    pub fn push_carrier(&mut self, catalog: &ParamCatalog) {
+        for def in catalog.defs() {
+            if def.kind == ParamKind::Singular {
+                let (_, row) = self.slots[def.id.index()];
+                self.singular_values[row].push(def.default);
+                self.singular_prov[row].push(Provenance::Rule);
+            }
+        }
+        self.n_carriers += 1;
+    }
+
+    /// Drops the last carrier slot from every singular parameter (LIFO
+    /// removal — carrier ids are dense indices, so only the tail carrier
+    /// can leave).
+    ///
+    /// # Panics
+    /// Panics if the configuration covers no carriers.
+    pub fn pop_carrier(&mut self) {
+        assert!(self.n_carriers > 0, "pop_carrier on an empty configuration");
+        self.n_carriers -= 1;
+        for row in &mut self.singular_values {
+            row.truncate(self.n_carriers);
+        }
+        for row in &mut self.singular_prov {
+            row.truncate(self.n_carriers);
+        }
+    }
+
+    /// Re-indexes every pair-wise parameter after the X2 pair list changed
+    /// shape: `map[old]` is the new index of old pair `old` (`None` if the
+    /// pair was dropped). Slots not in `map`'s image are new pairs, filled
+    /// with the catalog default and [`Provenance::Rule`] for the caller to
+    /// overwrite.
+    ///
+    /// # Panics
+    /// Panics if `map`'s length differs from the current pair count or a
+    /// target index is out of range.
+    pub fn remap_pairs(&mut self, catalog: &ParamCatalog, map: &[Option<PairIdx>], n_pairs: usize) {
+        assert_eq!(map.len(), self.n_pairs, "pair remap length mismatch");
+        for def in catalog.defs() {
+            if def.kind != ParamKind::Pairwise {
+                continue;
+            }
+            let (_, row) = self.slots[def.id.index()];
+            let mut values = vec![def.default; n_pairs];
+            let mut prov = vec![Provenance::Rule; n_pairs];
+            for (old, &target) in map.iter().enumerate() {
+                if let Some(new) = target {
+                    values[new as usize] = self.pairwise_values[row][old];
+                    prov[new as usize] = self.pairwise_prov[row][old];
+                }
+            }
+            self.pairwise_values[row] = values;
+            self.pairwise_prov[row] = prov;
+        }
+        self.n_pairs = n_pairs;
+    }
+
     /// Number of distinct values parameter `p` takes over a subset of its
     /// value slots (a market, or the whole network) — the paper's
     /// *variability* measure (Fig. 2/3).
@@ -299,6 +361,42 @@ mod tests {
     fn kind_mismatch_panics() {
         let cfg = Configuration::with_defaults(&tiny_catalog(), 2, 2);
         cfg.value(ParamId(1), CarrierId(0));
+    }
+
+    #[test]
+    fn push_and_pop_carrier_slots() {
+        let catalog = tiny_catalog();
+        let mut cfg = Configuration::with_defaults(&catalog, 2, 0);
+        cfg.push_carrier(&catalog);
+        assert_eq!(cfg.n_carriers(), 3);
+        assert_eq!(cfg.value(ParamId(0), CarrierId(2)), 5, "catalog default");
+        assert_eq!(cfg.provenance(ParamId(0), CarrierId(2)), Provenance::Rule);
+        cfg.set_value(ParamId(2), CarrierId(2), 7, Provenance::Noise);
+        cfg.pop_carrier();
+        assert_eq!(cfg.n_carriers(), 2);
+        cfg.push_carrier(&catalog);
+        assert_eq!(
+            cfg.value(ParamId(2), CarrierId(2)),
+            0,
+            "popped slot re-filled with defaults"
+        );
+    }
+
+    #[test]
+    fn remap_pairs_moves_values_and_fills_new_slots() {
+        let catalog = tiny_catalog();
+        let mut cfg = Configuration::with_defaults(&catalog, 2, 2);
+        cfg.set_pair_value(ParamId(1), 0, 9, Provenance::StaleTrial);
+        cfg.set_pair_value(ParamId(1), 1, 8, Provenance::Noise);
+        // Old pair 0 -> new 2, old pair 1 dropped, new pairs 0/1/3 default.
+        cfg.remap_pairs(&catalog, &[Some(2), None], 4);
+        assert_eq!(cfg.n_pairs(), 4);
+        assert_eq!(cfg.pair_value(ParamId(1), 2), 9);
+        assert_eq!(cfg.pair_provenance(ParamId(1), 2), Provenance::StaleTrial);
+        for q in [0, 1, 3] {
+            assert_eq!(cfg.pair_value(ParamId(1), q), 2, "catalog default");
+            assert_eq!(cfg.pair_provenance(ParamId(1), q), Provenance::Rule);
+        }
     }
 
     #[test]

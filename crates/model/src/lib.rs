@@ -16,6 +16,7 @@ pub mod arena;
 pub mod attrs;
 pub mod carrier;
 pub mod config;
+pub mod delta;
 pub mod ids;
 pub mod params;
 pub mod snapshot;
@@ -25,6 +26,10 @@ pub use arena::AttrArena;
 pub use attrs::{AttrDef, AttrId, AttrValue, AttrVec, AttributeSchema};
 pub use carrier::{Band, Carrier, Enodeb, Market, Morphology, Point, Timezone, Vendor};
 pub use config::{Configuration, PairIdx, Provenance};
+pub use delta::{
+    apply_fleet_deltas, empty_snapshot, AppliedBatch, AppliedRetune, DeltaError, DeltaSlot,
+    FleetDelta, RemovedCarrier, RemovedPair,
+};
 pub use ids::{CarrierId, EnodebId, MarketId, ParamId};
 pub use params::{ParamCatalog, ParamDef, ParamFunction, ParamKind, ValueIdx, ValueRange};
 pub use snapshot::NetworkSnapshot;

@@ -34,12 +34,14 @@ pub mod generator;
 pub mod names;
 pub mod rules;
 pub mod scale;
+pub mod stream;
 pub mod topology;
 pub mod tuning;
 
 pub use generator::{generate, GeneratedNetwork, GroundTruth};
 pub use rules::LatentRule;
 pub use scale::{NetScale, TuningKnobs};
+pub use stream::{stream, FleetStream};
 pub use tuning::Pocket;
 
 /// Attribute column indices matching

@@ -28,6 +28,16 @@ pub struct Topology {
     pub x2: X2Graph,
 }
 
+/// One market's topology as produced by [`build_market`]: entities carry
+/// their *global* ids (offset by the bases passed in), edges are global
+/// too, and the dynamic attributes are still placeholders.
+pub(crate) struct MarketBuild {
+    pub market: Market,
+    pub enodebs: Vec<Enodeb>,
+    pub carriers: Vec<Carrier>,
+    pub edges: Vec<(CarrierId, CarrierId)>,
+}
+
 /// Builds the full topology for `scale`. Deterministic in `scale.seed`.
 pub fn build(scale: &NetScale, schema: &AttributeSchema) -> Topology {
     assert!(scale.n_markets > 0, "need at least one market");
@@ -42,163 +52,197 @@ pub fn build(scale: &NetScale, schema: &AttributeSchema) -> Topology {
     let mut edges: Vec<(CarrierId, CarrierId)> = Vec::new();
 
     for m in 0..scale.n_markets {
-        let market_id = MarketId(m as u16);
-        // Per-market RNG stream so adding markets never reshuffles earlier
-        // ones.
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(scale.seed.wrapping_mul(0x9E37_79B9).wrapping_add(m as u64));
-
-        // Market size varies the way Table 3's markets do (the largest is
-        // ~2x the smallest of the four sampled ones).
-        let factor: f64 = rng.random_range(0.6..1.6);
-        let n_enb = ((scale.enbs_per_market as f64 * factor).round() as usize).max(2);
-
-        // Urban cores.
-        let n_cores = 1 + (rng.random_range(0..10u32) < 4) as usize;
-        let cores: Vec<Point> = (0..n_cores)
-            .map(|_| Point {
-                x: rng.random_range(15.0..45.0),
-                y: rng.random_range(15.0..45.0),
-            })
-            .collect();
-
-        let dominant_vendor = Vendor::ALL[m % 3];
-        // Markets sit at different upgrade stages.
-        let market_sw: u16 = if m % 5 == 0 { 2 } else { 3 };
-        // Mid-band build-out preference differs per market.
-        let mid_pref: u16 = if m % 2 == 0 { 2 } else { 3 };
-
-        let enb_base = enodebs.len();
-        let mut market_enbs = Vec::with_capacity(n_enb);
-        let mut market_carriers = Vec::new();
-
-        for _ in 0..n_enb {
-            let enb_id = EnodebId::from_index(enodebs.len());
-            let position = sample_position(&mut rng, &cores);
-            let core_dist = cores
-                .iter()
-                .map(|c| c.distance(position))
-                .fold(f64::INFINITY, f64::min);
-            let morphology = if core_dist < 3.5 {
-                Morphology::Urban
-            } else if core_dist < 12.0 {
-                Morphology::Suburban
-            } else {
-                Morphology::Rural
-            };
-            let vendor = if rng.random_range(0.0..1.0) < 0.8 {
-                dominant_vendor
-            } else {
-                Vendor::ALL[rng.random_range(0..3usize)]
-            };
-            // Hardware generation loosely tracks vendor.
-            let hardware: u16 = match vendor {
-                Vendor::VendorA => [0u16, 1, 1, 2][rng.random_range(0..4usize)],
-                Vendor::VendorB => [1u16, 1, 2, 2][rng.random_range(0..4usize)],
-                Vendor::VendorC => [0u16, 0, 1, 2][rng.random_range(0..4usize)],
-            };
-            let software = if rng.random_range(0.0..1.0) < 0.85 {
-                market_sw
-            } else {
-                market_sw - 1
-            };
-            let tac = (m * names::TACS_PER_MARKET
-                + usize::from(position.x >= MARKET_SIZE_KM / 2.0) * 2
-                + usize::from(position.y >= MARKET_SIZE_KM / 2.0)) as u16;
-            let near_border = position.x < 3.0
-                || position.y < 3.0
-                || position.x > MARKET_SIZE_KM - 3.0
-                || position.y > MARKET_SIZE_KM - 3.0;
-
-            let mut enb = Enodeb {
-                id: enb_id,
-                market: market_id,
-                position,
-                morphology,
-                vendor,
-                carriers: Vec::new(),
-            };
-
-            for face in 0..3u8 {
-                for band in face_bands(&mut rng, morphology) {
-                    let id = CarrierId::from_index(carriers.len());
-                    let attrs = carrier_attrs(
-                        &mut rng,
-                        schema,
-                        CarrierCtx {
-                            band,
-                            morphology,
-                            vendor,
-                            hardware,
-                            software,
-                            tac,
-                            market: m as u16,
-                            mid_pref,
-                            near_border,
-                        },
-                    );
-                    carriers.push(Carrier {
-                        id,
-                        enodeb: enb_id,
-                        market: market_id,
-                        face,
-                        band,
-                        attrs,
-                    });
-                    enb.carriers.push(id);
-                    market_carriers.push(id);
-                }
-            }
-            market_enbs.push(enb_id);
-            enodebs.push(enb);
-        }
-
-        // Intra-eNodeB X2 relations.
-        for enb in &enodebs[enb_base..] {
-            intra_enb_edges(enb, &carriers, &mut edges);
-        }
-
-        // Inter-eNodeB X2 relations: each eNodeB peers with its k nearest
-        // in-market eNodeBs (denser areas keep more relations).
-        let market_enb_slice = &enodebs[enb_base..];
-        for (i, a) in market_enb_slice.iter().enumerate() {
-            let k = match a.morphology {
-                Morphology::Urban => 5,
-                Morphology::Suburban => 4,
-                Morphology::Rural => 3,
-            };
-            let mut by_dist: Vec<(f64, usize)> = market_enb_slice
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(j, b)| (a.position.distance(b.position), j))
-                .collect();
-            by_dist.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
-            for &(_, j) in by_dist.iter().take(k) {
-                if j < i {
-                    continue; // each unordered eNodeB pair handled once
-                }
-                inter_enb_edges(a, &market_enb_slice[j], &carriers, &mut rng, &mut edges);
-            }
-        }
-
-        markets.push(Market {
-            id: market_id,
-            name: format!("Market {}", m + 1),
-            timezone: Timezone::ALL[m % 4],
-            carriers: market_carriers,
-            enodebs: market_enbs,
-        });
+        let mb = build_market(scale, schema, m, enodebs.len(), carriers.len());
+        markets.push(mb.market);
+        enodebs.extend(mb.enodebs);
+        carriers.extend(mb.carriers);
+        edges.extend(mb.edges);
     }
 
     let x2 = X2Graph::from_edges(carriers.len(), &edges);
-    fill_dynamic_attrs(&mut carriers, &enodebs, &x2, schema);
+    fill_dynamic_attrs(&mut carriers, &enodebs, &x2, schema, 0, 0);
 
     Topology {
         markets,
         enodebs,
         carriers,
         x2,
+    }
+}
+
+/// Builds market `m`'s eNodeBs, carriers and X2 edges. Each market has an
+/// independent RNG stream, so this is exactly the body of [`build`]'s
+/// per-market loop — the streaming generator calls it one market at a
+/// time (and again to regenerate a market on demand) and gets the same
+/// bytes, provided `enb_base`/`carrier_base` equal the entity counts of
+/// all earlier markets.
+pub(crate) fn build_market(
+    scale: &NetScale,
+    schema: &AttributeSchema,
+    m: usize,
+    enb_base: usize,
+    carrier_base: usize,
+) -> MarketBuild {
+    let market_id = MarketId(m as u16);
+    // Per-market RNG stream so adding markets never reshuffles earlier
+    // ones.
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(scale.seed.wrapping_mul(0x9E37_79B9).wrapping_add(m as u64));
+
+    // Market size varies the way Table 3's markets do (the largest is
+    // ~2x the smallest of the four sampled ones).
+    let factor: f64 = rng.random_range(0.6..1.6);
+    let n_enb = ((scale.enbs_per_market as f64 * factor).round() as usize).max(2);
+
+    // Urban cores.
+    let n_cores = 1 + (rng.random_range(0..10u32) < 4) as usize;
+    let cores: Vec<Point> = (0..n_cores)
+        .map(|_| Point {
+            x: rng.random_range(15.0..45.0),
+            y: rng.random_range(15.0..45.0),
+        })
+        .collect();
+
+    let dominant_vendor = Vendor::ALL[m % 3];
+    // Markets sit at different upgrade stages.
+    let market_sw: u16 = if m.is_multiple_of(5) { 2 } else { 3 };
+    // Mid-band build-out preference differs per market.
+    let mid_pref: u16 = if m.is_multiple_of(2) { 2 } else { 3 };
+
+    let mut enodebs: Vec<Enodeb> = Vec::with_capacity(n_enb);
+    let mut carriers: Vec<Carrier> = Vec::new();
+    let mut edges: Vec<(CarrierId, CarrierId)> = Vec::new();
+    let mut market_enbs = Vec::with_capacity(n_enb);
+    let mut market_carriers = Vec::new();
+
+    for _ in 0..n_enb {
+        let enb_id = EnodebId::from_index(enb_base + enodebs.len());
+        let position = sample_position(&mut rng, &cores);
+        let core_dist = cores
+            .iter()
+            .map(|c| c.distance(position))
+            .fold(f64::INFINITY, f64::min);
+        let morphology = if core_dist < 3.5 {
+            Morphology::Urban
+        } else if core_dist < 12.0 {
+            Morphology::Suburban
+        } else {
+            Morphology::Rural
+        };
+        let vendor = if rng.random_range(0.0..1.0) < 0.8 {
+            dominant_vendor
+        } else {
+            Vendor::ALL[rng.random_range(0..3usize)]
+        };
+        // Hardware generation loosely tracks vendor.
+        let hardware: u16 = match vendor {
+            Vendor::VendorA => [0u16, 1, 1, 2][rng.random_range(0..4usize)],
+            Vendor::VendorB => [1u16, 1, 2, 2][rng.random_range(0..4usize)],
+            Vendor::VendorC => [0u16, 0, 1, 2][rng.random_range(0..4usize)],
+        };
+        let software = if rng.random_range(0.0..1.0) < 0.85 {
+            market_sw
+        } else {
+            market_sw - 1
+        };
+        let tac = (m * names::TACS_PER_MARKET
+            + usize::from(position.x >= MARKET_SIZE_KM / 2.0) * 2
+            + usize::from(position.y >= MARKET_SIZE_KM / 2.0)) as u16;
+        let near_border = position.x < 3.0
+            || position.y < 3.0
+            || position.x > MARKET_SIZE_KM - 3.0
+            || position.y > MARKET_SIZE_KM - 3.0;
+
+        let mut enb = Enodeb {
+            id: enb_id,
+            market: market_id,
+            position,
+            morphology,
+            vendor,
+            carriers: Vec::new(),
+        };
+
+        for face in 0..3u8 {
+            for band in face_bands(&mut rng, morphology) {
+                let id = CarrierId::from_index(carrier_base + carriers.len());
+                let attrs = carrier_attrs(
+                    &mut rng,
+                    schema,
+                    CarrierCtx {
+                        band,
+                        morphology,
+                        vendor,
+                        hardware,
+                        software,
+                        tac,
+                        market: m as u16,
+                        mid_pref,
+                        near_border,
+                    },
+                );
+                carriers.push(Carrier {
+                    id,
+                    enodeb: enb_id,
+                    market: market_id,
+                    face,
+                    band,
+                    attrs,
+                });
+                enb.carriers.push(id);
+                market_carriers.push(id);
+            }
+        }
+        market_enbs.push(enb_id);
+        enodebs.push(enb);
+    }
+
+    // Intra-eNodeB X2 relations.
+    for enb in &enodebs {
+        intra_enb_edges(enb, &carriers, carrier_base, &mut edges);
+    }
+
+    // Inter-eNodeB X2 relations: each eNodeB peers with its k nearest
+    // in-market eNodeBs (denser areas keep more relations).
+    for (i, a) in enodebs.iter().enumerate() {
+        let k = match a.morphology {
+            Morphology::Urban => 5,
+            Morphology::Suburban => 4,
+            Morphology::Rural => 3,
+        };
+        let mut by_dist: Vec<(f64, usize)> = enodebs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(j, b)| (a.position.distance(b.position), j))
+            .collect();
+        by_dist.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+        for &(_, j) in by_dist.iter().take(k) {
+            if j < i {
+                continue; // each unordered eNodeB pair handled once
+            }
+            inter_enb_edges(
+                a,
+                &enodebs[j],
+                &carriers,
+                carrier_base,
+                &mut rng,
+                &mut edges,
+            );
+        }
+    }
+
+    let market = Market {
+        id: market_id,
+        name: format!("Market {}", m + 1),
+        timezone: Timezone::ALL[m % 4],
+        carriers: market_carriers,
+        enodebs: market_enbs,
+    };
+    MarketBuild {
+        market,
+        enodebs,
+        carriers,
+        edges,
     }
 }
 
@@ -377,12 +421,18 @@ fn carrier_attrs(rng: &mut ChaCha8Rng, schema: &AttributeSchema, ctx: CarrierCtx
 
 /// X2 relations within one eNodeB: every same-face pair (inter-frequency
 /// relations on one sector) plus same-band pairs across faces.
-fn intra_enb_edges(enb: &Enodeb, carriers: &[Carrier], edges: &mut Vec<(CarrierId, CarrierId)>) {
+/// `carriers` is the owning market's slice; ids are offset by `base`.
+fn intra_enb_edges(
+    enb: &Enodeb,
+    carriers: &[Carrier],
+    base: usize,
+    edges: &mut Vec<(CarrierId, CarrierId)>,
+) {
     let cs = &enb.carriers;
     for (i, &a) in cs.iter().enumerate() {
         for &b in &cs[i + 1..] {
-            let ca = &carriers[a.index()];
-            let cb = &carriers[b.index()];
+            let ca = &carriers[a.index() - base];
+            let cb = &carriers[b.index() - base];
             if ca.face == cb.face || ca.band == cb.band {
                 edges.push((a, b));
             }
@@ -392,11 +442,13 @@ fn intra_enb_edges(enb: &Enodeb, carriers: &[Carrier], edges: &mut Vec<(CarrierI
 
 /// X2 relations between two radio-adjacent eNodeBs: per band present on
 /// both, one carrier pair (almost always), plus an occasional cross-band
-/// relation.
+/// relation. `carriers` is the owning market's slice, ids offset by
+/// `base`.
 fn inter_enb_edges(
     a: &Enodeb,
     b: &Enodeb,
     carriers: &[Carrier],
+    base: usize,
     rng: &mut ChaCha8Rng,
     edges: &mut Vec<(CarrierId, CarrierId)>,
 ) {
@@ -405,13 +457,13 @@ fn inter_enb_edges(
             .carriers
             .iter()
             .copied()
-            .filter(|&c| carriers[c.index()].band == band)
+            .filter(|&c| carriers[c.index() - base].band == band)
             .collect();
         let cb: Vec<CarrierId> = b
             .carriers
             .iter()
             .copied()
-            .filter(|&c| carriers[c.index()].band == band)
+            .filter(|&c| carriers[c.index() - base].band == band)
             .collect();
         if ca.is_empty() || cb.is_empty() {
             continue;
@@ -432,11 +484,18 @@ fn inter_enb_edges(
 /// Fills the two dynamic attributes that depend on the finished topology:
 /// the same-eNodeB neighbor-count bucket and the dominant X2 neighbor
 /// channel.
-fn fill_dynamic_attrs(
+///
+/// No X2 edge crosses a market line, so the computation is per-market
+/// local: the streaming generator calls this with one market's slices and
+/// a market-local `x2` (ids offset by the two bases) and gets the same
+/// values the global pass computes.
+pub(crate) fn fill_dynamic_attrs(
     carriers: &mut [Carrier],
     enodebs: &[Enodeb],
     x2: &X2Graph,
     schema: &AttributeSchema,
+    enb_base: usize,
+    carrier_base: usize,
 ) {
     let mixed_level = (schema.cardinality(attr_idx::NEIGHBOR_CHANNEL) - 1) as u16;
     let freqs: Vec<u16> = carriers
@@ -444,7 +503,10 @@ fn fill_dynamic_attrs(
         .map(|c| c.attrs.get(attr_idx::FREQUENCY))
         .collect();
     for c in carriers.iter_mut() {
-        let same_enb = enodebs[c.enodeb.index()].carriers.len().saturating_sub(1);
+        let same_enb = enodebs[c.enodeb.index() - enb_base]
+            .carriers
+            .len()
+            .saturating_sub(1);
         c.attrs.set(
             attr_idx::NEIGHBORS_SAME_ENB,
             names::neighbor_bucket(same_enb),
@@ -452,7 +514,7 @@ fn fill_dynamic_attrs(
 
         // Dominant neighbor channel; "mixed" when no strict winner.
         let mut counts = [0usize; 8];
-        for &n in x2.neighbors(c.id) {
+        for &n in x2.neighbors(CarrierId::from_index(c.id.index() - carrier_base)) {
             counts[freqs[n.index()] as usize] += 1;
         }
         let (best, best_count) = counts

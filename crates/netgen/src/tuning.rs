@@ -84,7 +84,7 @@ pub fn apply_rules(topo: &Topology, catalog: &ParamCatalog, rules: &[LatentRule]
 /// one of the rule's small fixed noise-pool values. Drawing from bounded
 /// per-parameter pools (instead of the whole grid) keeps each parameter's
 /// distinct-value count in Fig. 2's observed range.
-fn override_value(
+pub(crate) fn override_value(
     rng: &mut ChaCha8Rng,
     rule: &LatentRule,
     _grid: usize,

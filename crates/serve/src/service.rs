@@ -150,6 +150,39 @@ impl Service {
             .refit(model, now_us)
     }
 
+    /// Streaming ingestion: rolls **every** shard forward over one
+    /// applied delta batch against the post-batch snapshot, swapping
+    /// each shard's `(snapshot, model)` pair under its epoch/cache
+    /// invariants. Shards share one key-column cache for the batch, so
+    /// fleet-wide spliced columns are built once, not per market. Each
+    /// shard's seeded refit fault stream still applies — a shard that
+    /// draws a failure keeps its old pair and reports the error in its
+    /// result slot.
+    pub fn refit_delta(
+        &self,
+        snapshot: &Arc<NetworkSnapshot>,
+        arena: &auric_model::AttrArena,
+        batch: &auric_model::AppliedBatch,
+        now_us: u64,
+    ) -> Vec<(MarketId, Result<auric_core::DeltaFitReport, RefitError>)> {
+        let cache = auric_core::SharedKeyColumns::new();
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.market(),
+                    s.refit_delta(
+                        Arc::clone(snapshot),
+                        arena,
+                        batch,
+                        Some(cache.clone()),
+                        now_us,
+                    ),
+                )
+            })
+            .collect()
+    }
+
     /// Refits one market from serialized model bytes; corrupt bytes are
     /// a typed error and the stale model keeps serving.
     pub fn install_model_json(

@@ -26,9 +26,9 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use auric_core::recommend::{recommend_pairwise, recommend_singular, ConfigRecommendation};
-use auric_core::CfModel;
+use auric_core::{CfModel, DeltaApply, DeltaFitReport, Scope, SharedKeyColumns};
 use auric_kpi::report::KpiReport;
-use auric_model::{MarketId, NetworkSnapshot, ParamKind};
+use auric_model::{AppliedBatch, AttrArena, MarketId, NetworkSnapshot, ParamKind};
 use auric_obs::Recorder;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -276,13 +276,14 @@ enum ServeMode {
     MarketMode(DegradeReason),
 }
 
-/// One unit of worker work. Carries the model `Arc` read under the
-/// control mutex at admission, so the whole batch — probe resolution,
-/// execution, and cache tagging — sees one consistent epoch even if a
-/// refit swaps the shard's model mid-flight.
+/// One unit of worker work. Carries the `(snapshot, model)` pair read
+/// under the control mutex at admission, so the whole batch — probe
+/// resolution, execution, and cache tagging — sees one consistent epoch
+/// even if a refit swaps the shard's snapshot or model mid-flight.
 struct Job {
     kind: RequestKind,
     mode: ServeMode,
+    snapshot: Arc<NetworkSnapshot>,
     model: Arc<CfModel>,
     reply: mpsc::SyncSender<WorkerReply>,
 }
@@ -298,7 +299,10 @@ struct WorkerReply {
 /// A per-market shard. Construct via the service.
 pub struct Shard {
     market: MarketId,
-    snapshot: Arc<NetworkSnapshot>,
+    /// The fleet this shard serves against, `Arc`-swapped together with
+    /// the model by [`Shard::refit_delta`] (streaming ingestion). Plain
+    /// [`Shard::refit`] leaves it in place.
+    snapshot: RwLock<Arc<NetworkSnapshot>>,
     model: Arc<RwLock<Arc<CfModel>>>,
     config: ShardConfig,
     plan: ShardFaultPlan,
@@ -334,9 +338,8 @@ impl Shard {
         let dispatched = Arc::new(AtomicU64::new(0));
         let (tx, rx) = mpsc::channel::<Job>();
         let worker = {
-            let snapshot = Arc::clone(&snapshot);
             let dispatched = Arc::clone(&dispatched);
-            std::thread::spawn(move || worker_loop(rx, snapshot, kpi, dispatched))
+            std::thread::spawn(move || worker_loop(rx, kpi, dispatched))
         };
         let m = market.0;
         let ctl = ShardCtl {
@@ -367,7 +370,7 @@ impl Shard {
         };
         Self {
             market,
-            snapshot,
+            snapshot: RwLock::new(snapshot),
             model,
             config,
             plan,
@@ -386,6 +389,12 @@ impl Shard {
     /// The current model `Arc` (hot-swapped by refits).
     pub fn model(&self) -> Arc<CfModel> {
         Arc::clone(&self.model.read().expect("model lock poisoned"))
+    }
+
+    /// The fleet snapshot this shard currently serves against
+    /// (hot-swapped by [`Shard::refit_delta`]).
+    pub fn snapshot(&self) -> Arc<NetworkSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
 
     /// Serves one request end to end: a batch of one. A single request
@@ -414,18 +423,22 @@ impl Shard {
 
     fn serve_chunk(&self, reqs: &[Request], out: &mut Vec<Result<Answer, Rejection>>) {
         // Phase 1 (ctl lock): admission, fault draws, classification.
-        // The model Arc and epoch are read together under the lock —
-        // refits swap both in one critical section — so every probe in
-        // this batch resolves against one consistent (model, epoch).
-        let (model, epoch, dispositions) = {
+        // The snapshot and model Arcs and the epoch are read together
+        // under the lock — refits swap them in one critical section — so
+        // every probe in this batch resolves against one consistent
+        // (snapshot, model, epoch) triple.
+        let (snapshot, model, epoch, dispositions) = {
             let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+            let snapshot = Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"));
             let model = Arc::clone(&self.model.read().expect("model lock poisoned"));
             let epoch = ctl.model_epoch;
             let mut seen: HashMap<ProbeKey, usize> = HashMap::new();
             let dispositions: Vec<Disposition> = reqs
                 .iter()
                 .enumerate()
-                .map(|(i, req)| self.admit_classify(&mut ctl, req, &model, epoch, &mut seen, i))
+                .map(|(i, req)| {
+                    self.admit_classify(&mut ctl, req, &snapshot, &model, epoch, &mut seen, i)
+                })
                 .collect();
             let n_admitted = dispositions
                 .iter()
@@ -439,7 +452,7 @@ impl Shard {
                 self.obs.observe("serve.batch.size", n_admitted);
                 self.obs.observe("serve.batch.groups", n_leads);
             }
-            (model, epoch, dispositions)
+            (snapshot, model, epoch, dispositions)
         };
 
         // Phase 2 (no locks): dispatch the leads, sorted by probe key so
@@ -477,6 +490,7 @@ impl Shard {
                     .send(Job {
                         kind: reqs[i].kind.clone(),
                         mode: admission.mode,
+                        snapshot: Arc::clone(&snapshot),
                         model: Arc::clone(&model),
                         reply: reply_tx,
                     })
@@ -567,10 +581,12 @@ impl Shard {
     /// requests draw their faults (admission order = stream order,
     /// batched or not), get classified as cache hit / coalesced member /
     /// lead, and book their class's virtual cost.
+    #[allow(clippy::too_many_arguments)]
     fn admit_classify(
         &self,
         ctl: &mut ShardCtl,
         req: &Request,
+        snapshot: &NetworkSnapshot,
         model: &CfModel,
         epoch: u64,
         seen: &mut HashMap<ProbeKey, usize>,
@@ -677,7 +693,7 @@ impl Shard {
                         inject_panic: false,
                         poisoned: false,
                     };
-                    match probe::resolve(model, &self.snapshot, &req.kind) {
+                    match probe::resolve(model, snapshot, &req.kind) {
                         None => {
                             self.obs.inc("serve.cache.unresolved");
                             Class::Lead { mode, key: None }
@@ -901,6 +917,67 @@ impl Shard {
         Ok(())
     }
 
+    /// Incremental hot refit for streaming ingestion: clones the current
+    /// model, rolls it forward over one applied delta batch
+    /// ([`CfModel::apply_delta`] — byte-identical to a full refit of the
+    /// post-batch fleet), and swaps the `(snapshot, model)` pair through
+    /// the same fault-checked path as [`Shard::refit`]: same seeded fault
+    /// draw, same epoch bump, same cache clear, all in one critical
+    /// section. The expensive work happens before any lock is taken, so
+    /// admission keeps serving the old pair meanwhile.
+    ///
+    /// On an injected refit failure the shard keeps its old — mutually
+    /// consistent — `(snapshot, model)` pair and keeps answering: a
+    /// stale fleet beats a torn one. The caller may retry with the same
+    /// arguments once its next batch arrives.
+    pub fn refit_delta(
+        &self,
+        snapshot: Arc<NetworkSnapshot>,
+        arena: &AttrArena,
+        batch: &AppliedBatch,
+        key_cache: Option<SharedKeyColumns>,
+        _now_us: u64,
+    ) -> Result<DeltaFitReport, RefitError> {
+        let scope_before = Scope::market(&self.snapshot(), self.market);
+        let scope_after = Scope::market(&snapshot, self.market);
+        let mut model = (*self.model()).clone();
+        let report = model.apply_delta(&DeltaApply {
+            snapshot: &snapshot,
+            arena,
+            scope_before: &scope_before,
+            scope_after: &scope_after,
+            batch,
+            key_cache,
+        });
+        let mut ctl = self.ctl.lock().expect("shard ctl poisoned");
+        let faults = draw_refit_faults(&mut ctl.refit_rng, &self.plan.rates);
+        if faults.refit_failure {
+            ctl.refits_failed += 1;
+            ctl.faults.refit_failures += 1;
+            self.obs.inc("serve.refit.failed");
+            return Err(RefitError::Injected);
+        }
+        // Snapshot and model swap in the same critical section as the
+        // epoch bump + cache clear: no batch can resolve probes against
+        // the new model over the old fleet (or vice versa), and no
+        // pre-swap cache entry survives into the new epoch.
+        *self.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+        *self.model.write().expect("model lock poisoned") = Arc::new(model);
+        ctl.model_epoch += 1;
+        let dropped = ctl.cache.clear();
+        if dropped > 0 {
+            self.obs.add("serve.cache.invalidated", dropped as u64);
+        }
+        ctl.refits_ok += 1;
+        self.obs.inc("serve.refit.ok");
+        if faults.poisoned {
+            ctl.poisoned = true;
+            ctl.faults.poisoned_models += 1;
+            self.obs.inc("serve.fault.poisoned_model");
+        }
+        Ok(report)
+    }
+
     /// Refit from serialized bytes: a corrupt model file is a typed
     /// error and the stale model keeps serving. Only a successfully
     /// parsed model consumes a refit fault draw, so a deterministic
@@ -964,18 +1041,15 @@ impl Drop for Shard {
 }
 
 /// The worker thread: really executes every dispatched lead against the
-/// model `Arc` its batch was admitted under (epoch-pinned — a refit
-/// mid-batch does not change what this batch answers with), one
-/// `catch_unwind` per job.
-fn worker_loop(
-    rx: mpsc::Receiver<Job>,
-    snapshot: Arc<NetworkSnapshot>,
-    kpi: Arc<Option<KpiReport>>,
-    dispatched: Arc<AtomicU64>,
-) {
+/// `(snapshot, model)` pair its batch was admitted under (epoch-pinned —
+/// a refit mid-batch does not change what this batch answers with), one
+/// `catch_unwind` per job. The KPI report stays pinned to the
+/// construction-time fleet: re-simulating KPIs per ingested batch is the
+/// KPI pipeline's job, not the serving path's.
+fn worker_loop(rx: mpsc::Receiver<Job>, kpi: Arc<Option<KpiReport>>, dispatched: Arc<AtomicU64>) {
     while let Ok(job) = rx.recv() {
         dispatched.fetch_add(1, Ordering::SeqCst);
-        let reply = serve_job(&snapshot, &job.model, kpi.as_ref().as_ref(), &job);
+        let reply = serve_job(&job.snapshot, &job.model, kpi.as_ref().as_ref(), &job);
         // A dropped receiver means the front door gave up; nothing to do.
         let _ = job.reply.send(reply);
     }

@@ -695,3 +695,112 @@ fn concurrent_callers_survive_hot_refits() {
         assert_eq!(shard.model_epoch, 3, "all swaps landed");
     }
 }
+
+/// Streaming ingestion end to end: the service absorbs delta batches via
+/// `refit_delta` — every shard's `(snapshot, model)` pair swaps under the
+/// epoch/cache invariants — and at every checkpoint each shard's model is
+/// byte-identical to a full scoped refit of the post-batch fleet. Probes
+/// cached immediately before a delta refit must never serve a stale body
+/// after it.
+#[test]
+fn delta_refits_swap_fleet_and_model_under_cache_invariants() {
+    use auric_model::{apply_fleet_deltas, empty_snapshot, AttrArena, FleetDelta};
+    use auric_netgen::stream;
+
+    let scale = NetScale::tiny();
+    let mut s = stream(&scale, &TuningKnobs::default());
+    let mut cur = empty_snapshot(s.schema().clone(), s.catalog().clone());
+    // Phase A: build the fleet outright; the service starts from fitted
+    // per-market models, as production would.
+    for _ in 0..scale.n_markets {
+        let b = s.next_batch().expect("market batch");
+        apply_fleet_deltas(&mut cur, &b).expect("consistent batch");
+    }
+    let mut arena = AttrArena::from_snapshot(&cur);
+    let svc = Service::new(
+        Arc::new(cur.clone()),
+        fitted(&cur),
+        ShardFaultPlan::none(31),
+        ready_config(),
+        Recorder::disabled(),
+    );
+    let markets: Vec<MarketId> = cur.markets.iter().map(|m| m.id).collect();
+
+    // Phase B retune batches, plus a structural tail (carrier removal —
+    // pairs leave, every singular table shifts).
+    let mut batches: Vec<Vec<FleetDelta>> = Vec::new();
+    while let Some(b) = s.next_batch() {
+        batches.push(b);
+    }
+    batches.push(vec![FleetDelta::RemoveCarrier {
+        id: CarrierId(cur.n_carriers() as u32 - 1),
+    }]);
+
+    let n_batches = batches.len() as u64;
+    let mut t = 0u64;
+    let mut id = 0u64;
+    let mut submitted: Vec<(MarketId, u64)> = markets.iter().map(|&m| (m, 0)).collect();
+    let serve = |svc: &Service, m: MarketId, c: CarrierId, t: u64, id: &mut u64| {
+        let a = svc
+            .call(&singular(*id, m, c, t, u64::MAX))
+            .expect("faultless plan");
+        *id += 1;
+        a
+    };
+    for (bi, batch) in batches.iter().enumerate() {
+        let digest = apply_fleet_deltas(&mut cur, batch).expect("consistent batch");
+        arena.append(&cur);
+        let post = Arc::new(cur.clone());
+
+        // Prime + hit the cache on one probe per market right before the
+        // swap: these bodies are about to go stale.
+        for (mi, &m) in markets.iter().enumerate() {
+            let c = cur.carriers_in_market(m)[0];
+            serve(&svc, m, c, t, &mut id);
+            serve(&svc, m, c, t + 1, &mut id);
+            submitted[mi].1 += 2;
+            t += 1_000;
+        }
+
+        for (m, r) in svc.refit_delta(&post, &arena, &digest, t) {
+            r.unwrap_or_else(|e| panic!("faultless delta refit for {m:?}: {e:?}"));
+        }
+
+        // Post-swap answers come from the new fleet and model.
+        for (mi, &m) in markets.iter().enumerate() {
+            let c = cur.carriers_in_market(m)[0];
+            let a = serve(&svc, m, c, t, &mut id);
+            submitted[mi].1 += 1;
+            t += 1_000;
+            if bi % 9 == 0 || bi as u64 + 1 == n_batches {
+                let fresh = fit_market(&cur, m);
+                assert_eq!(
+                    body_values(&a.body),
+                    singular_values(&cur, &fresh, c),
+                    "batch {bi}: stale body served after delta refit of {m:?}"
+                );
+                let swapped = svc.model(m).expect("shard exists");
+                assert_eq!(
+                    serde_json::to_string(&*swapped).unwrap(),
+                    serde_json::to_string(&fresh).unwrap(),
+                    "batch {bi}: delta-refitted model diverged from scoped refit of {m:?}"
+                );
+            }
+        }
+    }
+
+    for shard in svc.stats().shards {
+        assert_eq!(
+            shard.model_epoch, n_batches,
+            "every delta batch bumped the epoch exactly once"
+        );
+        assert!(
+            shard.cache_hits >= n_batches,
+            "pre-swap probe pairs must exercise the cache (hits={})",
+            shard.cache_hits
+        );
+        assert_eq!(shard.refits_ok, n_batches);
+        assert_eq!(shard.refits_failed, 0);
+    }
+    assert!(svc.invariant_violations(&submitted).is_empty());
+}

@@ -257,16 +257,34 @@ impl FreqTable {
 
     /// Adds `c` observations of `v` at once — the bulk form of
     /// [`FreqTable::add`], equivalent to calling it `c` times.
-    fn add_count(&mut self, v: u16, c: usize) {
+    ///
+    /// Counts saturate at `usize::MAX` instead of wrapping (a wrap here
+    /// used to corrupt the `total` invariant after weeks of incremental
+    /// refits in a long-running service). Returns `true` when anything
+    /// was clamped so callers can surface the event — a saturated table
+    /// still answers majority queries, but its `total` is a floor, not an
+    /// exact count.
+    pub fn add_count(&mut self, v: u16, c: usize) -> bool {
         if c == 0 {
-            return;
+            return false;
         }
-        self.total += c;
+        let mut saturated = false;
+        self.total = self.total.checked_add(c).unwrap_or_else(|| {
+            saturated = true;
+            usize::MAX
+        });
         let spill = match &mut self.counts {
             Counts::Small { len, vals, counts } => {
                 let n = *len as usize;
                 match vals[..n].binary_search(&v) {
-                    Ok(i) if counts[i] as usize + c <= u32::MAX as usize => {
+                    // checked_add: `count as usize + c` itself can wrap
+                    // when `c` is huge, which is exactly the case this
+                    // guard exists for.
+                    Ok(i)
+                        if (counts[i] as usize)
+                            .checked_add(c)
+                            .is_some_and(|s| s <= u32::MAX as usize) =>
+                    {
                         counts[i] += c as u32;
                         false
                     }
@@ -284,7 +302,11 @@ impl FreqTable {
                 }
             }
             Counts::Large(map) => {
-                *map.entry(v).or_insert(0) += c;
+                let e = map.entry(v).or_insert(0);
+                *e = e.checked_add(c).unwrap_or_else(|| {
+                    saturated = true;
+                    usize::MAX
+                });
                 false
             }
         };
@@ -293,18 +315,28 @@ impl FreqTable {
             let Counts::Large(map) = &mut self.counts else {
                 unreachable!("spill() always leaves the table spilled")
             };
-            *map.entry(v).or_insert(0) += c;
+            let e = map.entry(v).or_insert(0);
+            *e = e.checked_add(c).unwrap_or_else(|| {
+                saturated = true;
+                usize::MAX
+            });
         }
+        saturated
     }
 
     /// Merges another table's counts into this one — the union of the two
     /// multisets. The backoff recommender uses this to aggregate a prefix
     /// group from its full-key subgroups on demand instead of keeping an
     /// eagerly materialized table per prefix level.
-    pub fn merge(&mut self, other: &FreqTable) {
+    ///
+    /// Saturates like [`FreqTable::add_count`]; returns `true` when any
+    /// count clamped.
+    pub fn merge(&mut self, other: &FreqTable) -> bool {
+        let mut saturated = false;
         for (v, c) in other.iter() {
-            self.add_count(v, c);
+            saturated |= self.add_count(v, c);
         }
+        saturated
     }
 
     /// The `(value, count)` pairs sorted by value — the canonical form
@@ -467,6 +499,39 @@ mod tests {
         let mut fresh = FreqTable::new();
         fresh.merge(&b);
         assert_eq!(fresh, b);
+    }
+
+    #[test]
+    fn merge_near_max_saturates_instead_of_overflowing() {
+        // Regression: counts near usize::MAX used to wrap on merge (debug
+        // panic, silent corruption in release). They must clamp and
+        // report.
+        let mut a = FreqTable::new();
+        assert!(!a.add_count(7, usize::MAX - 1));
+        let mut b = FreqTable::new();
+        assert!(!b.add_count(7, 5));
+        assert!(!b.add_count(3, 10));
+        // 7's count: (MAX-1) + 5 clamps; total clamps too.
+        assert!(a.merge(&b), "merge must report the clamp");
+        assert_eq!(a.count(7), usize::MAX);
+        assert_eq!(a.count(3), 10);
+        assert_eq!(a.total(), usize::MAX);
+        // The saturated table still answers queries deterministically.
+        assert_eq!(a.majority(), Some((7, usize::MAX)));
+        // Merging more into a saturated count stays clamped and keeps
+        // reporting.
+        assert!(a.merge(&b));
+        assert_eq!(a.count(7), usize::MAX);
+        // A clamp on the inline→spill path: a huge count lands on an
+        // existing inline value.
+        let mut c = FreqTable::new();
+        c.add(2);
+        assert!(!c.add_count(2, usize::MAX - 1));
+        assert!(c.add_count(2, usize::MAX / 2), "spilled count must clamp");
+        assert_eq!(c.count(2), usize::MAX);
+        // Ordinary merges never report saturation.
+        let mut small = FreqTable::from_values([1, 2]);
+        assert!(!small.merge(&FreqTable::from_values([2, 3, 4, 5])));
     }
 
     #[test]
